@@ -1,0 +1,116 @@
+// Ablation: static allocation vs Parsl-style elastic blocks (the "dynamic
+// workflow resource allocation" capability of §IV-D / Fig. 6).
+//
+// Static allocation holds all nodes for the whole workflow; elastic blocks
+// scale out with queue depth and scale idle blocks back in. The interesting
+// trade-off is makespan vs node-seconds consumed (facility allocation
+// charged): elasticity should cost little wall-clock while consuming far
+// fewer node-seconds, because nodes are released as the preprocessing queue
+// drains.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "compute/block_provider.hpp"
+#include "compute/slurm_sim.hpp"
+#include "util/table.hpp"
+
+using namespace mfw;
+
+namespace {
+
+struct Outcome {
+  double makespan = 0.0;
+  double node_seconds = 0.0;  // integral of allocated nodes over time
+};
+
+Outcome run_static(int nodes, const std::vector<benchx::FileWorkload>& files) {
+  sim::SimEngine engine;
+  compute::ClusterExecutor exec(engine, compute::defiant_law_factory());
+  for (int i = 0; i < nodes; ++i) exec.add_node(8);
+  for (const auto& f : files) {
+    compute::SimTaskDesc desc;
+    desc.cpu_seconds = 0.3;
+    desc.shared_demand = std::max(0.5, static_cast<double>(f.tiles));
+    desc.payload = f.tiles;
+    exec.submit(desc);
+  }
+  engine.run();
+  Outcome outcome;
+  for (const auto& r : exec.results())
+    outcome.makespan = std::max(outcome.makespan, r.finished_at);
+  outcome.node_seconds = outcome.makespan * nodes;  // held for the whole run
+  return outcome;
+}
+
+Outcome run_elastic(int max_blocks,
+                    const std::vector<benchx::FileWorkload>& files) {
+  sim::SimEngine engine;
+  compute::SlurmSim slurm(engine, compute::SlurmSimConfig{36, 1.5});
+  compute::ClusterExecutor exec(engine, compute::defiant_law_factory());
+  compute::BlockConfig config;
+  config.nodes_per_block = 1;
+  config.workers_per_node = 8;
+  config.init_blocks = 1;
+  config.min_blocks = 0;
+  config.max_blocks = max_blocks;
+  config.idle_timeout = 5.0;
+  config.poll_interval = 1.0;
+  compute::BlockProvider provider(engine, slurm, exec, config);
+  provider.start();
+  for (const auto& f : files) {
+    compute::SimTaskDesc desc;
+    desc.cpu_seconds = 0.3;
+    desc.shared_demand = std::max(0.5, static_cast<double>(f.tiles));
+    desc.payload = f.tiles;
+    exec.submit(desc);
+  }
+  // Integrate allocated nodes over time by sampling each control period.
+  Outcome outcome;
+  double last = 0.0;
+  std::size_t done = 0;
+  exec.notify_idle([&] { done = 1; });
+  while (true) {
+    engine.run_until(last + 1.0);
+    outcome.node_seconds += static_cast<double>(provider.active_blocks()) * 1.0;
+    last += 1.0;
+    if (exec.completed() == files.size()) break;
+    if (last > 36000.0) break;  // safety valve
+  }
+  for (const auto& r : exec.results())
+    outcome.makespan = std::max(outcome.makespan, r.finished_at);
+  provider.stop();
+  engine.run();
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  benchx::print_header(
+      "Ablation — static allocation vs elastic blocks (node-seconds)",
+      "Kurihana et al., SC24, §IV-D dynamic resource allocation / Fig. 6");
+
+  util::Table table({"files", "static makespan", "static node-s",
+                     "elastic makespan", "elastic node-s", "node-s saved"});
+  for (std::size_t files_count : {40u, 80u, 160u}) {
+    const auto files = benchx::daytime_files(files_count, 1);
+    const auto fixed = run_static(10, files);
+    const auto elastic = run_elastic(10, files);
+    table.add_row(
+        {std::to_string(files_count), util::Table::num(fixed.makespan, 1),
+         util::Table::num(fixed.node_seconds, 0),
+         util::Table::num(elastic.makespan, 1),
+         util::Table::num(elastic.node_seconds, 0),
+         util::Table::num(
+             (1.0 - elastic.node_seconds / fixed.node_seconds) * 100.0, 1) +
+             "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: when the workload underfills the static allocation (40\n"
+      "files on 10 nodes), elasticity saves node-seconds by scaling in as\n"
+      "the queue drains (the ramp-down Fig. 6 shows); when the queue\n"
+      "saturates all blocks for the whole run (80/160 files), elastic and\n"
+      "static converge and only the block spin-up overhead remains.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Ablation: why cluster *learned latents* instead of raw pixels?
+//
+// The RICC paper's core design choice is to cluster autoencoder latent
+// representations rather than raw radiances. This ablation compares three
+// representations of the same ocean-cloud tiles under Ward clustering:
+//   raw pixels  | flattened tile radiances
+//   random proj | untrained encoder output (random conv features)
+//   RICC latent | trained rotation-invariant encoder output
+// Metric: silhouette of the resulting clusters and rotation sensitivity of
+// the representation (distance a 90° rotation moves a tile, normalized).
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "ml/ricc.hpp"
+#include "preprocess/tiler.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+using namespace mfw;
+
+namespace {
+
+std::vector<float> encode_all(ml::RiccModel& model,
+                              const std::vector<ml::Tensor>& tiles) {
+  const auto d = static_cast<std::size_t>(model.config().latent_dim);
+  std::vector<float> out(tiles.size() * d);
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const ml::Tensor z = model.encode(tiles[i]);
+    std::memcpy(out.data() + i * d, z.data(), d * sizeof(float));
+  }
+  return out;
+}
+
+double rotation_sensitivity_raw(const std::vector<ml::Tensor>& tiles) {
+  // For raw pixels: normalized distance between a tile and its rotation.
+  double rot = 0.0, pair = 0.0;
+  std::size_t rot_n = 0, pair_n = 0;
+  const std::size_t n = std::min<std::size_t>(tiles.size(), 32);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ml::Tensor r = rotate90(tiles[i], 1);
+    rot += std::sqrt(ml::squared_distance(tiles[i].span(), r.span()));
+    ++rot_n;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pair += std::sqrt(ml::squared_distance(tiles[i].span(), tiles[j].span()));
+      ++pair_n;
+    }
+  }
+  return (rot / rot_n) / (pair / pair_n);
+}
+
+}  // namespace
+
+int main() {
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+  benchx::print_header(
+      "Ablation — clustering representation: raw pixels vs RICC latents",
+      "RICC design choice (Kurihana et al. TGRS'21, used by the SC24 "
+      "workflow's inference stage)");
+
+  // Ocean-cloud tiles across several granules.
+  modis::GranuleGenerator generator(2022);
+  preprocess::TilerOptions options;
+  options.tile_size = 16;
+  options.channels = 6;
+  std::vector<ml::Tensor> tiles;
+  for (int slot = 0; slot < modis::kSlotsPerDay && tiles.size() < 160; ++slot) {
+    modis::GranuleSpec spec;
+    spec.slot = slot;
+    spec.geometry = modis::GranuleGeometry{64, 48, 6};
+    if (!modis::is_daytime(spec.satellite, slot, spec.day_of_year)) continue;
+    const auto result = preprocess::make_tiles(generator.mod02(spec),
+                                               generator.mod03(spec),
+                                               generator.mod06(spec), options);
+    for (const auto& tile : result.tiles) {
+      if (tiles.size() >= 160) break;
+      tiles.emplace_back(
+          std::vector<int>{tile.channels, tile.tile_size, tile.tile_size},
+          tile.data);
+    }
+  }
+  std::printf("Corpus: %zu ocean-cloud tiles (16x16x6)\n\n", tiles.size());
+
+  const int k = 8;
+  util::Table table({"representation", "dim", "silhouette", "rot sensitivity"});
+
+  // Raw pixels.
+  {
+    const std::size_t d = tiles[0].size();
+    std::vector<float> raw(tiles.size() * d);
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+      std::memcpy(raw.data() + i * d, tiles[i].data(), d * sizeof(float));
+    const auto clusters = ml::agglomerative_ward(raw, tiles.size(), d, k);
+    table.add_row({"raw pixels", std::to_string(d),
+                   util::Table::num(ml::silhouette(raw, tiles.size(), d,
+                                                   clusters.labels, k), 3),
+                   util::Table::num(rotation_sensitivity_raw(tiles), 3)});
+  }
+
+  ml::RiccConfig config;
+  config.tile_size = 16;
+  config.channels = 6;
+  config.base_channels = 6;
+  config.conv_blocks = 2;
+  config.latent_dim = 12;
+  config.num_classes = k;
+
+  // Untrained encoder (random conv features).
+  {
+    ml::RiccModel model(config);
+    const auto latents = encode_all(model, tiles);
+    const auto d = static_cast<std::size_t>(config.latent_dim);
+    const auto clusters = ml::agglomerative_ward(latents, tiles.size(), d, k);
+    table.add_row({"untrained encoder", std::to_string(d),
+                   util::Table::num(ml::silhouette(latents, tiles.size(), d,
+                                                   clusters.labels, k), 3),
+                   util::Table::num(ml::rotation_invariance_score(model, tiles), 3)});
+  }
+
+  // Trained RICC latents.
+  {
+    ml::RiccModel model(config);
+    ml::RiccTrainOptions train;
+    train.epochs = 12;
+    train.batch_size = 16;
+    train.learning_rate = 1.5e-3f;
+    train.lambda_invariance = 4.0f;
+    ml::train_autoencoder(model, tiles, train);
+    const auto latents = encode_all(model, tiles);
+    const auto d = static_cast<std::size_t>(config.latent_dim);
+    const auto clusters = ml::agglomerative_ward(latents, tiles.size(), d, k);
+    table.add_row({"trained RICC latent", std::to_string(d),
+                   util::Table::num(ml::silhouette(latents, tiles.size(), d,
+                                                   clusters.labels, k), 3),
+                   util::Table::num(ml::rotation_invariance_score(model, tiles), 3)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected: the trained latent clusters about as cleanly as raw pixels\n"
+      "at 128x lower dimensionality (what lets Ward clustering and nearest-\n"
+      "centroid inference scale to millions of tiles), and has the lowest\n"
+      "rotation sensitivity of the three representations — the two\n"
+      "properties the RICC design targets.\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "preprocess/tasks.hpp"
+#include "util/stats.hpp"
+
+namespace mfw::benchx {
+
+std::vector<FileWorkload> daytime_files(std::size_t count, int start_day,
+                                        std::uint64_t seed) {
+  modis::GranuleGenerator generator(seed);
+  std::vector<FileWorkload> files;
+  files.reserve(count);
+  for (int day = start_day; files.size() < count && day <= 366; ++day) {
+    for (int slot = 0; slot < modis::kSlotsPerDay && files.size() < count;
+         ++slot) {
+      modis::GranuleSpec spec;
+      spec.day_of_year = day;
+      spec.slot = slot;
+      spec.geometry = modis::kFullGeometry;
+      spec.world_seed = seed;
+      const auto stats = modis::estimate_granule_stats(generator, spec);
+      if (!stats.daytime || stats.selected_tiles == 0) continue;
+      FileWorkload file;
+      file.id = modis::GranuleId{modis::ProductKind::kMod02,
+                                 modis::Satellite::kTerra, 2022, day, slot};
+      file.tiles = stats.selected_tiles;
+      files.push_back(file);
+    }
+  }
+  return files;
+}
+
+FarmResult run_preprocess_farm(int nodes, int workers_per_node,
+                               const std::vector<FileWorkload>& files) {
+  sim::SimEngine engine;
+  compute::ClusterExecutor exec(engine, compute::defiant_law_factory());
+  for (int i = 0; i < nodes; ++i) exec.add_node(workers_per_node);
+  const preprocess::PreprocessCostModel cost;
+  for (const auto& file : files) {
+    compute::SimTaskDesc desc;
+    desc.cpu_seconds = cost.cpu_seconds;
+    desc.shared_demand =
+        std::max(cost.min_demand, cost.demand_per_tile * file.tiles);
+    desc.payload = file.tiles;
+    exec.submit(desc);
+  }
+  engine.run();
+  FarmResult result;
+  for (const auto& r : exec.results())
+    result.makespan = std::max(result.makespan, r.finished_at);
+  result.tiles = exec.completed_payload();
+  result.throughput = result.makespan > 0 ? result.tiles / result.makespan : 0;
+  return result;
+}
+
+MeanStd mean_std(const std::vector<double>& values) {
+  util::StreamingStats stats;
+  for (double v : values) stats.add(v);
+  return MeanStd{stats.mean(), stats.stddev()};
+}
+
+void print_header(const std::string& experiment, const std::string& paper_ref) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("(Simulated ACE Defiant substrate; see DESIGN.md for the\n");
+  std::printf(" calibration of the node contention model and WAN parameters.)\n");
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace mfw::benchx

@@ -1,0 +1,48 @@
+// Shared helpers for the figure/table reproduction benchmarks: workload
+// construction (daytime MOD02 file lists with per-file tile counts) and the
+// preprocessing task-farm experiment harness used by Figs. 4/5 and Table I.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compute/cluster.hpp"
+#include "modis/catalog.hpp"
+
+namespace mfw::benchx {
+
+/// Per-file workload descriptor for a MOD02 granule.
+struct FileWorkload {
+  modis::GranuleId id;
+  int tiles = 0;
+};
+
+/// First `count` daytime MOD02 granules with tiles, starting at `start_day`
+/// of 2022 (wraps across days as needed). Deterministic per seed.
+std::vector<FileWorkload> daytime_files(std::size_t count, int start_day = 1,
+                                        std::uint64_t seed = 2022);
+
+struct FarmResult {
+  double makespan = 0.0;     // seconds (virtual) to process all files
+  double tiles = 0.0;        // total tiles produced
+  double throughput = 0.0;   // tiles/second
+};
+
+/// Runs the preprocessing task farm (the Figs. 4/5 experiment): `files` are
+/// dispatched to `nodes` x `workers_per_node` workers under the calibrated
+/// Defiant contention law.
+FarmResult run_preprocess_farm(int nodes, int workers_per_node,
+                               const std::vector<FileWorkload>& files);
+
+/// Mean/stddev over per-iteration values.
+struct MeanStd {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+MeanStd mean_std(const std::vector<double>& values);
+
+/// Prints the standard bench header (paper reference + reproduction note).
+void print_header(const std::string& experiment, const std::string& paper_ref);
+
+}  // namespace mfw::benchx

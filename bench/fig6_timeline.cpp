@@ -1,0 +1,56 @@
+// Fig. 6 reproduction: the automation timeline — active worker counts per
+// workflow stage over time for a full end-to-end run with the paper's
+// allocation (3 download workers, 32 preprocessing workers, 1 inference
+// worker). Expected shape: download plateau first; preprocessing ramps to 32
+// after downloads complete and drains as tasks finish; short inference
+// bursts overlap preprocessing and continue briefly after it ends.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "pipeline/eoml_workflow.hpp"
+#include "util/log.hpp"
+
+using namespace mfw;
+
+int main() {
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+  benchx::print_header(
+      "Fig. 6 — Automation timeline: active workers per stage",
+      "Kurihana et al., SC24, Fig. 6 (blue=download, orange=preprocess, "
+      "green=inference)");
+
+  pipeline::EomlConfig config;
+  config.max_files = 40;
+  config.daytime_only = true;
+  config.download_workers = 3;
+  config.preprocess_nodes = 4;   // 4 nodes x 8 workers = 32 preprocess workers
+  config.workers_per_node = 8;
+  config.inference_workers = 1;
+  pipeline::EomlWorkflow workflow(config);
+  const auto report = workflow.run();
+
+  std::printf("Full run:\n%s\n", report.timeline.render(140, 96, 18).c_str());
+  // The download phase moves ~7 GB over the WAN and dwarfs the compute
+  // phases on the time axis; zoom into the preprocess/inference window the
+  // paper's Fig. 6 focuses on.
+  const double zoom_from = report.preprocess_span.start - 10.0;
+  const double zoom_to = report.timeline.end_time();
+  std::printf("Zoom (preprocess + inference window):\n%s\n",
+              report.timeline.render_window(zoom_from, zoom_to, 140, 96, 18)
+                  .c_str());
+  std::printf("Stage peaks: download=%d preprocess=%d inference=%d\n\n",
+              report.timeline.stage("download").peak(),
+              report.timeline.stage("preprocess").peak(),
+              report.timeline.stage("inference").peak());
+  std::printf("%s\n", report.summary().c_str());
+  std::printf("Timeline CSV (30 samples):\n%s\n",
+              report.timeline.to_csv(30).c_str());
+  std::printf(
+      "Expected shape (paper): (1) resources ramp up after the network-\n"
+      "intensive download completes; (2) workers scale down as tasks\n"
+      "complete; (3) inference starts before preprocessing fully ends.\n");
+  const bool overlap = report.inference_span.start < report.preprocess_span.end;
+  std::printf("Inference overlaps preprocessing: %s\n",
+              overlap ? "yes (matches paper)" : "NO (mismatch)");
+  return 0;
+}

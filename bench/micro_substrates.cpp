@@ -1,0 +1,154 @@
+// Google-benchmark micro benchmarks for the substrates that sit on the
+// workflow's critical path: event engine throughput, processor-sharing
+// resource churn, container (de)serialization, tiler, RICC encode, and Ward
+// clustering.
+#include <benchmark/benchmark.h>
+
+#include "compute/cluster.hpp"
+#include "ml/ricc.hpp"
+#include "modis/catalog.hpp"
+#include "preprocess/tiler.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "storage/ncl.hpp"
+#include "util/crc32.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mfw;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    util::Rng rng(1);
+    for (std::size_t i = 0; i < events; ++i)
+      engine.schedule_at(rng.uniform(0, 1000), [] {});
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_SharedResourceChurn(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    sim::SharedResource res(engine,
+                            std::make_unique<sim::SaturatingExpLaw>(38.5, 3.1));
+    for (std::size_t i = 0; i < jobs; ++i)
+      res.submit(1.0 + static_cast<double>(i % 13), [] {});
+    engine.run();
+    benchmark::DoNotOptimize(res.completed_jobs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs) * state.iterations());
+}
+BENCHMARK(BM_SharedResourceChurn)->Arg(64)->Arg(512);
+
+void BM_TaskFarm(benchmark::State& state) {
+  const int tasks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    compute::ClusterExecutor exec(engine, compute::defiant_law_factory());
+    for (int i = 0; i < 10; ++i) exec.add_node(8);
+    for (int i = 0; i < tasks; ++i) {
+      compute::SimTaskDesc desc;
+      desc.cpu_seconds = 0.3;
+      desc.shared_demand = 50.0;
+      exec.submit(desc);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(exec.completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tasks) * state.iterations());
+}
+BENCHMARK(BM_TaskFarm)->Arg(80)->Arg(800);
+
+void BM_Crc32(benchmark::State& state) {
+  std::vector<std::byte> data(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::byte>(i * 31);
+  for (auto _ : state) benchmark::DoNotOptimize(util::crc32(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(data.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Crc32)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_NclSerializeRoundTrip(benchmark::State& state) {
+  const auto tiles = static_cast<std::size_t>(state.range(0));
+  storage::NclFile file;
+  file.add_dim("tile", tiles);
+  file.add_dim("ch", 6);
+  file.add_dim("y", 32);
+  file.add_dim("x", 32);
+  std::vector<float> data(tiles * 6 * 32 * 32, 0.5f);
+  file.add_f32("tiles", {"tile", "ch", "y", "x"}, data);
+  for (auto _ : state) {
+    const auto bytes = file.serialize();
+    benchmark::DoNotOptimize(storage::NclFile::deserialize(bytes));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(data.size() * sizeof(float)) *
+      state.iterations());
+}
+BENCHMARK(BM_NclSerializeRoundTrip)->Arg(8)->Arg(64);
+
+void BM_GranuleStats(benchmark::State& state) {
+  modis::GranuleGenerator gen(2022);
+  int slot = 0;
+  for (auto _ : state) {
+    modis::GranuleSpec spec;
+    spec.slot = slot = (slot + 7) % modis::kSlotsPerDay;
+    spec.geometry = modis::kFullGeometry;
+    benchmark::DoNotOptimize(modis::estimate_granule_stats(gen, spec));
+  }
+}
+BENCHMARK(BM_GranuleStats);
+
+void BM_Tiler(benchmark::State& state) {
+  modis::GranuleGenerator gen(2022);
+  modis::GranuleSpec spec;
+  spec.geometry = modis::GranuleGeometry{128, 96, 6};
+  while (!modis::is_daytime(spec.satellite, spec.slot, spec.day_of_year))
+    ++spec.slot;
+  const auto m02 = gen.mod02(spec);
+  const auto m03 = gen.mod03(spec);
+  const auto m06 = gen.mod06(spec);
+  preprocess::TilerOptions options;
+  options.tile_size = 32;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(preprocess::make_tiles(m02, m03, m06, options));
+}
+BENCHMARK(BM_Tiler);
+
+void BM_RiccEncode(benchmark::State& state) {
+  ml::RiccConfig config;
+  config.tile_size = 32;
+  config.channels = 6;
+  config.base_channels = 8;
+  config.conv_blocks = 3;
+  config.latent_dim = 32;
+  ml::RiccModel model(config);
+  util::Rng rng(1);
+  ml::Tensor tile({6, 32, 32});
+  for (std::size_t i = 0; i < tile.size(); ++i)
+    tile[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) benchmark::DoNotOptimize(model.encode(tile));
+}
+BENCHMARK(BM_RiccEncode);
+
+void BM_WardClustering(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<float> data(n * 8);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ml::agglomerative_ward(data, n, 8, 42));
+}
+BENCHMARK(BM_WardClustering)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

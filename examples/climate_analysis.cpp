@@ -1,0 +1,54 @@
+// Downstream climate analysis on Orion: the step the shipment stage feeds.
+// Runs a materialized EO-ML workflow (real tiles, real labels), then plays
+// the role of the "research scientists and downstream workflows" — loading
+// the labelled AICCA archive from Orion and deriving class occurrence,
+// per-class cloud physics, and the zonal distribution used to monitor
+// cloud-regime change.
+#include <cstdio>
+
+#include "analysis/aicca.hpp"
+#include "pipeline/eoml_workflow.hpp"
+#include "util/log.hpp"
+
+int main() {
+  using namespace mfw;
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  // 1. Produce a labelled archive on Orion (materialized mode: real pixels
+  //    and per-tile physics flow end-to-end).
+  pipeline::EomlConfig config;
+  config.max_files = 8;
+  config.daytime_only = true;
+  config.preprocess_nodes = 4;
+  config.workers_per_node = 8;
+  config.materialize = true;
+  config.geometry = modis::GranuleGeometry{96, 64, 6};
+  config.tiler.tile_size = 16;
+  config.tiler.channels = 6;
+  std::printf("Running materialized EO-ML workflow (8 granules)...\n");
+  pipeline::EomlWorkflow workflow(config);
+  const auto report = workflow.run();
+  std::printf("%s\n", report.summary().c_str());
+
+  // 2. Downstream analysis over the shipped archive.
+  const auto archive =
+      analysis::AiccaArchive::load(workflow.orion_fs(), "aicca/*.ncl");
+  std::printf("%s", archive.report(42).c_str());
+
+  // 3. The kind of question the atlas answers: which classes dominate the
+  //    tropics vs the storm tracks?
+  const auto zonal = archive.zonal_class_counts(42, 30.0);
+  std::printf("\nDominant class by 30-degree band:\n");
+  for (std::size_t band = 0; band < zonal.size(); ++band) {
+    std::size_t best = 0, total = 0;
+    for (std::size_t c = 0; c < zonal[band].size(); ++c) {
+      total += zonal[band][c];
+      if (zonal[band][c] > zonal[band][best]) best = c;
+    }
+    if (total == 0) continue;
+    const double lat_lo = -90.0 + 30.0 * static_cast<double>(band);
+    std::printf("  [%+.0f, %+.0f): class %zu (%zu of %zu tiles)\n", lat_lo,
+                lat_lo + 30.0, best, zonal[band][best], total);
+  }
+  return 0;
+}

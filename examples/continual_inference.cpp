@@ -1,0 +1,97 @@
+// Continual streaming inference (paper §V future work: "support more
+// dynamic AI applications ... inferring with batch as well as streaming
+// data"). Instead of the batch pipeline, granules arrive continuously (as
+// from a live downlink); a monitor-triggered inference loop labels tiles as
+// they appear, demonstrating the workflow's streaming posture.
+#include <cstdio>
+
+#include "compute/cluster.hpp"
+#include "flow/monitor.hpp"
+#include "preprocess/tasks.hpp"
+#include "preprocess/tile_io.hpp"
+#include <functional>
+
+#include "storage/memfs.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace mfw;
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  modis::GranuleGenerator generator(2022);
+
+  // One always-on inference worker (as in Fig. 6's green line).
+  compute::ClusterExecutor inference(engine, compute::defiant_law_factory());
+  inference.add_node(1);
+
+  std::size_t labeled_files = 0;
+  std::size_t labeled_tiles = 0;
+  std::vector<double> latencies;  // file landing -> labels appended
+
+  flow::FsMonitor monitor(
+      engine, fs, flow::FsMonitorConfig{"stream/*.ncl", 0.5},
+      [&](const std::vector<storage::FileInfo>& files) {
+        for (const auto& info : files) {
+          const double landed_at = info.mtime;
+          const auto summary = preprocess::read_tile_summary(fs, info.path);
+          inference.submit(
+              preprocess::make_inference_task(summary.tile_count, info.path),
+              [&, path = info.path, landed_at,
+               count = summary.tile_count](const compute::SimTaskResult&) {
+                std::vector<std::int32_t> labels(count);
+                for (std::size_t i = 0; i < count; ++i)
+                  labels[i] = static_cast<std::int32_t>(
+                      util::mix64(std::hash<std::string>{}(path), i) % 42);
+                preprocess::append_labels(fs, path, labels);
+                fs.rename(path,
+                          "labeled/" + std::string(util::path_basename(path)));
+                ++labeled_files;
+                labeled_tiles += count;
+                latencies.push_back(engine.now() - landed_at);
+              });
+        }
+      });
+  monitor.start();
+
+  // A live downlink: a new daytime granule's tile file lands every ~90 s of
+  // virtual time (roughly MODIS's daytime granule cadence after filtering).
+  int produced = 0;
+  std::function<void(int)> downlink = [&](int slot) {
+    if (produced >= 24) {
+      monitor.stop();
+      return;
+    }
+    modis::GranuleSpec spec;
+    spec.slot = slot % modis::kSlotsPerDay;
+    spec.geometry = modis::kFullGeometry;
+    const auto stats = modis::estimate_granule_stats(generator, spec);
+    if (stats.daytime && stats.selected_tiles > 0) {
+      modis::GranuleId id{modis::ProductKind::kMod02, modis::Satellite::kTerra,
+                          2022, 1, spec.slot};
+      preprocess::write_tile_manifest(
+          fs, "stream/" + id.filename() + ".ncl", id,
+          static_cast<std::size_t>(stats.selected_tiles));
+      ++produced;
+    }
+    engine.schedule_after(90.0, [&downlink, slot] { downlink(slot + 1); });
+  };
+  downlink(0);
+  engine.run();
+
+  util::StreamingStats lat;
+  for (double v : latencies) lat.add(v);
+  std::printf("Streaming inference over a live downlink (virtual time)\n\n");
+  std::printf("  granules streamed:   %d\n", produced);
+  std::printf("  files labeled:       %zu\n", labeled_files);
+  std::printf("  tiles labeled:       %zu\n", labeled_tiles);
+  std::printf("  label latency:       mean %.2fs  min %.2fs  max %.2fs\n",
+              lat.mean(), lat.min(), lat.max());
+  std::printf("  (latency = file landing -> labels appended; bounded by the\n"
+              "   0.5s monitor poll + inference service time)\n");
+  return 0;
+}

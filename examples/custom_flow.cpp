@@ -1,0 +1,106 @@
+// Custom flow: using the Globus-Flows-like engine directly. Defines a
+// quality-control flow in YAML (the paper's §V-A vision of shareable,
+// user-defined pipelines), registers custom action providers, and runs it
+// over a facility filesystem — independent of the built-in EO-ML pipeline.
+#include <cstdio>
+
+#include "flow/monitor.hpp"
+#include "flow/runner.hpp"
+#include "storage/memfs.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace mfw;
+  util::Logger::instance().set_level(util::LogLevel::kInfo);
+
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  flow::ProvenanceLog provenance;
+  flow::FlowRunner runner(engine, &provenance);
+
+  // A QC flow: validate a data file; quarantine failures, promote passes.
+  const auto definition = flow::FlowDefinition::from_yaml_text(R"(
+name: quality-control
+start_at: validate
+states:
+  validate:
+    type: action
+    action: qc.validate
+    parameters:
+      path: $.file
+    result_path: qc
+    next: decide
+  decide:
+    type: choice
+    choices:
+      - variable: qc.ok
+        equals: "true"
+        next: promote
+    default: quarantine
+  promote:
+    type: action
+    action: files.promote
+    parameters:
+      path: $.file
+    next: done
+  quarantine:
+    type: action
+    action: files.quarantine
+    parameters:
+      path: $.file
+    next: done
+  done:
+    type: succeed
+)");
+
+  // Action providers: plain C++ callables.
+  runner.register_action(
+      "qc.validate", [&](const util::YamlNode& params, const util::YamlNode&,
+                         flow::ActionHandle handle) {
+        const auto path = params.require("path").as_string();
+        const bool ok = fs.read_text(path).find("CORRUPT") == std::string::npos;
+        auto result = util::YamlNode::map();
+        result.set("ok", util::YamlNode::scalar(ok ? "true" : "false"));
+        handle.succeed(std::move(result));
+      });
+  auto mover = [&fs](const char* dest) {
+    return [&fs, dest](const util::YamlNode& params, const util::YamlNode&,
+                       flow::ActionHandle handle) {
+      const auto path = params.require("path").as_string();
+      fs.rename(path, std::string(dest) + "/" +
+                          std::string(util::path_basename(path)));
+      handle.succeed(util::YamlNode::map());
+    };
+  };
+  runner.register_action("files.promote", mover("verified"));
+  runner.register_action("files.quarantine", mover("quarantine"));
+
+  // A monitor triggers the flow for every new file in incoming/.
+  flow::FsMonitor monitor(
+      engine, fs, flow::FsMonitorConfig{"incoming/*", 0.5},
+      [&](const std::vector<storage::FileInfo>& files) {
+        for (const auto& info : files) {
+          auto context = util::YamlNode::map();
+          context.set("file", util::YamlNode::scalar(info.path));
+          runner.start(definition, std::move(context));
+        }
+      });
+  monitor.start();
+
+  // Simulate files arriving over time.
+  engine.schedule_at(0.2, [&] { fs.write_text("incoming/a.nc", "good data"); });
+  engine.schedule_at(1.3, [&] { fs.write_text("incoming/b.nc", "CORRUPT!!"); });
+  engine.schedule_at(2.1, [&] { fs.write_text("incoming/c.nc", "more good"); });
+  engine.schedule_at(4.0, [&] { monitor.stop(); });
+  engine.run();
+
+  std::printf("\nverified/:   ");
+  for (const auto& f : fs.list("verified/*")) std::printf("%s ", f.path.c_str());
+  std::printf("\nquarantine/: ");
+  for (const auto& f : fs.list("quarantine/*")) std::printf("%s ", f.path.c_str());
+  std::printf("\n\nProvenance (%zu runs, mean action overhead %.0f ms):\n%s\n",
+              provenance.size(), provenance.mean_action_overhead() * 1000,
+              provenance.dump().c_str());
+  return 0;
+}

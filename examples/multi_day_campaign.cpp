@@ -1,0 +1,47 @@
+// Multi-day campaign: the paper's production use case scaled down — process
+// several consecutive days of Terra daytime granules in one automated run
+// per day, accumulate the AICCA archive on Orion, and report per-day and
+// campaign-level statistics (the "daily to decadal climate analysis"
+// workflow of AICCA).
+#include <cstdio>
+
+#include "pipeline/eoml_workflow.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace mfw;
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  std::printf("AICCA campaign: 3 days of Terra granules, one workflow per day\n\n");
+  util::Table table({"day", "granules", "tiles", "preprocess t/s",
+                     "makespan", "shipped"});
+
+  std::size_t campaign_tiles = 0;
+  std::size_t campaign_files = 0;
+  for (int day = 1; day <= 3; ++day) {
+    pipeline::EomlConfig config;
+    config.span = modis::DaySpan{2022, day, day};
+    config.max_files = 16;  // cap per day to keep the example quick
+    config.daytime_only = true;
+    config.preprocess_nodes = 4;
+    config.workers_per_node = 8;
+    pipeline::EomlWorkflow workflow(config);
+    const auto report = workflow.run();
+    campaign_tiles += report.total_tiles;
+    campaign_files += report.shipped_files;
+    table.add_row({std::to_string(day), std::to_string(report.granules),
+                   std::to_string(report.total_tiles),
+                   util::Table::num(report.preprocess_throughput(), 2),
+                   util::format_seconds(report.makespan),
+                   std::to_string(report.shipped_files)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Campaign total: %zu labelled files, %zu ocean-cloud tiles\n",
+              campaign_files, campaign_tiles);
+  std::printf(
+      "\nEach day's run is fully automated: download -> preprocess ->\n"
+      "monitor&trigger -> inference -> shipment, no manual steps between.\n");
+  return 0;
+}

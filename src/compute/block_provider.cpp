@@ -1,0 +1,106 @@
+#include "compute/block_provider.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace mfw::compute {
+
+namespace {
+constexpr const char* kComponent = "blocks";
+}
+
+BlockProvider::BlockProvider(sim::SimEngine& engine, SlurmSim& slurm,
+                             ClusterExecutor& executor, BlockConfig config)
+    : engine_(engine), slurm_(slurm), executor_(executor), config_(config) {
+  if (config.nodes_per_block <= 0 || config.workers_per_node <= 0 ||
+      config.max_blocks <= 0 || config.init_blocks < 0 ||
+      config.min_blocks < 0 || config.min_blocks > config.max_blocks)
+    throw std::invalid_argument("BlockProvider: invalid BlockConfig");
+}
+
+void BlockProvider::start() {
+  if (running_) return;
+  running_ = true;
+  for (int b = 0; b < config_.init_blocks; ++b) request_block();
+  poll_event_ = engine_.schedule_after(config_.poll_interval, [this] { poll(); });
+}
+
+void BlockProvider::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(poll_event_);
+  poll_event_ = sim::EventHandle{};
+  for (auto& [job_id, block] : blocks_) {
+    for (int node : block.node_ids) executor_.drain_node(node);
+    slurm_.release(SlurmJobId{job_id});
+  }
+  blocks_.clear();
+}
+
+void BlockProvider::request_block() {
+  ++pending_;
+  slurm_.submit(
+      config_.nodes_per_block, config_.walltime,
+      [this](const SlurmAllocation& alloc) { on_granted(alloc); },
+      /*on_expired=*/nullptr);
+}
+
+void BlockProvider::on_granted(const SlurmAllocation& alloc) {
+  --pending_;
+  if (!running_) {
+    slurm_.release(alloc.job);
+    return;
+  }
+  Block block;
+  block.job = alloc.job;
+  for (std::size_t i = 0; i < alloc.node_ids.size(); ++i)
+    block.node_ids.push_back(executor_.add_node(config_.workers_per_node));
+  blocks_.emplace(alloc.job.id, std::move(block));
+  MFW_DEBUG(kComponent, "block granted; active=", blocks_.size());
+}
+
+void BlockProvider::poll() {
+  if (!running_) return;
+  // Scale out: queued work and room for more blocks.
+  if (executor_.queued() > 0 &&
+      active_blocks() + pending_ < config_.max_blocks) {
+    request_block();
+  }
+  // Scale in: blocks idle past the timeout (all workers free, nothing
+  // queued), down to min_blocks.
+  if (executor_.queued() == 0) {
+    const double now = engine_.now();
+    std::vector<std::uint64_t> to_remove;
+    for (auto& [job_id, block] : blocks_) {
+      bool idle = true;
+      for (int node : block.node_ids) {
+        if (executor_.node_busy(node) > 0) {
+          idle = false;
+          break;
+        }
+      }
+      if (!idle) {
+        block.idle_since = -1.0;
+        continue;
+      }
+      if (block.idle_since < 0) {
+        block.idle_since = now;
+      } else if (now - block.idle_since >= config_.idle_timeout &&
+                 active_blocks() - static_cast<int>(to_remove.size()) >
+                     config_.min_blocks) {
+        to_remove.push_back(job_id);
+      }
+    }
+    for (auto job_id : to_remove) {
+      auto& block = blocks_.at(job_id);
+      for (int node : block.node_ids) executor_.drain_node(node);
+      slurm_.release(SlurmJobId{job_id});
+      blocks_.erase(job_id);
+      MFW_DEBUG(kComponent, "scaled in idle block; active=", blocks_.size());
+    }
+  }
+  poll_event_ = engine_.schedule_after(config_.poll_interval, [this] { poll(); });
+}
+
+}  // namespace mfw::compute

@@ -1,0 +1,42 @@
+// Task descriptors for the simulated executor.
+//
+// Real Parsl ships Python closures to workers; our discrete-event executor
+// ships *descriptors* of work instead: a CPU phase (exclusive per worker)
+// followed by a demand on the node's shared substrate (filesystem + memory
+// bandwidth, the contended part — see sim/resource.hpp). The payload field
+// carries domain quantity (tiles, bytes) for throughput accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mfw::compute {
+
+struct SimTaskDesc {
+  /// Exclusive per-worker compute time in seconds (unaffected by contention).
+  double cpu_seconds = 0.0;
+  /// Demand on the node's shared resource, in the law's service units.
+  double shared_demand = 0.0;
+  /// Domain payload this task produces (e.g. tiles written) for telemetry.
+  double payload = 0.0;
+  /// Optional label for tracing.
+  std::string label;
+};
+
+struct SimTaskResult {
+  double submitted_at = 0.0;
+  double started_at = 0.0;
+  double finished_at = 0.0;
+  int node = -1;
+  int worker = -1;
+  double payload = 0.0;
+  std::string label;
+
+  double queue_wait() const { return started_at - submitted_at; }
+  double service_time() const { return finished_at - started_at; }
+};
+
+using SimTaskCallback = std::function<void(const SimTaskResult&)>;
+
+}  // namespace mfw::compute

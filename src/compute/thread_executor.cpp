@@ -1,0 +1,4 @@
+#include "compute/thread_executor.hpp"
+
+// Header-only today; this TU anchors the library target and keeps a stable
+// place for future out-of-line members.

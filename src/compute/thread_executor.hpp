@@ -1,0 +1,37 @@
+// Real-thread executor (Globus Compute / Parsl local-executor analog).
+//
+// Runs actual C++ callables on a worker pool. Used by tests, examples, and
+// any deployment where work really executes on this host; the scaling
+// benchmarks use ClusterExecutor (discrete-event) instead.
+#pragma once
+
+#include <future>
+#include <memory>
+
+#include "util/thread_pool.hpp"
+
+namespace mfw::compute {
+
+class ThreadPoolExecutor {
+ public:
+  explicit ThreadPoolExecutor(std::size_t workers) : pool_(workers) {}
+
+  /// Submits a callable; returns a future of its result. Throws
+  /// std::runtime_error if the executor is shut down.
+  template <typename F, typename R = std::invoke_result_t<F>>
+  std::future<R> submit(F&& fn) {
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    if (!pool_.submit([task] { (*task)(); }))
+      throw std::runtime_error("ThreadPoolExecutor is shut down");
+    return future;
+  }
+
+  void shutdown() { pool_.shutdown(); }
+  std::size_t worker_count() const { return pool_.thread_count(); }
+
+ private:
+  util::ThreadPool pool_;
+};
+
+}  // namespace mfw::compute

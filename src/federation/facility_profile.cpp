@@ -1,0 +1,75 @@
+#include "federation/facility_profile.hpp"
+
+#include <algorithm>
+
+namespace mfw::federation {
+
+FacilityProfile FacilityProfile::olcf_defiant() {
+  FacilityProfile profile;
+  profile.name = "OLCF-Defiant";
+  return profile;  // defaults are the Defiant calibration
+}
+
+FacilityProfile FacilityProfile::nersc_perlmutter_like() {
+  FacilityProfile profile;
+  profile.name = "NERSC-Perlmutter-like";
+  profile.total_nodes = 64;
+  profile.default_workers_per_node = 8;
+  profile.scheduler_latency = 2.5;
+  profile.node_r_max = 34.0;
+  profile.node_tau = 3.6;
+  profile.archive_bandwidth_bps = 40.0 * 1024 * 1024;
+  profile.analysis_link_bps = 0.8 * 1024 * 1024 * 1024;
+  return profile;
+}
+
+FacilityProfile FacilityProfile::alcf_polaris_like() {
+  FacilityProfile profile;
+  profile.name = "ALCF-Polaris-like";
+  profile.total_nodes = 24;
+  profile.default_workers_per_node = 16;
+  profile.scheduler_latency = 4.0;  // PBS-flavoured grant latency
+  profile.node_r_max = 44.0;
+  profile.node_tau = 2.8;
+  profile.archive_bandwidth_bps = 30.0 * 1024 * 1024;
+  profile.analysis_link_bps = 0.6 * 1024 * 1024 * 1024;
+  return profile;
+}
+
+FacilityProfile FacilityProfile::from_yaml(const util::YamlNode& node) {
+  FacilityProfile profile;
+  profile.name = node["name"].as_string_or(profile.name);
+  profile.total_nodes =
+      static_cast<int>(node["total_nodes"].as_int_or(profile.total_nodes));
+  profile.default_workers_per_node = static_cast<int>(
+      node["workers_per_node"].as_int_or(profile.default_workers_per_node));
+  profile.scheduler_latency =
+      node["scheduler_latency"].as_double_or(profile.scheduler_latency);
+  profile.node_r_max = node["node_r_max"].as_double_or(profile.node_r_max);
+  profile.node_tau = node["node_tau"].as_double_or(profile.node_tau);
+  if (node.has("archive_bandwidth"))
+    profile.archive_bandwidth_bps =
+        static_cast<double>(node["archive_bandwidth"].as_bytes());
+  if (node.has("analysis_link"))
+    profile.analysis_link_bps =
+        static_cast<double>(node["analysis_link"].as_bytes());
+  if (profile.total_nodes <= 0 || profile.default_workers_per_node <= 0 ||
+      !(profile.node_r_max > 0) || !(profile.node_tau > 0))
+    throw util::YamlError("facility profile: invalid parameters for '" +
+                          profile.name + "'");
+  return profile;
+}
+
+void FacilityProfile::apply(pipeline::EomlConfig& config) const {
+  config.facility_total_nodes = total_nodes;
+  config.slurm_latency = scheduler_latency;
+  config.node_r_max = node_r_max;
+  config.node_tau = node_tau;
+  config.wan_capacity_bps = archive_bandwidth_bps;
+  config.facility_link_bps = analysis_link_bps;
+  config.preprocess_nodes = std::min(config.preprocess_nodes, total_nodes);
+  if (config.workers_per_node <= 0)
+    config.workers_per_node = default_workers_per_node;
+}
+
+}  // namespace mfw::federation

@@ -1,0 +1,51 @@
+// Facility profiles for cross-facility orchestration (paper §V-A).
+//
+// "The workflow orchestration across DOE computing facilities (OLCF, NERSC,
+// ALCF) is fragmented, with each using different systems. To achieve
+// interoperability, our strategy involves aligning these systems for
+// seamless data and resource sharing." — a FacilityProfile is that
+// alignment: everything the workflow needs to know to run its compute
+// stages at a facility (partition size, scheduler latency, node contention
+// calibration, network reach). Built-in profiles model the three IRI
+// facilities the paper names; additional facilities load from YAML.
+#pragma once
+
+#include <string>
+
+#include "pipeline/config.hpp"
+#include "util/yamlite.hpp"
+
+namespace mfw::federation {
+
+struct FacilityProfile {
+  std::string name = "facility";
+  /// Batch-partition size available to the workflow.
+  int total_nodes = 36;
+  int default_workers_per_node = 8;
+  /// Scheduler grant latency (differs per batch system — Slurm, PBS, ...).
+  double scheduler_latency = 1.5;
+  /// Node contention-law calibration (saturating-exponential).
+  double node_r_max = 38.5;
+  double node_tau = 3.1;
+  /// Archive -> facility effective throughput (bytes/s).
+  double archive_bandwidth_bps = 23.5 * 1024 * 1024;
+  /// Facility -> analysis-site (Frontier/Orion) link (bytes/s).
+  double analysis_link_bps = 1.2 * 1024 * 1024 * 1024;
+
+  /// The OLCF ACE Defiant testbed (the paper's measured system).
+  static FacilityProfile olcf_defiant();
+  /// A NERSC-Perlmutter-flavoured profile: bigger partition, slightly
+  /// slower per-node substrate saturation, faster WAN (ESnet-adjacent).
+  static FacilityProfile nersc_perlmutter_like();
+  /// An ALCF-Polaris-flavoured profile: PBS-like slower scheduling, fewer
+  /// nodes, higher per-node ceiling.
+  static FacilityProfile alcf_polaris_like();
+
+  static FacilityProfile from_yaml(const util::YamlNode& node);
+
+  /// Applies this profile's facility characteristics onto a pipeline
+  /// configuration (clamping node requests to the partition size).
+  void apply(pipeline::EomlConfig& config) const;
+};
+
+}  // namespace mfw::federation

@@ -1,0 +1,83 @@
+#include "federation/orchestrator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pipeline/eoml_workflow.hpp"
+#include "util/log.hpp"
+
+namespace mfw::federation {
+
+namespace {
+constexpr const char* kComponent = "campaign";
+}
+
+CampaignOrchestrator::CampaignOrchestrator(
+    const PipelineRegistry& registry, std::vector<FacilityProfile> facilities,
+    PlacementPolicy policy)
+    : registry_(registry), facilities_(std::move(facilities)), policy_(policy) {
+  if (facilities_.empty())
+    throw std::invalid_argument("campaign needs >= 1 facility");
+}
+
+std::size_t CampaignOrchestrator::place(const std::vector<double>& busy,
+                                        std::size_t job_index) const {
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin:
+      return job_index % facilities_.size();
+    case PlacementPolicy::kLeastLoaded: {
+      std::size_t best = 0;
+      for (std::size_t f = 1; f < facilities_.size(); ++f) {
+        if (busy[f] < busy[best]) best = f;
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+CampaignReport CampaignOrchestrator::run(
+    const std::vector<CampaignJob>& jobs,
+    const std::function<void(const JobOutcome&)>& on_job) {
+  CampaignReport report;
+  std::vector<double> busy(facilities_.size(), 0.0);
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const std::size_t f = place(busy, j);
+    const FacilityProfile& facility = facilities_[f];
+
+    pipeline::EomlConfig config =
+        registry_.instantiate(jobs[j].pipeline, jobs[j].overrides_yaml);
+    facility.apply(config);
+
+    pipeline::EomlWorkflow workflow(config);
+    const auto wf_report = workflow.run();
+
+    JobOutcome outcome;
+    outcome.facility = facility.name;
+    outcome.day = config.span.first_day;
+    outcome.started_at = busy[f];
+    outcome.finished_at = busy[f] + wf_report.makespan;
+    outcome.granules = wf_report.granules;
+    outcome.tiles = wf_report.total_tiles;
+    outcome.shipped_files = wf_report.shipped_files;
+    outcome.makespan = wf_report.makespan;
+    busy[f] = outcome.finished_at;
+
+    report.total_tiles += outcome.tiles;
+    report.total_files += outcome.shipped_files;
+    MFW_INFO(kComponent, "job ", j, " (day ", outcome.day, ") on ",
+             outcome.facility, ": ", outcome.tiles, " tiles in ",
+             outcome.makespan, "s");
+    if (on_job) on_job(outcome);
+    report.jobs.push_back(std::move(outcome));
+  }
+
+  for (std::size_t f = 0; f < facilities_.size(); ++f) {
+    report.facility_busy_time.emplace_back(facilities_[f].name, busy[f]);
+    report.campaign_makespan = std::max(report.campaign_makespan, busy[f]);
+  }
+  return report;
+}
+
+}  // namespace mfw::federation

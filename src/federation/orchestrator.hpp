@@ -1,0 +1,77 @@
+// Cross-facility campaign orchestrator (the Zambeze-flavoured layer of
+// paper §V-A: "remote configuration, invocation, and monitoring of workflow
+// components" across facilities).
+//
+// A campaign is a set of independent day-jobs (one EO-ML workflow each).
+// The orchestrator brokers each job to one of the federated facilities
+// using a placement policy, applies that facility's profile to the job's
+// configuration, runs the workflows, and aggregates a campaign report.
+//
+// Facilities process their assigned jobs sequentially (a facility's
+// partition is busy while a job runs); different facilities run in
+// parallel. The campaign makespan is therefore the slowest facility's
+// queue — exactly the quantity a broker minimizes.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "federation/facility_profile.hpp"
+#include "federation/registry.hpp"
+
+namespace mfw::federation {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  /// Assign each job to the facility with the least accumulated busy time,
+  /// estimating job cost from granule count / facility throughput.
+  kLeastLoaded,
+};
+
+struct CampaignJob {
+  std::string pipeline;        // registry template name
+  std::string overrides_yaml;  // per-job overrides (day span etc.)
+};
+
+struct JobOutcome {
+  std::string facility;
+  int day = 0;
+  double started_at = 0.0;   // campaign-relative virtual time
+  double finished_at = 0.0;
+  std::size_t granules = 0;
+  std::size_t tiles = 0;
+  std::size_t shipped_files = 0;
+  double makespan = 0.0;     // the job's own workflow makespan
+};
+
+struct CampaignReport {
+  std::vector<JobOutcome> jobs;
+  double campaign_makespan = 0.0;  // slowest facility queue
+  std::size_t total_tiles = 0;
+  std::size_t total_files = 0;
+
+  /// Busy time accumulated per facility, in job order.
+  std::vector<std::pair<std::string, double>> facility_busy_time;
+};
+
+class CampaignOrchestrator {
+ public:
+  CampaignOrchestrator(const PipelineRegistry& registry,
+                       std::vector<FacilityProfile> facilities,
+                       PlacementPolicy policy = PlacementPolicy::kLeastLoaded);
+
+  /// Runs all jobs; `on_job` (optional) observes each outcome as it lands.
+  CampaignReport run(const std::vector<CampaignJob>& jobs,
+                     const std::function<void(const JobOutcome&)>& on_job = nullptr);
+
+  const std::vector<FacilityProfile>& facilities() const { return facilities_; }
+
+ private:
+  std::size_t place(const std::vector<double>& busy, std::size_t job_index) const;
+
+  const PipelineRegistry& registry_;
+  std::vector<FacilityProfile> facilities_;
+  PlacementPolicy policy_;
+};
+
+}  // namespace mfw::federation

@@ -1,0 +1,92 @@
+#include "federation/registry.hpp"
+
+#include <stdexcept>
+
+namespace mfw::federation {
+
+void PipelineRegistry::publish(PipelineEntry entry) {
+  if (entry.name.empty())
+    throw std::invalid_argument("pipeline entry needs a name");
+  // Validate eagerly: a broken template must not enter the shared registry.
+  (void)pipeline::EomlConfig::from_yaml_text(entry.yaml);
+  entries_.insert_or_assign(entry.name, std::move(entry));
+}
+
+bool PipelineRegistry::has(std::string_view name) const {
+  return entries_.find(name) != entries_.end();
+}
+
+const PipelineEntry& PipelineRegistry::entry(std::string_view name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::invalid_argument("no pipeline named '" + std::string(name) + "'");
+  return it->second;
+}
+
+std::vector<std::string> PipelineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+pipeline::EomlConfig PipelineRegistry::instantiate(
+    std::string_view name, std::string_view overrides_yaml) const {
+  const auto& tpl = entry(name);
+  util::YamlNode merged = util::parse_yaml(tpl.yaml);
+  if (!overrides_yaml.empty())
+    merged = util::merge_yaml(merged, util::parse_yaml(overrides_yaml));
+  return pipeline::EomlConfig::from_yaml(merged);
+}
+
+void PipelineRegistry::publish_builtin() {
+  publish(PipelineEntry{
+      "aicca-daily",
+      "One day of Terra ocean-cloud tiles, labelled and shipped to Orion "
+      "(the paper's production configuration).",
+      R"(
+workflow:
+  satellite: Terra
+  products: [MOD02, MOD03, MOD06]
+  span: {year: 2022, first_day: 1}
+  daytime_only: true
+download:   {workers: 3}
+preprocess: {nodes: 10, workers_per_node: 8, tile_size: 128, min_cloud_fraction: 0.3}
+monitor:    {poll_interval: 1.0}
+inference:  {workers: 1}
+shipment:   {streams: 4}
+)"});
+  publish(PipelineEntry{
+      "aicca-scaling",
+      "The benchmarking configuration of §IV: capped file count, MOD02 only "
+      "download accounting, static allocation.",
+      R"(
+workflow:
+  satellite: Terra
+  products: [MOD02, MOD03, MOD06]
+  span: {year: 2022, first_day: 1}
+  max_files: 80
+  daytime_only: true
+download:   {workers: 3}
+preprocess: {nodes: 10, workers_per_node: 8}
+inference:  {workers: 1}
+)"});
+  publish(PipelineEntry{
+      "aicca-elastic",
+      "Elastic-block variant: Parsl-style blocks scale with queue depth "
+      "(the dynamic allocation of Fig. 6).",
+      R"(
+workflow:
+  satellite: Terra
+  products: [MOD02, MOD03, MOD06]
+  span: {year: 2022, first_day: 1}
+  max_files: 40
+  daytime_only: true
+preprocess:
+  elastic: true
+  block: {nodes_per_block: 1, init_blocks: 1, max_blocks: 8, idle_timeout: 10}
+  workers_per_node: 8
+)"});
+}
+
+}  // namespace mfw::federation

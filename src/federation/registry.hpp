@@ -1,0 +1,52 @@
+// Pipeline registry: the "federated pipeline-as-a-service" of paper §V-A —
+// "a shareable and publicly accessible repository of complete workflows or
+// individual workflow steps, which can be customized with various
+// components".
+//
+// A registry entry is a named, documented EO-ML configuration template
+// (YAML). Users instantiate a template, optionally deep-merging override
+// YAML on top (util::merge_yaml), and receive a validated EomlConfig —
+// which "minimizes access barriers": a scientist reuses a vetted pipeline
+// by name and only states what differs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/config.hpp"
+
+namespace mfw::federation {
+
+struct PipelineEntry {
+  std::string name;
+  std::string description;
+  std::string yaml;  // the configuration template
+};
+
+class PipelineRegistry {
+ public:
+  /// Registers (or replaces) a template. Throws util::YamlError if the
+  /// template does not parse into a valid EomlConfig.
+  void publish(PipelineEntry entry);
+
+  bool has(std::string_view name) const;
+  const PipelineEntry& entry(std::string_view name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const { return entries_.size(); }
+
+  /// Instantiates a template, deep-merging `overrides_yaml` (may be empty)
+  /// onto it. Throws for unknown names or invalid merged configurations.
+  pipeline::EomlConfig instantiate(std::string_view name,
+                                   std::string_view overrides_yaml = {}) const;
+
+  /// Registers the built-in community templates (aicca-daily,
+  /// aicca-scaling, aicca-streaming-batch).
+  void publish_builtin();
+
+ private:
+  std::map<std::string, PipelineEntry, std::less<>> entries_;
+};
+
+}  // namespace mfw::federation

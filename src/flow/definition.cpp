@@ -1,0 +1,154 @@
+#include "flow/definition.hpp"
+
+#include <algorithm>
+
+namespace mfw::flow {
+
+namespace {
+
+StateKind parse_kind(const std::string& kind, const std::string& state) {
+  if (kind == "action") return StateKind::kAction;
+  if (kind == "choice") return StateKind::kChoice;
+  if (kind == "wait") return StateKind::kWait;
+  if (kind == "pass") return StateKind::kPass;
+  if (kind == "succeed") return StateKind::kSucceed;
+  if (kind == "fail") return StateKind::kFail;
+  throw util::YamlError("flow state '" + state + "': unknown type '" + kind + "'");
+}
+
+ChoiceRule parse_choice(const util::YamlNode& node, const std::string& state) {
+  ChoiceRule rule;
+  rule.variable = node.require("variable").as_string();
+  rule.next = node.require("next").as_string();
+  struct OpSpec {
+    const char* key;
+    ChoiceRule::Op op;
+  };
+  static constexpr OpSpec kOps[] = {
+      {"equals", ChoiceRule::Op::kEquals},
+      {"not_equals", ChoiceRule::Op::kNotEquals},
+      {"greater_than", ChoiceRule::Op::kGreaterThan},
+      {"greater_or_equal", ChoiceRule::Op::kGreaterEq},
+      {"less_than", ChoiceRule::Op::kLessThan},
+      {"less_or_equal", ChoiceRule::Op::kLessEq},
+  };
+  bool found = false;
+  for (const auto& spec : kOps) {
+    if (node.has(spec.key)) {
+      if (found)
+        throw util::YamlError("flow state '" + state +
+                              "': choice rule has multiple operators");
+      rule.op = spec.op;
+      rule.value = node[spec.key].as_string();
+      found = true;
+    }
+  }
+  if (!found)
+    throw util::YamlError("flow state '" + state +
+                          "': choice rule needs a comparison operator");
+  return rule;
+}
+
+}  // namespace
+
+FlowDefinition FlowDefinition::from_yaml(const util::YamlNode& root) {
+  FlowDefinition def;
+  def.name_ = root["name"].as_string_or("flow");
+  def.start_at_ = root.require("start_at").as_string();
+  const auto& states = root.require("states");
+  for (const auto& state_name : states.keys()) {
+    const auto& node = states[state_name];
+    FlowState state;
+    state.name = state_name;
+    state.kind = parse_kind(node.require("type").as_string(), state_name);
+    state.next = node["next"].as_string_or("");
+    switch (state.kind) {
+      case StateKind::kAction:
+        state.action = node.require("action").as_string();
+        state.parameters = node["parameters"];
+        state.result_path = node["result_path"].as_string_or("");
+        break;
+      case StateKind::kChoice: {
+        const auto& choices = node.require("choices");
+        for (const auto& rule : choices.items())
+          state.choices.push_back(parse_choice(rule, state_name));
+        state.default_next = node["default"].as_string_or("");
+        break;
+      }
+      case StateKind::kWait:
+        state.wait_seconds = node.require("seconds").as_double();
+        break;
+      case StateKind::kPass:
+        state.assignments = node["set"];
+        break;
+      case StateKind::kFail:
+        state.error = node["error"].as_string_or("failed");
+        break;
+      case StateKind::kSucceed:
+        break;
+    }
+    def.add_state(std::move(state));
+  }
+  def.validate();
+  return def;
+}
+
+FlowDefinition FlowDefinition::from_yaml_text(std::string_view text) {
+  return from_yaml(util::parse_yaml(text));
+}
+
+bool FlowDefinition::has_state(std::string_view state) const {
+  return std::any_of(states_.begin(), states_.end(),
+                     [&](const FlowState& s) { return s.name == state; });
+}
+
+const FlowState& FlowDefinition::state(std::string_view state) const {
+  const auto it = std::find_if(states_.begin(), states_.end(),
+                               [&](const FlowState& s) { return s.name == state; });
+  if (it == states_.end())
+    throw util::YamlError("flow '" + name_ + "': no state named '" +
+                          std::string(state) + "'");
+  return *it;
+}
+
+void FlowDefinition::add_state(FlowState state) {
+  if (has_state(state.name))
+    throw util::YamlError("flow '" + name_ + "': duplicate state '" +
+                          state.name + "'");
+  states_.push_back(std::move(state));
+}
+
+void FlowDefinition::validate() const {
+  if (states_.empty()) throw util::YamlError("flow has no states");
+  if (start_at_.empty()) throw util::YamlError("flow has no start_at");
+  if (!has_state(start_at_))
+    throw util::YamlError("flow start state '" + start_at_ + "' not defined");
+  auto check_target = [&](const std::string& from, const std::string& target) {
+    if (!target.empty() && !has_state(target))
+      throw util::YamlError("flow state '" + from +
+                            "' transitions to unknown state '" + target + "'");
+  };
+  for (const auto& state : states_) {
+    switch (state.kind) {
+      case StateKind::kSucceed:
+      case StateKind::kFail:
+        break;
+      case StateKind::kChoice:
+        if (state.choices.empty())
+          throw util::YamlError("choice state '" + state.name +
+                                "' has no rules");
+        for (const auto& rule : state.choices)
+          check_target(state.name, rule.next);
+        check_target(state.name, state.default_next);
+        break;
+      default:
+        if (state.next.empty())
+          throw util::YamlError("state '" + state.name +
+                                "' is non-terminal but has no next");
+        check_target(state.name, state.next);
+        break;
+    }
+  }
+}
+
+}  // namespace mfw::flow

@@ -1,0 +1,101 @@
+// Flow definitions: Globus-Flows-style state machines.
+//
+// A flow is a named set of states with a start state. State kinds mirror the
+// subset of the Amazon-States-Language dialect Globus Flows uses and that
+// the paper's monitor->inference->label->move Flow needs:
+//
+//   action : invoke a registered action provider (async), store its result
+//            into the context under `result_path`, go to `next`
+//   choice : route on a context value (equals / numeric comparisons)
+//   wait   : pause for `seconds`, go to `next`
+//   pass   : optionally set context values, go to `next`
+//   succeed/fail : terminate the run
+//
+// Definitions are plain data, loadable from YAML:
+//
+//   name: inference-flow
+//   start_at: crawl
+//   states:
+//     crawl:
+//       type: action
+//       action: fs.crawl
+//       parameters: {pattern: "tiles/*.ncl"}
+//       result_path: crawl
+//       next: decide
+//     decide:
+//       type: choice
+//       choices:
+//         - variable: crawl.count
+//           greater_than: 0
+//           next: infer
+//       default: done
+//     ...
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/yamlite.hpp"
+
+namespace mfw::flow {
+
+enum class StateKind { kAction, kChoice, kWait, kPass, kSucceed, kFail };
+
+struct ChoiceRule {
+  std::string variable;  // dotted path into the run context
+  enum class Op { kEquals, kNotEquals, kGreaterThan, kGreaterEq, kLessThan, kLessEq };
+  Op op = Op::kEquals;
+  std::string value;  // compared as string for equals, as double for numeric
+  std::string next;
+};
+
+struct FlowState {
+  std::string name;
+  StateKind kind = StateKind::kPass;
+  // kAction
+  std::string action;
+  util::YamlNode parameters;   // static parameters handed to the action
+  std::string result_path;     // context key for the action result
+  // kChoice
+  std::vector<ChoiceRule> choices;
+  std::string default_next;
+  // kWait
+  double wait_seconds = 0.0;
+  // kPass
+  util::YamlNode assignments;  // map merged into the context
+  // kFail
+  std::string error;
+  // all non-terminal kinds
+  std::string next;
+};
+
+class FlowDefinition {
+ public:
+  FlowDefinition() = default;
+
+  /// Builds from parsed YAML; validates state graph (start exists, all
+  /// `next` targets exist, terminal states present). Throws util::YamlError.
+  static FlowDefinition from_yaml(const util::YamlNode& root);
+  static FlowDefinition from_yaml_text(std::string_view text);
+
+  const std::string& name() const { return name_; }
+  const std::string& start_at() const { return start_at_; }
+  bool has_state(std::string_view state) const;
+  const FlowState& state(std::string_view state) const;
+  const std::vector<FlowState>& states() const { return states_; }
+
+  /// Programmatic construction (used by the pipeline's built-in flow).
+  void set_name(std::string name) { name_ = std::move(name); }
+  void set_start(std::string start) { start_at_ = std::move(start); }
+  void add_state(FlowState state);
+  /// Validates the graph; throws util::YamlError on dangling transitions.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::string start_at_;
+  std::vector<FlowState> states_;
+};
+
+}  // namespace mfw::flow

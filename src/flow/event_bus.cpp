@@ -1,0 +1,35 @@
+#include "flow/event_bus.hpp"
+
+#include <memory>
+
+namespace mfw::flow {
+
+Subscription EventBus::subscribe(const std::string& topic, Handler handler) {
+  const std::uint64_t id = next_id_++;
+  topics_[topic].emplace(id, std::move(handler));
+  return Subscription{id};
+}
+
+void EventBus::unsubscribe(Subscription subscription) {
+  if (!subscription.valid()) return;
+  for (auto& [topic, handlers] : topics_) handlers.erase(subscription.id);
+}
+
+void EventBus::publish(const std::string& topic, util::YamlNode event) {
+  ++published_;
+  const auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  // Snapshot the handlers: subscribers added/removed after publish() do not
+  // see this event, and handlers run outside the publisher's stack frame.
+  auto payload = std::make_shared<util::YamlNode>(std::move(event));
+  for (const auto& [id, handler] : it->second) {
+    engine_.schedule_after(0.0, [handler, payload] { handler(*payload); });
+  }
+}
+
+std::size_t EventBus::subscriber_count(const std::string& topic) const {
+  const auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.size();
+}
+
+}  // namespace mfw::flow

@@ -1,0 +1,48 @@
+// Topic-based publish/subscribe bus for workflow events.
+//
+// Loosely models the event plumbing between workflow components (download
+// complete -> preprocessing eligible; files landed -> monitor notified).
+// Delivery is asynchronous: published events are dispatched as zero-delay
+// simulation events so subscribers never run re-entrantly inside publish().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/yamlite.hpp"
+
+namespace mfw::flow {
+
+struct Subscription {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class EventBus {
+ public:
+  explicit EventBus(sim::SimEngine& engine) : engine_(engine) {}
+
+  using Handler = std::function<void(const util::YamlNode& event)>;
+
+  /// Subscribes to a topic; handler fires for every event published there.
+  Subscription subscribe(const std::string& topic, Handler handler);
+  void unsubscribe(Subscription subscription);
+
+  /// Publishes an event; all current subscribers receive it asynchronously.
+  void publish(const std::string& topic, util::YamlNode event);
+
+  std::size_t subscriber_count(const std::string& topic) const;
+  std::uint64_t published_count() const { return published_; }
+
+ private:
+  sim::SimEngine& engine_;
+  std::map<std::string, std::map<std::uint64_t, Handler>> topics_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace mfw::flow

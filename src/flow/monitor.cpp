@@ -1,0 +1,66 @@
+#include "flow/monitor.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace mfw::flow {
+
+namespace {
+constexpr const char* kComponent = "monitor";
+}
+
+FsMonitor::FsMonitor(sim::SimEngine& engine, storage::FileSystem& fs,
+                     FsMonitorConfig config, Trigger trigger)
+    : engine_(engine), fs_(fs), config_(std::move(config)),
+      trigger_(std::move(trigger)) {
+  if (config_.pattern.empty())
+    throw std::invalid_argument("FsMonitor needs a pattern");
+  if (!(config_.poll_interval > 0))
+    throw std::invalid_argument("FsMonitor needs poll_interval > 0");
+  if (!trigger_) throw std::invalid_argument("FsMonitor needs a trigger");
+}
+
+void FsMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  stop_requested_ = false;
+  MFW_DEBUG(kComponent, "watching '", config_.pattern, "' every ",
+            config_.poll_interval, "s");
+  poll();
+}
+
+void FsMonitor::stop() {
+  if (!running_) return;
+  stop_requested_ = true;
+  // Run the final drain poll immediately rather than waiting a full period.
+  engine_.cancel(next_poll_);
+  next_poll_ = engine_.schedule_after(0.0, [this] { poll(); });
+}
+
+void FsMonitor::poll() {
+  next_poll_ = sim::EventHandle{};
+  if (!running_) return;
+  ++polls_;
+  std::vector<storage::FileInfo> fresh;
+  for (const auto& info : fs_.list(config_.pattern)) {
+    const auto it = seen_.find(info.path);
+    if (it == seen_.end() || it->second != info.mtime) {
+      seen_[info.path] = info.mtime;
+      fresh.push_back(info);
+    }
+  }
+  if (!fresh.empty()) {
+    ++batches_;
+    MFW_DEBUG(kComponent, "batch of ", fresh.size(), " new files");
+    trigger_(fresh);
+  }
+  if (stop_requested_ && fresh.empty()) {
+    running_ = false;
+    MFW_DEBUG(kComponent, "stopped after ", polls_, " polls");
+    return;
+  }
+  next_poll_ = engine_.schedule_after(config_.poll_interval, [this] { poll(); });
+}
+
+}  // namespace mfw::flow

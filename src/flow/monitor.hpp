@@ -1,0 +1,61 @@
+// FsMonitor: the "(3) Monitor & Trigger" stage's filesystem crawler.
+//
+// Polls a facility filesystem for files matching a glob pattern; newly seen
+// files are batched and handed to the trigger callback (the paper launches
+// a Globus Flow per batch that runs inference and appends labels). Files are
+// remembered by path+mtime, so overwrites re-trigger.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "storage/filesystem.hpp"
+
+namespace mfw::flow {
+
+struct FsMonitorConfig {
+  std::string pattern;      // glob over the watched filesystem
+  double poll_interval = 1.0;
+  /// When true, the monitor stops after `stop()` is called AND the last poll
+  /// found nothing new (graceful drain).
+  bool sticky = true;
+};
+
+class FsMonitor {
+ public:
+  using Trigger =
+      std::function<void(const std::vector<storage::FileInfo>& new_files)>;
+
+  FsMonitor(sim::SimEngine& engine, storage::FileSystem& fs,
+            FsMonitorConfig config, Trigger trigger);
+
+  /// Starts polling (idempotent).
+  void start();
+  /// Requests shutdown; the monitor performs one final poll so files that
+  /// landed just before stop() are not lost.
+  void stop();
+
+  bool running() const { return running_; }
+  std::size_t polls() const { return polls_; }
+  std::size_t files_seen() const { return seen_.size(); }
+  std::size_t batches_triggered() const { return batches_; }
+
+ private:
+  void poll();
+
+  sim::SimEngine& engine_;
+  storage::FileSystem& fs_;
+  FsMonitorConfig config_;
+  Trigger trigger_;
+  std::map<std::string, double> seen_;  // path -> mtime
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::size_t polls_ = 0;
+  std::size_t batches_ = 0;
+  sim::EventHandle next_poll_{};
+};
+
+}  // namespace mfw::flow

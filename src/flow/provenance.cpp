@@ -1,0 +1,57 @@
+#include "flow/provenance.hpp"
+
+#include <sstream>
+
+namespace mfw::flow {
+
+double RunRecord::total_state_latency() const {
+  double total = 0.0;
+  for (const auto& s : states) total += s.latency();
+  return total;
+}
+
+void ProvenanceLog::record(RunRecord run) { runs_.push_back(std::move(run)); }
+
+std::vector<const RunRecord*> ProvenanceLog::runs_of(
+    std::string_view flow_name) const {
+  std::vector<const RunRecord*> out;
+  for (const auto& run : runs_) {
+    if (run.flow_name == flow_name) out.push_back(&run);
+  }
+  return out;
+}
+
+double ProvenanceLog::mean_action_overhead() const {
+  double total = 0.0;
+  std::size_t count = 0;
+  for (const auto& run : runs_) {
+    for (const auto& state : run.states) {
+      if (state.kind == "action") {
+        total += state.orchestration_overhead();
+        ++count;
+      }
+    }
+  }
+  return count ? total / static_cast<double>(count) : 0.0;
+}
+
+std::string ProvenanceLog::dump() const {
+  std::ostringstream os;
+  for (const auto& run : runs_) {
+    os << "- run: " << run.run_id << "\n"
+       << "  flow: " << run.flow_name << "\n"
+       << "  started_at: " << run.started_at << "\n"
+       << "  finished_at: " << run.finished_at << "\n"
+       << "  status: " << (run.succeeded ? "ok" : "failed") << "\n";
+    if (!run.error.empty()) os << "  error: " << run.error << "\n";
+    os << "  states:\n";
+    for (const auto& state : run.states) {
+      os << "    - {name: " << state.state << ", kind: " << state.kind
+         << ", start: " << state.started_at << ", end: " << state.finished_at
+         << ", status: " << state.status << "}\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mfw::flow

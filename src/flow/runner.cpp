@@ -1,0 +1,304 @@
+#include "flow/runner.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace mfw::flow {
+
+namespace {
+constexpr const char* kComponent = "flow";
+
+const char* kind_name(StateKind kind) {
+  switch (kind) {
+    case StateKind::kAction: return "action";
+    case StateKind::kChoice: return "choice";
+    case StateKind::kWait: return "wait";
+    case StateKind::kPass: return "pass";
+    case StateKind::kSucceed: return "succeed";
+    case StateKind::kFail: return "fail";
+  }
+  return "?";
+}
+
+bool rule_matches(const ChoiceRule& rule, const std::string& actual) {
+  auto numeric = [&](auto cmp) {
+    try {
+      return cmp(std::stod(actual), std::stod(rule.value));
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  switch (rule.op) {
+    case ChoiceRule::Op::kEquals: return actual == rule.value;
+    case ChoiceRule::Op::kNotEquals: return actual != rule.value;
+    case ChoiceRule::Op::kGreaterThan:
+      return numeric([](double a, double b) { return a > b; });
+    case ChoiceRule::Op::kGreaterEq:
+      return numeric([](double a, double b) { return a >= b; });
+    case ChoiceRule::Op::kLessThan:
+      return numeric([](double a, double b) { return a < b; });
+    case ChoiceRule::Op::kLessEq:
+      return numeric([](double a, double b) { return a <= b; });
+  }
+  return false;
+}
+
+}  // namespace
+
+void context_set(util::YamlNode& root, std::string_view dotted,
+                 util::YamlNode value) {
+  if (!root.is_map())
+    throw util::YamlError("context_set: root is not a map");
+  const auto dot = dotted.find('.');
+  const std::string head(dotted.substr(0, dot));
+  if (head.empty()) throw util::YamlError("context_set: empty path segment");
+  if (dot == std::string_view::npos) {
+    root.set(head, std::move(value));
+    return;
+  }
+  util::YamlNode child = root[head];
+  if (!child.is_map()) child = util::YamlNode::map();
+  context_set(child, dotted.substr(dot + 1), std::move(value));
+  root.set(head, std::move(child));
+}
+
+FlowRunner::FlowRunner(sim::SimEngine& engine, ProvenanceLog* provenance,
+                       FlowRunnerConfig config)
+    : engine_(engine), provenance_(provenance), config_(config) {}
+
+void FlowRunner::register_action(std::string name, ActionFn action,
+                                 std::optional<ActionSchema> schema) {
+  if (!action) throw std::invalid_argument("null action for " + name);
+  if (schema) {
+    schemas_.insert_or_assign(name, std::move(*schema));
+  } else {
+    schemas_.erase(name);
+  }
+  actions_[std::move(name)] = std::move(action);
+}
+
+bool FlowRunner::has_action(std::string_view name) const {
+  return actions_.find(std::string(name)) != actions_.end();
+}
+
+const ActionSchema* FlowRunner::schema(std::string_view name) const {
+  const auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t FlowRunner::start(const FlowDefinition& definition,
+                                util::YamlNode initial_context,
+                                RunCallback on_finish) {
+  definition.validate();
+  // Every action referenced must exist before the run starts.
+  for (const auto& state : definition.states()) {
+    if (state.kind == StateKind::kAction && !has_action(state.action))
+      throw std::invalid_argument("flow '" + definition.name() +
+                                  "' references unregistered action '" +
+                                  state.action + "'");
+  }
+  const std::uint64_t id = next_run_id_++;
+  auto run = std::make_unique<Run>();
+  run->id = id;
+  run->definition = definition;
+  run->context = initial_context.is_map() ? std::move(initial_context)
+                                          : util::YamlNode::map();
+  run->record.run_id = id;
+  run->record.flow_name = definition.name();
+  run->record.started_at = engine_.now();
+  run->on_finish = std::move(on_finish);
+  const std::string start_state = run->definition.start_at();
+  runs_.emplace(id, std::move(run));
+  MFW_DEBUG(kComponent, "run ", id, " of '", definition.name(), "' started");
+  enter_state(id, start_state);
+  return id;
+}
+
+std::string FlowRunner::context_string(const util::YamlNode& context,
+                                       std::string_view dotted) {
+  const auto& node = context.path(dotted);
+  if (node.is_scalar()) return node.as_string();
+  return "";
+}
+
+util::YamlNode FlowRunner::resolve_params(const util::YamlNode& params,
+                                          const util::YamlNode& context) const {
+  switch (params.kind()) {
+    case util::YamlNode::Kind::kScalar: {
+      const auto& s = params.as_string();
+      if (util::starts_with(s, "$.")) {
+        const auto& ref = context.path(std::string_view(s).substr(2));
+        return ref;  // deep copy of the referenced node (may be null)
+      }
+      return params;
+    }
+    case util::YamlNode::Kind::kList: {
+      auto out = util::YamlNode::list();
+      for (const auto& item : params.items())
+        out.push_back(resolve_params(item, context));
+      return out;
+    }
+    case util::YamlNode::Kind::kMap: {
+      auto out = util::YamlNode::map();
+      for (const auto& key : params.keys())
+        out.set(key, resolve_params(params[key], context));
+      return out;
+    }
+    case util::YamlNode::Kind::kNull:
+      return params;
+  }
+  return params;
+}
+
+void FlowRunner::enter_state(std::uint64_t run_id, const std::string& state_name) {
+  const auto it = runs_.find(run_id);
+  if (it == runs_.end()) return;
+  Run& run = *it->second;
+  if (++run.transitions > config_.max_transitions) {
+    finish_run(run_id, false, "max_transitions exceeded (definition loop?)");
+    return;
+  }
+  const FlowState& state = run.definition.state(state_name);
+  StateRecord record;
+  record.state = state.name;
+  record.kind = kind_name(state.kind);
+  record.started_at = engine_.now();
+
+  switch (state.kind) {
+    case StateKind::kAction: {
+      // Orchestration overhead, then the action itself.
+      engine_.schedule_after(config_.action_overhead, [this, run_id, state_name,
+                                                       record]() mutable {
+        const auto rit = runs_.find(run_id);
+        if (rit == runs_.end()) return;
+        Run& run = *rit->second;
+        const FlowState& state = run.definition.state(state_name);
+        record.action_started_at = engine_.now();
+        const util::YamlNode params =
+            resolve_params(state.parameters, run.context);
+        const ActionSchema* action_schema = schema(state.action);
+        ActionHandle handle;
+        handle.fail = [this, run_id, record](std::string error) mutable {
+          const auto rit2 = runs_.find(run_id);
+          if (rit2 == runs_.end()) return;
+          record.finished_at = engine_.now();
+          record.status = "failed";
+          rit2->second->record.states.push_back(std::move(record));
+          finish_run(run_id, false, std::move(error));
+        };
+        // Published input schema: reject malformed parameters before the
+        // action runs.
+        if (action_schema) {
+          if (const auto error = validate_fields(params, action_schema->inputs)) {
+            handle.fail("action '" + state.action + "' input schema: " + *error);
+            return;
+          }
+        }
+        handle.succeed = [this, run_id, state_name, record, action_schema,
+                          fail = handle.fail](util::YamlNode result) mutable {
+          const auto rit2 = runs_.find(run_id);
+          if (rit2 == runs_.end()) return;
+          Run& run2 = *rit2->second;
+          const FlowState& state2 = run2.definition.state(state_name);
+          if (action_schema) {
+            if (const auto error =
+                    validate_fields(result, action_schema->outputs)) {
+              fail("action '" + state2.action + "' output schema: " + *error);
+              return;
+            }
+          }
+          if (!state2.result_path.empty())
+            context_set(run2.context, state2.result_path, std::move(result));
+          record.finished_at = engine_.now();
+          record.status = "ok";
+          leave_state(run2, std::move(record), state2.next);
+        };
+        actions_.at(state.action)(params, run.context, std::move(handle));
+      });
+      return;
+    }
+    case StateKind::kChoice: {
+      std::string next = state.default_next;
+      for (const auto& rule : state.choices) {
+        if (rule_matches(rule, context_string(run.context, rule.variable))) {
+          next = rule.next;
+          break;
+        }
+      }
+      record.finished_at = engine_.now();
+      if (next.empty()) {
+        record.status = "failed";
+        run.record.states.push_back(std::move(record));
+        finish_run(run_id, false,
+                   "choice state '" + state.name + "' had no matching rule");
+        return;
+      }
+      record.status = "ok";
+      leave_state(run, std::move(record), next);
+      return;
+    }
+    case StateKind::kWait: {
+      engine_.schedule_after(state.wait_seconds,
+                             [this, run_id, state_name, record]() mutable {
+                               const auto rit = runs_.find(run_id);
+                               if (rit == runs_.end()) return;
+                               Run& run = *rit->second;
+                               const FlowState& state =
+                                   run.definition.state(state_name);
+                               record.finished_at = engine_.now();
+                               record.status = "ok";
+                               leave_state(run, std::move(record), state.next);
+                             });
+      return;
+    }
+    case StateKind::kPass: {
+      if (state.assignments.is_map()) {
+        for (const auto& key : state.assignments.keys())
+          context_set(run.context, key,
+                      resolve_params(state.assignments[key], run.context));
+      }
+      record.finished_at = engine_.now();
+      record.status = "ok";
+      leave_state(run, std::move(record), state.next);
+      return;
+    }
+    case StateKind::kSucceed: {
+      record.finished_at = engine_.now();
+      record.status = "ok";
+      run.record.states.push_back(std::move(record));
+      finish_run(run_id, true, "");
+      return;
+    }
+    case StateKind::kFail: {
+      record.finished_at = engine_.now();
+      record.status = "failed";
+      run.record.states.push_back(std::move(record));
+      finish_run(run_id, false, state.error);
+      return;
+    }
+  }
+}
+
+void FlowRunner::leave_state(Run& run, StateRecord record,
+                             const std::string& next) {
+  run.record.states.push_back(std::move(record));
+  enter_state(run.id, next);
+}
+
+void FlowRunner::finish_run(std::uint64_t run_id, bool succeeded,
+                            std::string error) {
+  const auto it = runs_.find(run_id);
+  if (it == runs_.end()) return;
+  auto run = std::move(it->second);
+  runs_.erase(it);
+  run->record.finished_at = engine_.now();
+  run->record.succeeded = succeeded;
+  run->record.error = std::move(error);
+  MFW_DEBUG(kComponent, "run ", run_id, succeeded ? " succeeded" : " failed");
+  if (provenance_) provenance_->record(run->record);
+  if (run->on_finish) run->on_finish(run->record, run->context);
+}
+
+}  // namespace mfw::flow

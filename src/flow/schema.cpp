@@ -1,0 +1,33 @@
+#include "flow/schema.hpp"
+
+namespace mfw::flow {
+
+std::string_view kind_name(util::YamlNode::Kind kind) {
+  switch (kind) {
+    case util::YamlNode::Kind::kNull: return "null";
+    case util::YamlNode::Kind::kScalar: return "scalar";
+    case util::YamlNode::Kind::kList: return "list";
+    case util::YamlNode::Kind::kMap: return "map";
+  }
+  return "?";
+}
+
+std::optional<std::string> validate_fields(
+    const util::YamlNode& node, const std::vector<FieldSpec>& fields) {
+  for (const auto& field : fields) {
+    const auto& value = node.path(field.key);
+    if (value.is_null()) {
+      if (field.required)
+        return "missing required field '" + field.key + "'";
+      continue;
+    }
+    if (value.kind() != field.kind) {
+      return "field '" + field.key + "' is " +
+             std::string(kind_name(value.kind())) + ", expected " +
+             std::string(kind_name(field.kind));
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mfw::flow

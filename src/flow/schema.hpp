@@ -1,0 +1,39 @@
+// Action input/output schemas (paper §V-A: "publishing clear input and
+// output schemas for each workflow component, we aim to minimize errors and
+// support the creation of reliable, reusable workflows").
+//
+// A schema declares the fields an action requires in its (resolved)
+// parameters and guarantees in its result. The FlowRunner validates both at
+// run time: a violated input schema fails the run *before* the action
+// executes; a violated output schema fails it before downstream states
+// consume a malformed result.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/yamlite.hpp"
+
+namespace mfw::flow {
+
+struct FieldSpec {
+  std::string key;  // dotted path within the node
+  util::YamlNode::Kind kind = util::YamlNode::Kind::kScalar;
+  bool required = true;
+};
+
+struct ActionSchema {
+  std::vector<FieldSpec> inputs;
+  std::vector<FieldSpec> outputs;
+};
+
+/// Checks `node` against `fields`; returns a description of the first
+/// violation, or nullopt when valid. Extra fields are always allowed.
+std::optional<std::string> validate_fields(const util::YamlNode& node,
+                                           const std::vector<FieldSpec>& fields);
+
+/// Human-readable kind name ("scalar", "list", "map", "null").
+std::string_view kind_name(util::YamlNode::Kind kind);
+
+}  // namespace mfw::flow

@@ -1,0 +1,81 @@
+#include "ml/continual.hpp"
+
+#include <stdexcept>
+
+namespace mfw::ml {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity == 0) throw std::invalid_argument("ReplayBuffer capacity == 0");
+  buffer_.reserve(capacity);
+}
+
+void ReplayBuffer::offer(const Tensor& tile) {
+  ++seen_;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(tile);
+    return;
+  }
+  // Reservoir sampling: keep with probability capacity/seen.
+  const auto slot = static_cast<std::uint64_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(seen_) - 1));
+  if (slot < capacity_) buffer_[static_cast<std::size_t>(slot)] = tile;
+}
+
+void ReplayBuffer::offer_all(std::span<const Tensor> tiles) {
+  for (const auto& tile : tiles) offer(tile);
+}
+
+std::vector<Tensor> ReplayBuffer::sample(std::size_t count) {
+  std::vector<Tensor> out;
+  if (buffer_.empty()) return out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(buffer_[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(buffer_.size()) - 1))]);
+  }
+  return out;
+}
+
+float reconstruction_loss(RiccModel& model, std::span<const Tensor> tiles) {
+  if (tiles.empty()) return 0.0f;
+  double total = 0.0;
+  for (const auto& tile : tiles) total += mse(model.reconstruct(tile), tile);
+  return static_cast<float>(total / static_cast<double>(tiles.size()));
+}
+
+ForgettingReport continual_update(RiccModel& model, ReplayBuffer& replay,
+                                  std::span<const Tensor> new_tiles,
+                                  std::span<const Tensor> old_eval,
+                                  const ContinualUpdateOptions& options) {
+  if (new_tiles.empty())
+    throw std::invalid_argument("continual_update needs new tiles");
+  if (options.replay_fraction < 0.0 || options.replay_fraction >= 1.0)
+    throw std::invalid_argument("replay_fraction must be in [0, 1)");
+
+  ForgettingReport report;
+  report.old_loss_before = reconstruction_loss(model, old_eval);
+
+  // Assemble the update set: new tiles + rehearsal draws.
+  std::vector<Tensor> training(new_tiles.begin(), new_tiles.end());
+  if (options.replay_fraction > 0.0 && replay.size() > 0) {
+    const auto rehearsal = static_cast<std::size_t>(
+        static_cast<double>(new_tiles.size()) * options.replay_fraction /
+        (1.0 - options.replay_fraction));
+    auto drawn = replay.sample(rehearsal);
+    report.replay_tiles_used = drawn.size();
+    for (auto& tile : drawn) training.push_back(std::move(tile));
+  }
+  train_autoencoder(model, training, options.train);
+  if (options.refit_centroids &&
+      training.size() >= static_cast<std::size_t>(model.config().num_classes)) {
+    fit_centroids(model, training);
+  }
+
+  report.old_loss_after = reconstruction_loss(model, old_eval);
+  report.new_loss_after = reconstruction_loss(model, new_tiles);
+  replay.offer_all(new_tiles);
+  return report;
+}
+
+}  // namespace mfw::ml

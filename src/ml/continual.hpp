@@ -1,0 +1,77 @@
+// Continual learning for RICC (paper §V: "AI applications are continually
+// trained periodically on new data without catastrophically forgetting what
+// had been learned previously").
+//
+// Implements experience replay — the standard rehearsal strategy (van de Ven
+// et al., the paper's reference [24] lists it among the canonical
+// approaches): a bounded reservoir of past tiles is mixed into each update
+// batch when the model trains on a new data period. The ForgettingReport
+// quantifies catastrophic forgetting directly: reconstruction loss on the
+// *old* data before vs after the update.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ml/ricc.hpp"
+
+namespace mfw::ml {
+
+/// Bounded reservoir sample over all tiles ever offered (Vitter's
+/// algorithm R), giving every past tile an equal chance of being retained.
+class ReplayBuffer {
+ public:
+  ReplayBuffer(std::size_t capacity, std::uint64_t seed);
+
+  void offer(const Tensor& tile);
+  void offer_all(std::span<const Tensor> tiles);
+
+  std::size_t size() const { return buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t seen() const { return seen_; }
+  const std::vector<Tensor>& tiles() const { return buffer_; }
+
+  /// Draws `count` tiles (with replacement) for a rehearsal batch.
+  std::vector<Tensor> sample(std::size_t count);
+
+ private:
+  std::size_t capacity_;
+  util::Rng rng_;
+  std::vector<Tensor> buffer_;
+  std::uint64_t seen_ = 0;
+};
+
+struct ContinualUpdateOptions {
+  RiccTrainOptions train{};
+  /// Fraction of each update's training set drawn from the replay buffer
+  /// (0 = naive fine-tuning, the catastrophic-forgetting baseline).
+  double replay_fraction = 0.5;
+  /// Refit the class centroids after the weight update (keeps the atlas
+  /// aligned with the shifted latent space).
+  bool refit_centroids = true;
+};
+
+struct ForgettingReport {
+  /// Mean reconstruction loss on the held-out *old* tiles.
+  float old_loss_before = 0.0f;
+  float old_loss_after = 0.0f;
+  /// Mean reconstruction loss on the *new* tiles after the update.
+  float new_loss_after = 0.0f;
+  std::size_t replay_tiles_used = 0;
+
+  /// Positive = the model got worse on old data (forgetting).
+  float forgetting() const { return old_loss_after - old_loss_before; }
+};
+
+/// Mean reconstruction loss of the model over a tile set.
+float reconstruction_loss(RiccModel& model, std::span<const Tensor> tiles);
+
+/// Updates `model` on `new_tiles`, rehearsing from `replay`; evaluates
+/// forgetting against `old_eval` (a held-out sample of past data). New
+/// tiles are offered to the replay buffer afterwards.
+ForgettingReport continual_update(RiccModel& model, ReplayBuffer& replay,
+                                  std::span<const Tensor> new_tiles,
+                                  std::span<const Tensor> old_eval,
+                                  const ContinualUpdateOptions& options);
+
+}  // namespace mfw::ml

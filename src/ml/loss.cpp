@@ -1,0 +1,39 @@
+#include "ml/loss.hpp"
+
+#include <stdexcept>
+
+namespace mfw::ml {
+
+LossGrad mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape())
+    throw std::invalid_argument("mse_loss shape mismatch");
+  LossGrad out;
+  out.grad = Tensor(pred.shape());
+  const auto n = static_cast<float>(pred.size() == 0 ? 1 : pred.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const float d = pred[i] - target[i];
+    loss += static_cast<double>(d) * d;
+    out.grad[i] = 2.0f * d / n;
+  }
+  out.loss = static_cast<float>(loss / n);
+  return out;
+}
+
+LossGrad latent_consistency_loss(const Tensor& z, const Tensor& z_ref) {
+  if (z.shape() != z_ref.shape())
+    throw std::invalid_argument("latent_consistency_loss shape mismatch");
+  LossGrad out;
+  out.grad = Tensor(z.shape());
+  const auto n = static_cast<float>(z.size() == 0 ? 1 : z.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const float d = z[i] - z_ref[i];
+    loss += static_cast<double>(d) * d;
+    out.grad[i] = 2.0f * d / n;
+  }
+  out.loss = static_cast<float>(loss / n);
+  return out;
+}
+
+}  // namespace mfw::ml

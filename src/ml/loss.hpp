@@ -1,0 +1,20 @@
+// Training losses with gradients.
+#pragma once
+
+#include "ml/tensor.hpp"
+
+namespace mfw::ml {
+
+struct LossGrad {
+  float loss = 0.0f;
+  Tensor grad;  // dL/d(pred), same shape as pred
+};
+
+/// Mean squared error and its gradient w.r.t. `pred`.
+LossGrad mse_loss(const Tensor& pred, const Tensor& target);
+
+/// Latent-consistency loss ||z - z_ref||^2 / D with gradient w.r.t. `z`
+/// (`z_ref` treated as a constant — stop-gradient; see RiccTrainer docs).
+LossGrad latent_consistency_loss(const Tensor& z, const Tensor& z_ref);
+
+}  // namespace mfw::ml

@@ -1,0 +1,84 @@
+// LAADS-DAAC-like archive catalog and content service.
+//
+// NASA's LAADS DAAC serves MODIS products over HTTPS with up to 288 files
+// per product per day (one per 5-minute granule). ArchiveService plays that
+// role for the workflow: it enumerates granules for (product, satellite,
+// time span), reports realistic file sizes — calibrated to the paper's
+// per-day volumes (MOD02 ~32 GB, MOD03 ~8.4 GB, MOD06 ~18 GB) — and can
+// materialize actual hdfl bytes at any geometry for the preprocessing and
+// inference stages.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "modis/products.hpp"
+
+namespace mfw::modis {
+
+enum class ProductKind : std::uint8_t { kMod02 = 0, kMod03 = 1, kMod06 = 2 };
+
+/// LAADS short name, e.g. "MOD021KM" (Terra) / "MYD021KM" (Aqua).
+std::string product_short_name(ProductKind kind, Satellite satellite);
+
+/// Parses "MOD021KM" etc. Returns nullopt for unknown names.
+std::optional<std::pair<ProductKind, Satellite>> parse_product_name(
+    std::string_view name);
+
+/// Identifies one archive file.
+struct GranuleId {
+  ProductKind product = ProductKind::kMod02;
+  Satellite satellite = Satellite::kTerra;
+  int year = 2022;
+  int day_of_year = 1;
+  int slot = 0;
+
+  /// Archive filename, e.g. "MOD021KM.A2022001.0755.061.hdf".
+  std::string filename() const;
+
+  bool operator==(const GranuleId&) const = default;
+};
+
+/// Parses a filename produced by GranuleId::filename().
+std::optional<GranuleId> parse_granule_filename(std::string_view name);
+
+struct CatalogEntry {
+  GranuleId id;
+  std::uint64_t size_bytes = 0;
+};
+
+/// Day range within one year: [first_day, last_day], 1-based inclusive.
+struct DaySpan {
+  int year = 2022;
+  int first_day = 1;
+  int last_day = 1;
+};
+
+class ArchiveService {
+ public:
+  explicit ArchiveService(std::uint64_t world_seed = 2022);
+
+  /// All granule files of a product within a day span (288/day), in
+  /// chronological order.
+  std::vector<CatalogEntry> list(ProductKind product, Satellite satellite,
+                                 const DaySpan& span) const;
+
+  /// Deterministic archive file size for a granule.
+  std::uint64_t size_of(const GranuleId& id) const;
+
+  /// Generates the product content at the requested geometry and serializes
+  /// it to hdfl bytes. (Real downloads move `size_of` bytes; the pipeline
+  /// materializes content at working geometry — see DESIGN.md.)
+  std::vector<std::byte> materialize(const GranuleId& id,
+                                     const GranuleGeometry& geometry) const;
+
+  const GranuleGenerator& generator() const { return generator_; }
+
+ private:
+  GranuleGenerator generator_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mfw::modis

@@ -1,0 +1,34 @@
+// Seeded procedural noise for synthetic Earth fields.
+//
+// Value noise with smooth interpolation, summed over octaves (fBm), defined
+// over continuous (x, y) so that cloud fields and continents are consistent
+// at any sampling resolution — the same granule sampled at full resolution
+// (preprocessing tests) and at coarse resolution (workload estimation for
+// the discrete-event benchmarks) sees the same geography.
+#pragma once
+
+#include <cstdint>
+
+namespace mfw::modis {
+
+/// Deterministic 2-D value-noise field; cheap and allocation-free.
+class NoiseField {
+ public:
+  explicit NoiseField(std::uint64_t seed) : seed_(seed) {}
+
+  /// Smooth noise in [-1, 1] at continuous coordinates.
+  double at(double x, double y) const;
+
+  /// Fractional Brownian motion: `octaves` layers, each at double frequency
+  /// and `gain` amplitude. Result approximately in [-1, 1].
+  double fbm(double x, double y, int octaves, double gain = 0.5,
+             double lacunarity = 2.0) const;
+
+ private:
+  /// Hash of integer lattice point -> [-1, 1].
+  double lattice(std::int64_t ix, std::int64_t iy) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace mfw::modis

@@ -1,0 +1,363 @@
+#include "modis/products.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mfw::modis {
+
+namespace {
+
+// Threshold on the continent noise chosen empirically for ~30% land.
+constexpr double kLandThreshold = 0.18;
+
+double day_fraction(const GranuleSpec& spec, double row_frac) {
+  return (static_cast<double>(spec.slot) + row_frac) / kSlotsPerDay;
+}
+
+void check_spec(const GranuleSpec& spec) {
+  if (spec.slot < 0 || spec.slot >= kSlotsPerDay)
+    throw std::invalid_argument("granule slot out of range");
+  if (spec.geometry.rows <= 0 || spec.geometry.cols <= 0 ||
+      spec.geometry.bands <= 0)
+    throw std::invalid_argument("granule geometry must be positive");
+  if (spec.day_of_year < 1 || spec.day_of_year > 366)
+    throw std::invalid_argument("day_of_year out of range");
+}
+
+std::vector<std::uint64_t> grid_shape(const GranuleSpec& spec) {
+  return {static_cast<std::uint64_t>(spec.geometry.rows),
+          static_cast<std::uint64_t>(spec.geometry.cols)};
+}
+
+void put_spec_attrs(storage::HdflFile& file, const GranuleSpec& spec,
+                    const char* product) {
+  auto& attrs = file.attrs();
+  attrs["product"] = product;
+  attrs["satellite"] = satellite_name(spec.satellite);
+  attrs["year"] = std::to_string(spec.year);
+  attrs["day_of_year"] = std::to_string(spec.day_of_year);
+  attrs["slot"] = std::to_string(spec.slot);
+  attrs["rows"] = std::to_string(spec.geometry.rows);
+  attrs["cols"] = std::to_string(spec.geometry.cols);
+  attrs["bands"] = std::to_string(spec.geometry.bands);
+}
+
+GranuleSpec spec_from_attrs(const storage::HdflFile& file) {
+  const auto& attrs = file.attrs();
+  auto get = [&](const char* key) -> const std::string& {
+    const auto it = attrs.find(key);
+    if (it == attrs.end())
+      throw storage::FormatError(std::string("granule missing attr ") + key);
+    return it->second;
+  };
+  GranuleSpec spec;
+  spec.satellite =
+      get("satellite") == "Aqua" ? Satellite::kAqua : Satellite::kTerra;
+  spec.year = std::stoi(get("year"));
+  spec.day_of_year = std::stoi(get("day_of_year"));
+  spec.slot = std::stoi(get("slot"));
+  spec.geometry.rows = std::stoi(get("rows"));
+  spec.geometry.cols = std::stoi(get("cols"));
+  spec.geometry.bands = std::stoi(get("bands"));
+  return spec;
+}
+
+}  // namespace
+
+EarthModel::EarthModel(std::uint64_t seed)
+    : continents_(util::mix64(seed, 1)),
+      weather_(util::mix64(seed, 2)),
+      texture_(util::mix64(seed, 3)),
+      pressure_(util::mix64(seed, 4)) {}
+
+bool EarthModel::is_land(const LatLon& p) const {
+  // Sample in a lat/lon frame scaled so continents span ~40-80 degrees.
+  const double v = continents_.fbm(p.lon / 42.0, p.lat / 30.0, 5);
+  // Push land away from the poles a little (Southern Ocean / Arctic ocean).
+  const double polar = 0.10 * std::cos(p.lat * std::numbers::pi / 90.0);
+  return v + polar > kLandThreshold;
+}
+
+double EarthModel::cloud_intensity(const LatLon& p, int day_of_year) const {
+  // Synoptic-scale systems drift with the day of year; mesoscale texture
+  // gives the within-tile variance AICCA tiles show.
+  const double drift = static_cast<double>(day_of_year) * 0.37;
+  const double synoptic =
+      weather_.fbm(p.lon / 18.0 + drift, p.lat / 14.0 - 0.3 * drift, 4);
+  const double meso = texture_.fbm(p.lon / 2.2, p.lat / 2.2, 3);
+  // ITCZ band and mid-latitude storm tracks raise cloudiness.
+  const double lat_rad = p.lat * std::numbers::pi / 180.0;
+  const double climo = 0.18 * std::exp(-std::pow(p.lat / 12.0, 2)) +
+                       0.22 * std::exp(-std::pow((std::abs(p.lat) - 52.0) / 16.0, 2)) +
+                       0.05 * std::cos(2.0 * lat_rad);
+  const double v = 0.55 + 0.75 * synoptic + 0.35 * meso + climo;
+  return std::fmin(1.0, std::fmax(0.0, v));
+}
+
+double EarthModel::cloud_top_pressure(const LatLon& p, int day_of_year) const {
+  const double drift = static_cast<double>(day_of_year) * 0.21;
+  const double v = pressure_.fbm(p.lon / 9.0 + drift, p.lat / 9.0, 3);
+  // 250 hPa (deep convection) .. 900 hPa (marine stratocumulus).
+  return 575.0 + 325.0 * v;
+}
+
+double EarthModel::surface_temperature(const LatLon& p) const {
+  const double lat_rad = p.lat * std::numbers::pi / 180.0;
+  const double base = 300.0 - 35.0 * std::pow(std::sin(lat_rad), 2);
+  return base + 3.0 * continents_.fbm(p.lon / 15.0, p.lat / 15.0, 2);
+}
+
+GranuleGenerator::GranuleGenerator(std::uint64_t world_seed)
+    : seed_(world_seed), earth_(world_seed) {}
+
+Mod03Granule GranuleGenerator::mod03(const GranuleSpec& spec) const {
+  check_spec(spec);
+  const auto& g = spec.geometry;
+  Mod03Granule out;
+  out.spec = spec;
+  out.latitude.resize(g.pixels());
+  out.longitude.resize(g.pixels());
+  out.land_mask.resize(g.pixels());
+  out.solar_zenith.resize(g.pixels());
+  for (int r = 0; r < g.rows; ++r) {
+    const double row_frac = (r + 0.5) / g.rows;
+    for (int c = 0; c < g.cols; ++c) {
+      const double col_frac = (c + 0.5) / g.cols;
+      const LatLon p = swath_pixel(spec.satellite, spec.slot, row_frac, col_frac);
+      const std::size_t i =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(g.cols) +
+          static_cast<std::size_t>(c);
+      out.latitude[i] = static_cast<float>(p.lat);
+      out.longitude[i] = static_cast<float>(p.lon);
+      out.land_mask[i] = earth_.is_land(p) ? 1 : 0;
+      out.solar_zenith[i] = static_cast<float>(
+          solar_zenith_deg(p, day_fraction(spec, row_frac), spec.day_of_year));
+    }
+  }
+  return out;
+}
+
+Mod06Granule GranuleGenerator::mod06(const GranuleSpec& spec) const {
+  check_spec(spec);
+  const auto& g = spec.geometry;
+  Mod06Granule out;
+  out.spec = spec;
+  out.cloud_mask.resize(g.pixels());
+  out.cloud_optical_thickness.resize(g.pixels());
+  out.cloud_top_pressure.resize(g.pixels());
+  out.cloud_water_path.resize(g.pixels());
+  for (int r = 0; r < g.rows; ++r) {
+    const double row_frac = (r + 0.5) / g.rows;
+    for (int c = 0; c < g.cols; ++c) {
+      const double col_frac = (c + 0.5) / g.cols;
+      const LatLon p = swath_pixel(spec.satellite, spec.slot, row_frac, col_frac);
+      const std::size_t i =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(g.cols) +
+          static_cast<std::size_t>(c);
+      const double intensity = earth_.cloud_intensity(p, spec.day_of_year);
+      const bool cloudy = intensity > 0.45;
+      out.cloud_mask[i] = cloudy ? 1 : 0;
+      const double excess = std::fmax(0.0, intensity - 0.45);
+      out.cloud_optical_thickness[i] =
+          cloudy ? static_cast<float>(2.0 + 55.0 * excess) : 0.0f;
+      out.cloud_top_pressure[i] =
+          cloudy ? static_cast<float>(earth_.cloud_top_pressure(p, spec.day_of_year))
+                 : kFillValue;
+      out.cloud_water_path[i] =
+          cloudy ? static_cast<float>(20.0 + 900.0 * excess * excess) : 0.0f;
+    }
+  }
+  return out;
+}
+
+Mod02Granule GranuleGenerator::mod02(const GranuleSpec& spec) const {
+  check_spec(spec);
+  const auto& g = spec.geometry;
+  Mod02Granule out;
+  out.spec = spec;
+  out.daytime = is_daytime(spec.satellite, spec.slot, spec.day_of_year);
+  out.radiance.resize(static_cast<std::size_t>(g.bands) * g.pixels());
+  // Per-granule sensor noise stream.
+  util::Rng rng(util::mix64(
+      seed_, util::mix64(static_cast<std::uint64_t>(spec.slot) + 1000,
+                         static_cast<std::uint64_t>(spec.day_of_year))));
+  for (int r = 0; r < g.rows; ++r) {
+    const double row_frac = (r + 0.5) / g.rows;
+    for (int c = 0; c < g.cols; ++c) {
+      const double col_frac = (c + 0.5) / g.cols;
+      const LatLon p = swath_pixel(spec.satellite, spec.slot, row_frac, col_frac);
+      const std::size_t pix =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(g.cols) +
+          static_cast<std::size_t>(c);
+      const double intensity = earth_.cloud_intensity(p, spec.day_of_year);
+      const bool cloudy = intensity > 0.45;
+      const bool land = earth_.is_land(p);
+      const double tau = cloudy ? 2.0 + 55.0 * std::fmax(0.0, intensity - 0.45) : 0.0;
+      // Cloud reflectance grows with optical thickness (saturating).
+      const double cloud_ref = 1.0 - std::exp(-tau / 12.0);
+      const double surface_ref = land ? 0.18 : 0.05;
+      const double reflectance =
+          cloud_ref * 0.85 + (1.0 - cloud_ref) * surface_ref;
+      const double t_surface = earth_.surface_temperature(p);
+      const double t_cloud =
+          cloudy ? 230.0 + 60.0 * (earth_.cloud_top_pressure(p, spec.day_of_year) -
+                                   250.0) /
+                               650.0
+                 : t_surface;
+      const double t_scene = cloudy ? t_cloud : t_surface;
+      for (int b = 0; b < g.bands; ++b) {
+        const std::size_t i = static_cast<std::size_t>(b) * g.pixels() + pix;
+        float value;
+        if (b < 3) {
+          // Reflective bands (roles of MODIS bands 6/7/20): fill at night.
+          if (!out.daytime) {
+            value = kFillValue;
+          } else {
+            const double band_gain = 1.0 - 0.08 * b;
+            value = static_cast<float>(reflectance * band_gain +
+                                       0.01 * rng.normal());
+          }
+        } else {
+          // Thermal bands (roles of 28/29/31 and beyond): brightness temp,
+          // normalized to ~[0,1] for the ML stage ((320K - T) / 120K).
+          const double band_shift = 2.0 * (b - 3);
+          value = static_cast<float>((320.0 - (t_scene - band_shift)) / 120.0 +
+                                     0.005 * rng.normal());
+        }
+        out.radiance[i] = value;
+      }
+    }
+  }
+  return out;
+}
+
+float Mod02Granule::at(int band, int row, int col) const {
+  const auto& g = spec.geometry;
+  return radiance[static_cast<std::size_t>(band) * g.pixels() +
+                  static_cast<std::size_t>(row) * g.cols +
+                  static_cast<std::size_t>(col)];
+}
+
+storage::HdflFile Mod03Granule::to_hdfl() const {
+  storage::HdflFile file;
+  put_spec_attrs(file, spec, "MOD03");
+  const auto shape = grid_shape(spec);
+  file.add(storage::Dataset::f32("Latitude", shape, latitude));
+  file.add(storage::Dataset::f32("Longitude", shape, longitude));
+  file.add(storage::Dataset::u8("LandSeaMask", shape, land_mask));
+  file.add(storage::Dataset::f32("SolarZenith", shape, solar_zenith));
+  return file;
+}
+
+Mod03Granule Mod03Granule::from_hdfl(const storage::HdflFile& file) {
+  Mod03Granule out;
+  out.spec = spec_from_attrs(file);
+  const auto lat = file.dataset("Latitude").as_f32();
+  const auto lon = file.dataset("Longitude").as_f32();
+  const auto mask = file.dataset("LandSeaMask").as_u8();
+  const auto zen = file.dataset("SolarZenith").as_f32();
+  out.latitude.assign(lat.begin(), lat.end());
+  out.longitude.assign(lon.begin(), lon.end());
+  out.land_mask.assign(mask.begin(), mask.end());
+  out.solar_zenith.assign(zen.begin(), zen.end());
+  return out;
+}
+
+storage::HdflFile Mod06Granule::to_hdfl() const {
+  storage::HdflFile file;
+  put_spec_attrs(file, spec, "MOD06");
+  const auto shape = grid_shape(spec);
+  file.add(storage::Dataset::u8("CloudMask", shape, cloud_mask));
+  file.add(storage::Dataset::f32("CloudOpticalThickness", shape,
+                                 cloud_optical_thickness));
+  file.add(storage::Dataset::f32("CloudTopPressure", shape, cloud_top_pressure));
+  file.add(storage::Dataset::f32("CloudWaterPath", shape, cloud_water_path));
+  return file;
+}
+
+Mod06Granule Mod06Granule::from_hdfl(const storage::HdflFile& file) {
+  Mod06Granule out;
+  out.spec = spec_from_attrs(file);
+  const auto mask = file.dataset("CloudMask").as_u8();
+  const auto cot = file.dataset("CloudOpticalThickness").as_f32();
+  const auto ctp = file.dataset("CloudTopPressure").as_f32();
+  const auto cwp = file.dataset("CloudWaterPath").as_f32();
+  out.cloud_mask.assign(mask.begin(), mask.end());
+  out.cloud_optical_thickness.assign(cot.begin(), cot.end());
+  out.cloud_top_pressure.assign(ctp.begin(), ctp.end());
+  out.cloud_water_path.assign(cwp.begin(), cwp.end());
+  return out;
+}
+
+storage::HdflFile Mod02Granule::to_hdfl() const {
+  storage::HdflFile file;
+  put_spec_attrs(file, spec, "MOD02");
+  file.attrs()["daytime"] = daytime ? "1" : "0";
+  file.add(storage::Dataset::f32(
+      "Radiance",
+      {static_cast<std::uint64_t>(spec.geometry.bands),
+       static_cast<std::uint64_t>(spec.geometry.rows),
+       static_cast<std::uint64_t>(spec.geometry.cols)},
+      radiance));
+  return file;
+}
+
+Mod02Granule Mod02Granule::from_hdfl(const storage::HdflFile& file) {
+  Mod02Granule out;
+  out.spec = spec_from_attrs(file);
+  const auto it = file.attrs().find("daytime");
+  out.daytime = it != file.attrs().end() && it->second == "1";
+  const auto rad = file.dataset("Radiance").as_f32();
+  out.radiance.assign(rad.begin(), rad.end());
+  return out;
+}
+
+GranuleStats estimate_granule_stats(const GranuleGenerator& generator,
+                                    const GranuleSpec& spec, int tile_size,
+                                    int samples_per_axis) {
+  check_spec(spec);
+  GranuleStats stats;
+  stats.daytime = is_daytime(spec.satellite, spec.slot, spec.day_of_year);
+  if (!stats.daytime) return stats;  // night granules yield no AICCA tiles
+
+  const auto& g = spec.geometry;
+  const int tile_rows = g.rows / tile_size;
+  const int tile_cols = g.cols / tile_size;
+  const auto& earth = generator.earth();
+  double cloud_sum = 0.0;
+  for (int tr = 0; tr < tile_rows; ++tr) {
+    for (int tc = 0; tc < tile_cols; ++tc) {
+      bool any_land = false;
+      int cloudy = 0;
+      const int n = samples_per_axis;
+      for (int sr = 0; sr < n && !any_land; ++sr) {
+        for (int sc = 0; sc < n; ++sc) {
+          const double row_frac =
+              (tr * tile_size + (sr + 0.5) * tile_size / n) / g.rows;
+          const double col_frac =
+              (tc * tile_size + (sc + 0.5) * tile_size / n) / g.cols;
+          const LatLon p =
+              swath_pixel(spec.satellite, spec.slot, row_frac, col_frac);
+          if (earth.is_land(p)) {
+            any_land = true;
+            break;
+          }
+          if (earth.cloud_intensity(p, spec.day_of_year) > 0.45) ++cloudy;
+        }
+      }
+      if (any_land) continue;
+      ++stats.candidate_tiles;
+      const double cloud_frac =
+          static_cast<double>(cloudy) / static_cast<double>(n * n);
+      cloud_sum += cloud_frac;
+      if (cloud_frac >= 0.3) ++stats.selected_tiles;
+    }
+  }
+  stats.mean_cloud_fraction =
+      stats.candidate_tiles ? cloud_sum / stats.candidate_tiles : 0.0;
+  return stats;
+}
+
+}  // namespace mfw::modis

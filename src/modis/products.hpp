@@ -1,0 +1,153 @@
+// Synthetic MODIS product synthesis (MOD02 / MOD03 / MOD06).
+//
+// Substitution note (see DESIGN.md): NASA's real granules are unavailable
+// offline, so we generate procedurally consistent products. Consistency
+// matters more than radiometric realism: the preprocessing stage joins all
+// three products per time step, so the same (satellite, day, slot) must see
+// the same geography, cloud field, and day/night state in MOD02, MOD03, and
+// MOD06 — which holds here because all three sample one seeded EarthModel.
+//
+// Band layout: real RICC/AICCA uses 6 of MODIS's 36 bands (6, 7, 20, 28, 29,
+// 31 — two shortwave reflectance, one SWIR, three thermal IR). Our generator
+// orders its bands so that bands [0..5] carry exactly those roles; at full
+// geometry (36 bands) the remaining bands are filled with correlated
+// radiances so file sizes and partial-read behaviour match.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "modis/geo.hpp"
+#include "modis/noise.hpp"
+#include "storage/hdfl.hpp"
+
+namespace mfw::modis {
+
+/// Grid dimensions of a granule. Full MODIS scale is 2030 x 1354 x 36; tests
+/// and examples use reduced geometry for speed — all code paths are
+/// geometry-agnostic.
+struct GranuleGeometry {
+  int rows = 2030;
+  int cols = 1354;
+  int bands = 36;
+
+  std::size_t pixels() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+};
+
+inline constexpr GranuleGeometry kFullGeometry{2030, 1354, 36};
+/// ~1/8 linear scale; keeps a 2x1 tile grid with 128-px tiles.
+inline constexpr GranuleGeometry kSmallGeometry{256, 170, 8};
+
+/// Identifies one 5-minute granule of one product family.
+struct GranuleSpec {
+  Satellite satellite = Satellite::kTerra;
+  int year = 2022;
+  int day_of_year = 1;  // 1-based
+  int slot = 0;         // 0..287
+  GranuleGeometry geometry{};
+  std::uint64_t world_seed = 2022;
+};
+
+/// Shared procedural geography: continents, sea-surface temperature, and the
+/// daily weather (cloud) field. One instance per world seed; all products of
+/// all granules sample it, which is what keeps them mutually consistent.
+class EarthModel {
+ public:
+  explicit EarthModel(std::uint64_t seed);
+
+  /// True over continents/islands (~30% of the globe).
+  bool is_land(const LatLon& p) const;
+
+  /// Cloud presence probability in [0, 1] for a day's weather.
+  double cloud_intensity(const LatLon& p, int day_of_year) const;
+
+  /// Cloud-top pressure proxy in hPa (lower = higher cloud); only meaningful
+  /// where cloud_intensity is high.
+  double cloud_top_pressure(const LatLon& p, int day_of_year) const;
+
+  /// Sea-surface temperature proxy in Kelvin.
+  double surface_temperature(const LatLon& p) const;
+
+ private:
+  NoiseField continents_;
+  NoiseField weather_;
+  NoiseField texture_;
+  NoiseField pressure_;
+};
+
+/// MOD03: geolocation + land/sea mask + solar zenith, row-major [rows][cols].
+struct Mod03Granule {
+  GranuleSpec spec;
+  std::vector<float> latitude;
+  std::vector<float> longitude;
+  std::vector<std::uint8_t> land_mask;  // 1 = land
+  std::vector<float> solar_zenith;      // degrees
+
+  storage::HdflFile to_hdfl() const;
+  static Mod03Granule from_hdfl(const storage::HdflFile& file);
+};
+
+/// MOD06: cloud mask and derived physical properties, row-major.
+struct Mod06Granule {
+  GranuleSpec spec;
+  std::vector<std::uint8_t> cloud_mask;  // 1 = cloudy
+  std::vector<float> cloud_optical_thickness;
+  std::vector<float> cloud_top_pressure;  // hPa
+  std::vector<float> cloud_water_path;    // g/m^2
+
+  storage::HdflFile to_hdfl() const;
+  static Mod06Granule from_hdfl(const storage::HdflFile& file);
+};
+
+/// MOD02: calibrated radiances, [bands][rows][cols]. Night granules carry
+/// fill values (-999) in the reflective bands [0..2], as with real L1B.
+struct Mod02Granule {
+  GranuleSpec spec;
+  bool daytime = true;
+  std::vector<float> radiance;  // bands * rows * cols
+
+  float at(int band, int row, int col) const;
+  storage::HdflFile to_hdfl() const;
+  static Mod02Granule from_hdfl(const storage::HdflFile& file);
+};
+
+inline constexpr float kFillValue = -999.0f;
+
+/// Generates the three products for a spec. Deterministic in (spec, seed).
+class GranuleGenerator {
+ public:
+  explicit GranuleGenerator(std::uint64_t world_seed = 2022);
+
+  Mod03Granule mod03(const GranuleSpec& spec) const;
+  Mod06Granule mod06(const GranuleSpec& spec) const;
+  /// Requires the matching MOD03/MOD06 content internally; generates it on
+  /// the fly so callers can request MOD02 alone.
+  Mod02Granule mod02(const GranuleSpec& spec) const;
+
+  const EarthModel& earth() const { return earth_; }
+
+ private:
+  std::uint64_t seed_;
+  EarthModel earth_;
+};
+
+/// Coarse per-granule workload statistics used by the discrete-event
+/// benchmarks: candidate 128-px tiles (no-land) and selected ocean-cloud
+/// tiles (cloud fraction >= 0.3), estimated by sparse sampling — no full
+/// granule is materialized. Deterministic.
+struct GranuleStats {
+  bool daytime = false;
+  int candidate_tiles = 0;   // tiles with zero land pixels (sampled)
+  int selected_tiles = 0;    // candidates passing the cloud threshold
+  double mean_cloud_fraction = 0.0;  // over candidates
+};
+
+GranuleStats estimate_granule_stats(const GranuleGenerator& generator,
+                                    const GranuleSpec& spec,
+                                    int tile_size = 128,
+                                    int samples_per_axis = 6);
+
+}  // namespace mfw::modis

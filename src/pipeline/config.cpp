@@ -1,0 +1,176 @@
+#include "pipeline/config.hpp"
+
+#include <stdexcept>
+
+namespace mfw::pipeline {
+
+namespace {
+
+modis::Satellite parse_satellite(const std::string& name) {
+  if (name == "Terra" || name == "terra") return modis::Satellite::kTerra;
+  if (name == "Aqua" || name == "aqua") return modis::Satellite::kAqua;
+  throw util::YamlError("unknown satellite: " + name);
+}
+
+std::vector<modis::ProductKind> parse_products(const util::YamlNode& node) {
+  std::vector<modis::ProductKind> out;
+  for (const auto& item : node.items()) {
+    const auto& name = item.as_string();
+    if (name == "MOD02" || name == "MOD021KM" || name == "MYD021KM") {
+      out.push_back(modis::ProductKind::kMod02);
+    } else if (name == "MOD03" || name == "MYD03") {
+      out.push_back(modis::ProductKind::kMod03);
+    } else if (name == "MOD06" || name == "MOD06_L2" || name == "MYD06_L2") {
+      out.push_back(modis::ProductKind::kMod06);
+    } else {
+      throw util::YamlError("unknown product: " + name);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
+  EomlConfig config;
+  const auto& wf = root["workflow"];
+  if (wf.is_map()) {
+    if (wf.has("satellite"))
+      config.satellite = parse_satellite(wf["satellite"].as_string());
+    if (wf.has("products")) config.products = parse_products(wf["products"]);
+    if (wf.has("span")) {
+      const auto& span = wf["span"];
+      config.span.year = static_cast<int>(span["year"].as_int_or(2022));
+      config.span.first_day = static_cast<int>(span["first_day"].as_int_or(1));
+      config.span.last_day = static_cast<int>(
+          span["last_day"].as_int_or(config.span.first_day));
+    }
+    if (wf.has("max_files"))
+      config.max_files = static_cast<std::size_t>(wf["max_files"].as_int());
+    config.daytime_only = wf["daytime_only"].as_bool_or(config.daytime_only);
+    config.seed = static_cast<std::uint64_t>(
+        wf["seed"].as_int_or(static_cast<std::int64_t>(config.seed)));
+  }
+
+  const auto& dl = root["download"];
+  if (dl.is_map()) {
+    config.download_workers =
+        static_cast<int>(dl["workers"].as_int_or(config.download_workers));
+    if (dl.has("wan_capacity"))
+      config.wan_capacity_bps =
+          static_cast<double>(dl["wan_capacity"].as_bytes());
+    if (dl.has("connection_speed"))
+      config.per_connection_median_bps =
+          static_cast<double>(dl["connection_speed"].as_bytes());
+  }
+
+  const auto& pp = root["preprocess"];
+  if (pp.is_map()) {
+    config.preprocess_nodes =
+        static_cast<int>(pp["nodes"].as_int_or(config.preprocess_nodes));
+    config.workers_per_node = static_cast<int>(
+        pp["workers_per_node"].as_int_or(config.workers_per_node));
+    config.elastic = pp["elastic"].as_bool_or(config.elastic);
+    if (pp.has("block")) {
+      const auto& block = pp["block"];
+      config.block.nodes_per_block = static_cast<int>(
+          block["nodes_per_block"].as_int_or(config.block.nodes_per_block));
+      config.block.workers_per_node = static_cast<int>(
+          block["workers_per_node"].as_int_or(config.workers_per_node));
+      config.block.init_blocks = static_cast<int>(
+          block["init_blocks"].as_int_or(config.block.init_blocks));
+      config.block.min_blocks = static_cast<int>(
+          block["min_blocks"].as_int_or(config.block.min_blocks));
+      config.block.max_blocks = static_cast<int>(
+          block["max_blocks"].as_int_or(config.block.max_blocks));
+      config.block.idle_timeout =
+          block["idle_timeout"].as_double_or(config.block.idle_timeout);
+    }
+    config.tiler.tile_size =
+        static_cast<int>(pp["tile_size"].as_int_or(config.tiler.tile_size));
+    config.tiler.channels =
+        static_cast<int>(pp["channels"].as_int_or(config.tiler.channels));
+    config.tiler.min_cloud_fraction = pp["min_cloud_fraction"].as_double_or(
+        config.tiler.min_cloud_fraction);
+    config.slurm_latency = pp["slurm_latency"].as_double_or(config.slurm_latency);
+  }
+
+  const auto& mon = root["monitor"];
+  if (mon.is_map()) {
+    config.poll_interval =
+        mon["poll_interval"].as_double_or(config.poll_interval);
+    config.flow_action_overhead =
+        mon["action_overhead"].as_double_or(config.flow_action_overhead);
+  }
+
+  const auto& inf = root["inference"];
+  if (inf.is_map()) {
+    config.inference_workers =
+        static_cast<int>(inf["workers"].as_int_or(config.inference_workers));
+    config.model_path = inf["model"].as_string_or(config.model_path);
+  }
+
+  const auto& ship = root["shipment"];
+  if (ship.is_map()) {
+    config.shipment_streams =
+        static_cast<int>(ship["streams"].as_int_or(config.shipment_streams));
+    if (ship.has("link_capacity"))
+      config.facility_link_bps =
+          static_cast<double>(ship["link_capacity"].as_bytes());
+  }
+
+  const auto& facility = root["facility"];
+  if (facility.is_map()) {
+    config.facility_total_nodes = static_cast<int>(
+        facility["total_nodes"].as_int_or(config.facility_total_nodes));
+    config.node_r_max = facility["node_r_max"].as_double_or(config.node_r_max);
+    config.node_tau = facility["node_tau"].as_double_or(config.node_tau);
+  }
+
+  const auto& content = root["content"];
+  if (content.is_map()) {
+    config.materialize = content["materialize"].as_bool_or(config.materialize);
+    config.geometry.rows =
+        static_cast<int>(content["rows"].as_int_or(config.geometry.rows));
+    config.geometry.cols =
+        static_cast<int>(content["cols"].as_int_or(config.geometry.cols));
+    config.geometry.bands =
+        static_cast<int>(content["bands"].as_int_or(config.geometry.bands));
+  }
+
+  config.validate();
+  return config;
+}
+
+EomlConfig EomlConfig::from_yaml_text(std::string_view text) {
+  return from_yaml(util::parse_yaml(text));
+}
+
+void EomlConfig::validate() const {
+  if (products.empty()) throw std::invalid_argument("config: no products");
+  if (download_workers <= 0)
+    throw std::invalid_argument("config: download_workers must be >= 1");
+  if (preprocess_nodes <= 0 || workers_per_node <= 0)
+    throw std::invalid_argument("config: preprocessing resources must be >= 1");
+  if (facility_total_nodes < preprocess_nodes)
+    throw std::invalid_argument(
+        "config: preprocess_nodes exceeds facility_total_nodes");
+  if (!(node_r_max > 0) || !(node_tau > 0))
+    throw std::invalid_argument("config: contention law parameters must be > 0");
+  if (inference_workers <= 0)
+    throw std::invalid_argument("config: inference_workers must be >= 1");
+  if (shipment_streams <= 0)
+    throw std::invalid_argument("config: shipment_streams must be >= 1");
+  if (!(wan_capacity_bps > 0) || !(facility_link_bps > 0))
+    throw std::invalid_argument("config: link capacities must be > 0");
+  if (!(poll_interval > 0))
+    throw std::invalid_argument("config: poll_interval must be > 0");
+  if (span.first_day < 1 || span.last_day < span.first_day || span.last_day > 366)
+    throw std::invalid_argument("config: invalid day span");
+  if (materialize &&
+      (tiler.tile_size > geometry.rows || tiler.tile_size > geometry.cols))
+    throw std::invalid_argument(
+        "config: tile_size exceeds materialized geometry");
+}
+
+}  // namespace mfw::pipeline

@@ -1,0 +1,88 @@
+// EO-ML workflow configuration.
+//
+// "To initiate the workflow the user defines configuration in a YAML file" —
+// EomlConfig mirrors that file: data selection (satellite, products, time
+// span), per-stage resources (download workers, preprocessing nodes x
+// workers, inference workers), network/facility parameters, and the
+// execution mode (timing-only simulation vs materialized content with real
+// tiling + RICC inference).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "compute/block_provider.hpp"
+#include "modis/catalog.hpp"
+#include "preprocess/tasks.hpp"
+#include "util/yamlite.hpp"
+
+namespace mfw::pipeline {
+
+struct EomlConfig {
+  // -- data selection --------------------------------------------------------
+  modis::Satellite satellite = modis::Satellite::kTerra;
+  std::vector<modis::ProductKind> products = {modis::ProductKind::kMod02,
+                                              modis::ProductKind::kMod03,
+                                              modis::ProductKind::kMod06};
+  modis::DaySpan span{2022, 1, 1};
+  /// Cap on MOD02 granules (chronological prefix after filtering).
+  std::optional<std::size_t> max_files;
+  bool daytime_only = true;
+  std::uint64_t seed = 2022;
+
+  // -- download stage --------------------------------------------------------
+  int download_workers = 3;
+  /// Effective LAADS->facility throughput ceiling (server-side per-user
+  /// fairness dominates; see bench/fig3_download.cpp).
+  double wan_capacity_bps = 23.5 * 1024 * 1024;
+  double per_connection_median_bps = 7.5 * 1024 * 1024;
+  double per_connection_sigma = 0.22;
+
+  // -- preprocess stage ------------------------------------------------------
+  int preprocess_nodes = 4;
+  int workers_per_node = 8;
+  /// When true, nodes are managed by the elastic BlockProvider instead of a
+  /// single static Slurm allocation.
+  bool elastic = false;
+  compute::BlockConfig block{};
+  preprocess::TilerOptions tiler{};
+  preprocess::PreprocessCostModel preprocess_cost{};
+  double slurm_latency = 1.5;
+
+  // -- facility characteristics (defaults: OLCF ACE Defiant) ------------------
+  /// Total nodes in the facility's batch partition.
+  int facility_total_nodes = 36;
+  /// Node contention-law calibration (see DESIGN.md): aggregate rate
+  /// saturates at node_r_max tile-equivalents/s with time constant node_tau.
+  double node_r_max = 38.5;
+  double node_tau = 3.1;
+
+  // -- monitor & trigger -----------------------------------------------------
+  double poll_interval = 1.0;
+  double flow_action_overhead = 0.05;
+
+  // -- inference stage -------------------------------------------------------
+  int inference_workers = 1;
+  preprocess::InferenceCostModel inference_cost{};
+
+  // -- shipment stage --------------------------------------------------------
+  int shipment_streams = 4;
+  double facility_link_bps = 1.2 * 1024 * 1024 * 1024;
+
+  // -- content mode ----------------------------------------------------------
+  /// Materialize granule bytes and run the real tiler + RICC model (content
+  /// geometry below); otherwise timing-only manifests flow through.
+  bool materialize = false;
+  modis::GranuleGeometry geometry = modis::kSmallGeometry;
+  /// Path (on the Defiant filesystem, pre-loaded by the caller) of a saved
+  /// RICC model for materialized inference; empty -> pseudo-labels.
+  std::string model_path;
+
+  static EomlConfig from_yaml(const util::YamlNode& root);
+  static EomlConfig from_yaml_text(std::string_view text);
+
+  void validate() const;
+};
+
+}  // namespace mfw::pipeline

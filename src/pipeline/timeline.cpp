@@ -1,0 +1,92 @@
+#include "pipeline/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/ascii_plot.hpp"
+#include "util/table.hpp"
+
+namespace mfw::pipeline {
+
+int StageTimeline::at(double t) const {
+  int value = 0;
+  for (const auto& [time, count] : transitions) {
+    if (time > t) break;
+    value = count;
+  }
+  return value;
+}
+
+int StageTimeline::peak() const {
+  int peak = 0;
+  for (const auto& [time, count] : transitions) peak = std::max(peak, count);
+  return peak;
+}
+
+void TimelineRecorder::add_stage(
+    std::string stage, std::vector<std::pair<double, int>> transitions) {
+  stages_.push_back(StageTimeline{std::move(stage), std::move(transitions)});
+}
+
+const StageTimeline& TimelineRecorder::stage(std::string_view name) const {
+  const auto it =
+      std::find_if(stages_.begin(), stages_.end(),
+                   [&](const StageTimeline& s) { return s.stage == name; });
+  if (it == stages_.end())
+    throw std::invalid_argument("no stage named " + std::string(name));
+  return *it;
+}
+
+double TimelineRecorder::end_time() const {
+  double end = 0.0;
+  for (const auto& stage : stages_) {
+    if (!stage.transitions.empty())
+      end = std::max(end, stage.transitions.back().first);
+  }
+  return end;
+}
+
+std::string TimelineRecorder::to_csv(std::size_t samples) const {
+  std::vector<std::string> header{"time_s"};
+  for (const auto& stage : stages_) header.push_back(stage.stage);
+  util::Table table(std::move(header));
+  const double end = end_time();
+  for (std::size_t i = 0; i <= samples; ++i) {
+    const double t = end * static_cast<double>(i) / static_cast<double>(samples);
+    std::vector<std::string> row{util::Table::num(t, 2)};
+    for (const auto& stage : stages_)
+      row.push_back(std::to_string(stage.at(t)));
+    table.add_row(std::move(row));
+  }
+  return table.to_csv();
+}
+
+std::string TimelineRecorder::render(std::size_t samples, std::size_t width,
+                                     std::size_t height) const {
+  return render_window(0.0, end_time(), samples, width, height);
+}
+
+std::string TimelineRecorder::render_window(double from, double to,
+                                            std::size_t samples,
+                                            std::size_t width,
+                                            std::size_t height) const {
+  if (!(to > from)) to = from + 1.0;
+  std::vector<util::Series> series;
+  static constexpr char kMarkers[] = {'D', 'P', 'I', 'S', '+', 'o'};
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    util::Series line;
+    line.name = stages_[s].stage;
+    line.marker = kMarkers[s % sizeof kMarkers];
+    for (std::size_t i = 0; i <= samples; ++i) {
+      const double t = from + (to - from) * static_cast<double>(i) /
+                                  static_cast<double>(samples);
+      line.xs.push_back(t);
+      line.ys.push_back(stages_[s].at(t));
+    }
+    series.push_back(std::move(line));
+  }
+  return util::ascii_plot(series, width, height, "time (s)", "active workers");
+}
+
+}  // namespace mfw::pipeline

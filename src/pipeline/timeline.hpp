@@ -1,0 +1,50 @@
+// Timeline recording for Fig. 6-style "automation timeline" plots: active
+// worker counts per workflow stage over virtual time.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mfw::pipeline {
+
+/// One stage's (time, active workers) transition series.
+struct StageTimeline {
+  std::string stage;
+  std::vector<std::pair<double, int>> transitions;
+
+  /// Active count at time t (step function; 0 before the first transition).
+  int at(double t) const;
+  int peak() const;
+};
+
+class TimelineRecorder {
+ public:
+  void add_stage(std::string stage,
+                 std::vector<std::pair<double, int>> transitions);
+
+  const std::vector<StageTimeline>& stages() const { return stages_; }
+  const StageTimeline& stage(std::string_view name) const;
+
+  /// Latest transition time across all stages.
+  double end_time() const;
+
+  /// Samples all stages on a shared grid of `samples` points and renders a
+  /// CSV table: time, stage1, stage2, ...
+  std::string to_csv(std::size_t samples = 120) const;
+
+  /// ASCII plot of all stages on a shared canvas.
+  std::string render(std::size_t samples = 120, std::size_t width = 72,
+                     std::size_t height = 14) const;
+
+  /// Same plot restricted to virtual times [from, to] — for zooming into a
+  /// phase (e.g. the preprocess/inference window after a long download).
+  std::string render_window(double from, double to, std::size_t samples = 120,
+                            std::size_t width = 72,
+                            std::size_t height = 14) const;
+
+ private:
+  std::vector<StageTimeline> stages_;
+};
+
+}  // namespace mfw::pipeline

@@ -1,0 +1,67 @@
+#include "preprocess/tasks.hpp"
+
+#include <algorithm>
+
+#include "preprocess/tile_io.hpp"
+#include "storage/hdfl.hpp"
+
+namespace mfw::preprocess {
+
+compute::SimTaskDesc make_preprocess_task(
+    const modis::GranuleGenerator& generator, const modis::GranuleId& id,
+    const PreprocessCostModel& cost, modis::GranuleStats* out_stats) {
+  modis::GranuleSpec spec;
+  spec.satellite = id.satellite;
+  spec.year = id.year;
+  spec.day_of_year = id.day_of_year;
+  spec.slot = id.slot;
+  spec.geometry = modis::kFullGeometry;
+  const auto stats = modis::estimate_granule_stats(generator, spec);
+  if (out_stats) *out_stats = stats;
+
+  compute::SimTaskDesc desc;
+  desc.cpu_seconds = cost.cpu_seconds;
+  desc.shared_demand =
+      std::max(cost.min_demand,
+               cost.demand_per_tile * static_cast<double>(stats.selected_tiles));
+  desc.payload = static_cast<double>(stats.selected_tiles);
+  desc.label = id.filename();
+  return desc;
+}
+
+compute::SimTaskDesc make_inference_task(std::size_t tile_count,
+                                         const std::string& label,
+                                         const InferenceCostModel& cost) {
+  compute::SimTaskDesc desc;
+  desc.cpu_seconds = cost.cpu_seconds;
+  desc.shared_demand =
+      std::max(cost.demand_per_tile,
+               cost.demand_per_tile * static_cast<double>(tile_count));
+  desc.payload = static_cast<double>(tile_count);
+  desc.label = label;
+  return desc;
+}
+
+TilerResult run_preprocess(storage::FileSystem& fs, const GranulePaths& in,
+                           storage::FileSystem& out_fs,
+                           const std::string& out_path,
+                           const TilerOptions& options) {
+  const auto mod02 = modis::Mod02Granule::from_hdfl(
+      storage::HdflFile::deserialize(fs.read_file(in.mod02)));
+  const auto mod03 = modis::Mod03Granule::from_hdfl(
+      storage::HdflFile::deserialize(fs.read_file(in.mod03)));
+  const auto mod06 = modis::Mod06Granule::from_hdfl(
+      storage::HdflFile::deserialize(fs.read_file(in.mod06)));
+  TilerResult result = make_tiles(mod02, mod03, mod06, options);
+
+  modis::GranuleId id;
+  id.product = modis::ProductKind::kMod02;
+  id.satellite = mod02.spec.satellite;
+  id.year = mod02.spec.year;
+  id.day_of_year = mod02.spec.day_of_year;
+  id.slot = mod02.spec.slot;
+  write_tile_file(out_fs, out_path, id, result);
+  return result;
+}
+
+}  // namespace mfw::preprocess

@@ -1,0 +1,68 @@
+// Preprocessing work units: the real function executed per granule, and the
+// calibrated cost descriptors the discrete-event executor schedules.
+//
+// The real path (run_preprocess) is what a worker does: read the granule
+// triplet from the facility filesystem, run the tiler, write the tile file.
+// The simulated path (make_preprocess_task) describes that same work to the
+// ClusterExecutor: a fixed CPU phase (file open/decode) plus shared-resource
+// demand proportional to the tiles the granule yields — the quantity that
+// Table I's tiles/second throughput counts.
+#pragma once
+
+#include <string>
+
+#include "compute/task.hpp"
+#include "modis/catalog.hpp"
+#include "preprocess/tiler.hpp"
+#include "storage/filesystem.hpp"
+
+namespace mfw::preprocess {
+
+struct PreprocessCostModel {
+  /// Fixed per-file CPU cost (open, HDF decode, metadata) in seconds.
+  double cpu_seconds = 0.3;
+  /// Shared-resource demand per selected tile (tile-equivalents; the node
+  /// contention law is calibrated in the same unit).
+  double demand_per_tile = 1.0;
+  /// Demand for granules yielding no tiles (night / all-land / clear): the
+  /// masks must still be scanned.
+  double min_demand = 0.5;
+};
+
+/// Builds the executor descriptor for preprocessing one MOD02 granule, using
+/// sparse workload estimation (no pixel data materialized). If `out_stats`
+/// is non-null it receives the estimate.
+compute::SimTaskDesc make_preprocess_task(
+    const modis::GranuleGenerator& generator, const modis::GranuleId& id,
+    const PreprocessCostModel& cost = {},
+    modis::GranuleStats* out_stats = nullptr);
+
+struct InferenceCostModel {
+  /// Fixed per-batch cost (model/session setup amortization) in seconds.
+  double cpu_seconds = 0.05;
+  /// Shared demand per tile inferred. Inference is far cheaper than tile
+  /// creation (encode + nearest-centroid vs full swath I/O).
+  double demand_per_tile = 0.02;
+};
+
+/// Builds the executor descriptor for labelling `tile_count` tiles.
+compute::SimTaskDesc make_inference_task(std::size_t tile_count,
+                                         const std::string& label,
+                                         const InferenceCostModel& cost = {});
+
+/// Paths of one granule triplet on the staging filesystem.
+struct GranulePaths {
+  std::string mod02;
+  std::string mod03;
+  std::string mod06;
+};
+
+/// The real preprocessing function: reads the triplet (hdfl), tiles it, and
+/// writes the tile file to `out_path` on `out_fs`. Returns the tiler result
+/// (pixel data included).
+TilerResult run_preprocess(storage::FileSystem& fs, const GranulePaths& in,
+                           storage::FileSystem& out_fs,
+                           const std::string& out_path,
+                           const TilerOptions& options = {});
+
+}  // namespace mfw::preprocess

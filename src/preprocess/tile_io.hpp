@@ -1,0 +1,57 @@
+// Tile file I/O: one ncl container per granule, holding the selected tiles,
+// their geolocation/physical metadata, and — after inference — the appended
+// `label` variable, matching the paper's NetCDF outputs.
+//
+// Two flavours exist:
+//   - full files (write_tile_file): tile pixel data included; what the real
+//     preprocessing stage emits when content is materialized.
+//   - manifest files (write_tile_manifest): metadata + tile count only; what
+//     the pure-timing simulation emits so downstream stages (monitor,
+//     inference accounting, shipment) exercise identical code paths without
+//     materializing pixels.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "modis/catalog.hpp"
+#include "preprocess/tiler.hpp"
+#include "storage/filesystem.hpp"
+#include "storage/ncl.hpp"
+
+namespace mfw::preprocess {
+
+struct TileFileSummary {
+  modis::GranuleId granule;
+  std::size_t tile_count = 0;
+  bool has_pixel_data = false;
+  bool has_labels = false;
+};
+
+/// Serializes a TilerResult (with pixel data) to `path` on `fs`.
+void write_tile_file(storage::FileSystem& fs, const std::string& path,
+                     const modis::GranuleId& granule, const TilerResult& result);
+
+/// Serializes a metadata-only manifest recording `tile_count` tiles.
+void write_tile_manifest(storage::FileSystem& fs, const std::string& path,
+                         const modis::GranuleId& granule,
+                         std::size_t tile_count);
+
+/// Parses either flavour's header.
+TileFileSummary read_tile_summary(storage::FileSystem& fs,
+                                  const std::string& path);
+
+/// Loads the full ncl container (throws storage::FormatError on stubs when
+/// pixel data is required by the caller).
+storage::NclFile read_tile_file(storage::FileSystem& fs,
+                                const std::string& path);
+
+/// Extracts tiles (with pixel data) from a full tile file.
+std::vector<Tile> tiles_from_ncl(const storage::NclFile& file);
+
+/// Appends an i32 `label` variable (one per tile) and rewrites the file.
+/// For manifests, records the labels' presence in attributes only.
+void append_labels(storage::FileSystem& fs, const std::string& path,
+                   std::span<const std::int32_t> labels);
+
+}  // namespace mfw::preprocess

@@ -1,0 +1,114 @@
+#include "preprocess/tiler.hpp"
+
+#include <stdexcept>
+
+namespace mfw::preprocess {
+
+namespace {
+void check_consistent(const modis::Mod02Granule& mod02,
+                      const modis::Mod03Granule& mod03,
+                      const modis::Mod06Granule& mod06) {
+  auto same = [](const modis::GranuleSpec& a, const modis::GranuleSpec& b) {
+    return a.satellite == b.satellite && a.year == b.year &&
+           a.day_of_year == b.day_of_year && a.slot == b.slot &&
+           a.geometry.rows == b.geometry.rows &&
+           a.geometry.cols == b.geometry.cols;
+  };
+  if (!same(mod02.spec, mod03.spec) || !same(mod02.spec, mod06.spec))
+    throw std::invalid_argument(
+        "make_tiles: product granules do not match (satellite/time/geometry)");
+}
+}  // namespace
+
+TilerResult make_tiles(const modis::Mod02Granule& mod02,
+                       const modis::Mod03Granule& mod03,
+                       const modis::Mod06Granule& mod06,
+                       const TilerOptions& options) {
+  check_consistent(mod02, mod03, mod06);
+  if (options.tile_size <= 0 || options.channels <= 0)
+    throw std::invalid_argument("make_tiles: bad options");
+  const auto& geometry = mod02.spec.geometry;
+  if (options.channels > geometry.bands)
+    throw std::invalid_argument("make_tiles: more channels than bands");
+
+  TilerResult result;
+  result.daytime = mod02.daytime;
+  const int ts = options.tile_size;
+  const int tile_rows = geometry.rows / ts;
+  const int tile_cols = geometry.cols / ts;
+  result.candidate_positions = tile_rows * tile_cols;
+  if (!mod02.daytime) return result;  // no valid reflective bands at night
+
+  const int cols = geometry.cols;
+  for (int tr = 0; tr < tile_rows; ++tr) {
+    for (int tc = 0; tc < tile_cols; ++tc) {
+      const int r0 = tr * ts;
+      const int c0 = tc * ts;
+      // Pass 1: masks + aggregates.
+      bool any_land = false;
+      int cloudy = 0;
+      double lat_sum = 0.0, lon_sum = 0.0;
+      double cot_sum = 0.0, ctp_sum = 0.0, cwp_sum = 0.0;
+      int cloud_pixels = 0;
+      for (int r = r0; r < r0 + ts && !any_land; ++r) {
+        for (int c = c0; c < c0 + ts; ++c) {
+          const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+          if (mod03.land_mask[i]) {
+            any_land = true;
+            break;
+          }
+          lat_sum += mod03.latitude[i];
+          lon_sum += mod03.longitude[i];
+          if (mod06.cloud_mask[i]) {
+            ++cloudy;
+            cot_sum += mod06.cloud_optical_thickness[i];
+            // Cloud-top pressure uses the fill value outside clouds; only
+            // cloudy pixels contribute.
+            ctp_sum += mod06.cloud_top_pressure[i];
+            cwp_sum += mod06.cloud_water_path[i];
+            ++cloud_pixels;
+          }
+        }
+      }
+      if (any_land) {
+        ++result.rejected_land;
+        continue;
+      }
+      const double pixels = static_cast<double>(ts) * ts;
+      const double cloud_fraction = cloudy / pixels;
+      if (cloud_fraction < options.min_cloud_fraction) {
+        ++result.rejected_clear;
+        continue;
+      }
+      // Pass 2: copy the leading `channels` bands.
+      Tile tile;
+      tile.origin_row = r0;
+      tile.origin_col = c0;
+      tile.tile_size = ts;
+      tile.channels = options.channels;
+      tile.data.resize(static_cast<std::size_t>(options.channels) * ts * ts);
+      std::size_t out = 0;
+      for (int b = 0; b < options.channels; ++b) {
+        for (int r = r0; r < r0 + ts; ++r) {
+          for (int c = c0; c < c0 + ts; ++c) {
+            tile.data[out++] = mod02.at(b, r, c);
+          }
+        }
+      }
+      tile.center_lat = static_cast<float>(lat_sum / pixels);
+      tile.center_lon = static_cast<float>(lon_sum / pixels);
+      tile.cloud_fraction = static_cast<float>(cloud_fraction);
+      if (cloud_pixels > 0) {
+        tile.mean_optical_thickness =
+            static_cast<float>(cot_sum / cloud_pixels);
+        tile.mean_cloud_top_pressure =
+            static_cast<float>(ctp_sum / cloud_pixels);
+        tile.mean_water_path = static_cast<float>(cwp_sum / cloud_pixels);
+      }
+      result.tiles.push_back(std::move(tile));
+    }
+  }
+  return result;
+}
+
+}  // namespace mfw::preprocess

@@ -1,0 +1,60 @@
+// Swath -> tile decomposition ("(2) Preprocess" stage, the real computation).
+//
+// Subdivides a MODIS swath into non-overlapping square tiles, joins the
+// three products at each pixel, and applies the AICCA ocean-cloud selection:
+// a tile is kept iff it contains *no* land pixels, the granule is daytime
+// (reflective bands valid), and its cloud fraction (from the MOD06 cloud
+// mask) is at least `min_cloud_fraction` (30% in the papers). Kept tiles
+// carry the first `channels` radiance bands plus per-tile physical
+// aggregates from MOD06 used by downstream climate analysis.
+#pragma once
+
+#include <vector>
+
+#include "modis/products.hpp"
+
+namespace mfw::preprocess {
+
+struct TilerOptions {
+  int tile_size = 128;
+  int channels = 6;  // leading MOD02 bands to keep (the RICC bands)
+  double min_cloud_fraction = 0.3;
+};
+
+struct Tile {
+  int origin_row = 0;
+  int origin_col = 0;
+  int tile_size = 0;
+  int channels = 0;
+  /// [channels][tile_size][tile_size], row-major.
+  std::vector<float> data;
+  float center_lat = 0.0f;
+  float center_lon = 0.0f;
+  float cloud_fraction = 0.0f;
+  float mean_optical_thickness = 0.0f;
+  float mean_cloud_top_pressure = 0.0f;
+  float mean_water_path = 0.0f;
+
+  float at(int channel, int row, int col) const {
+    return data[(static_cast<std::size_t>(channel) * tile_size + row) *
+                    tile_size +
+                col];
+  }
+};
+
+struct TilerResult {
+  bool daytime = false;
+  int candidate_positions = 0;  // full tile grid positions
+  int rejected_land = 0;
+  int rejected_clear = 0;       // ocean tiles under the cloud threshold
+  std::vector<Tile> tiles;      // selected ocean-cloud tiles
+};
+
+/// Runs the tiler over one granule triplet. All three granules must share
+/// the same spec/geometry; throws std::invalid_argument otherwise.
+TilerResult make_tiles(const modis::Mod02Granule& mod02,
+                       const modis::Mod03Granule& mod03,
+                       const modis::Mod06Granule& mod06,
+                       const TilerOptions& options = {});
+
+}  // namespace mfw::preprocess

@@ -1,0 +1,32 @@
+// Clock abstraction: all orchestration code (pipeline, flows, transfer,
+// executors) reads time through Clock so the same logic runs against the
+// discrete-event virtual clock (benchmarks, scaling studies) and the wall
+// clock (real-thread tests, examples).
+#pragma once
+
+#include <chrono>
+
+namespace mfw::sim {
+
+/// Monotonic time source in seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual double now() const = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock; origin at construction.
+class WallClock final : public Clock {
+ public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  double now() const override {
+    const auto dt = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration<double>(dt).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace mfw::sim

@@ -1,0 +1,69 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mfw::sim {
+
+EventHandle SimEngine::schedule_at(double t, Callback fn) {
+  const double when = std::max(t, now_);
+  const std::uint64_t id = next_id_++;
+  queue_.push(QueueEntry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return EventHandle{id};
+}
+
+EventHandle SimEngine::schedule_after(double dt, Callback fn) {
+  return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
+}
+
+void SimEngine::cancel(EventHandle handle) {
+  if (handle.valid()) callbacks_.erase(handle.id);
+}
+
+bool SimEngine::pop_next(QueueEntry& out) {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();  // cancelled; skip lazily
+      continue;
+    }
+    out = entry;
+    return true;
+  }
+  return false;
+}
+
+bool SimEngine::step() {
+  QueueEntry entry;
+  if (!pop_next(entry)) return false;
+  queue_.pop();
+  auto node = callbacks_.extract(entry.id);
+  now_ = entry.time;
+  ++processed_;
+  node.mapped()();
+  return true;
+}
+
+std::size_t SimEngine::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::size_t SimEngine::run_until(double t) {
+  std::size_t n = 0;
+  QueueEntry entry;
+  while (pop_next(entry) && entry.time <= t) {
+    queue_.pop();
+    auto node = callbacks_.extract(entry.id);
+    now_ = entry.time;
+    ++processed_;
+    ++n;
+    node.mapped()();
+  }
+  now_ = std::max(now_, t);
+  return n;
+}
+
+}  // namespace mfw::sim

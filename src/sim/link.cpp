@@ -1,0 +1,140 @@
+#include "sim/link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mfw::sim {
+
+namespace {
+constexpr double kEpsilon = 1e-6;  // bytes
+}
+
+FlowLink::FlowLink(SimEngine& engine, std::string name, double capacity_bps)
+    : engine_(engine), name_(std::move(name)), capacity_(capacity_bps) {
+  if (!(capacity_bps > 0))
+    throw std::invalid_argument("FlowLink capacity must be > 0");
+  last_update_ = engine_.now();
+}
+
+FlowLink::~FlowLink() { engine_.cancel(pending_event_); }
+
+FlowId FlowLink::start_flow(double bytes, double rate_cap_bps,
+                            std::function<void(double)> on_complete) {
+  if (!(bytes > 0)) throw std::invalid_argument("flow bytes must be > 0");
+  if (!(rate_cap_bps > 0))
+    throw std::invalid_argument("flow rate cap must be > 0");
+  advance();
+  const std::uint64_t id = next_id_++;
+  flows_.emplace(
+      id, Flow{bytes, bytes, rate_cap_bps, engine_.now(), std::move(on_complete)});
+  recompute_rates();
+  reschedule();
+  return FlowId{id};
+}
+
+void FlowLink::cancel(FlowId id) {
+  if (!id.valid()) return;
+  advance();
+  flows_.erase(id.id);
+  recompute_rates();
+  reschedule();
+}
+
+double FlowLink::rate_of(FlowId id) const {
+  const auto it = rates_.find(id.id);
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+void FlowLink::advance() {
+  const double now = engine_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0) return;
+  for (auto& [id, flow] : flows_) {
+    const auto rit = rates_.find(id);
+    if (rit != rates_.end()) flow.remaining -= rit->second * dt;
+  }
+}
+
+void FlowLink::recompute_rates() {
+  // Max-min fair allocation (water-filling): repeatedly give every
+  // unsaturated flow an equal share of the leftover capacity; flows whose cap
+  // is below the share are frozen at their cap.
+  rates_.clear();
+  if (flows_.empty()) return;
+  double leftover = capacity_;
+  std::vector<std::pair<std::uint64_t, double>> open;  // (id, cap)
+  open.reserve(flows_.size());
+  for (const auto& [id, flow] : flows_) open.emplace_back(id, flow.cap);
+  std::sort(open.begin(), open.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  std::size_t remaining = open.size();
+  for (const auto& [id, cap] : open) {
+    const double share = leftover / static_cast<double>(remaining);
+    const double rate = std::min(cap, share);
+    rates_[id] = rate;
+    leftover -= rate;
+    --remaining;
+  }
+}
+
+void FlowLink::reschedule() {
+  engine_.cancel(pending_event_);
+  pending_event_ = EventHandle{};
+  if (flows_.empty()) return;
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& [id, flow] : flows_) {
+    const double rate = rates_.at(id);
+    if (rate <= 0) continue;
+    soonest = std::min(soonest, std::max(flow.remaining, 0.0) / rate);
+  }
+  if (!std::isfinite(soonest)) return;
+  pending_event_ = engine_.schedule_after(soonest, [this] { on_event(); });
+}
+
+void FlowLink::on_event() {
+  pending_event_ = EventHandle{};
+  advance();
+  std::vector<std::pair<std::function<void(double)>, double>> done;
+  const double now = engine_.now();
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    Flow& flow = it->second;
+    // A flow completes when its residual is negligible in bytes OR would
+    // finish within a nanosecond at its current rate. The latter guards
+    // against floating-point stalls: at large virtual times a sub-quantum
+    // dt cannot advance the clock, so byte residuals must not keep the
+    // event loop alive.
+    const auto rit = rates_.find(it->first);
+    const double rate = rit == rates_.end() ? 0.0 : rit->second;
+    if (flow.remaining <= std::max(kEpsilon, rate * 1e-9)) {
+      const double elapsed = std::max(now - flow.started_at, 1e-12);
+      done.emplace_back(std::move(flow.on_complete), flow.total / elapsed);
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (done.empty() && !flows_.empty()) {
+    // This event was scheduled *for* a completion; if rounding left every
+    // residual above the epsilons, force the smallest one to preserve
+    // progress (the error is bounded by one epsilon of service).
+    auto min_it = flows_.begin();
+    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+      if (it->second.remaining < min_it->second.remaining) min_it = it;
+    }
+    Flow& flow = min_it->second;
+    const double elapsed = std::max(now - flow.started_at, 1e-12);
+    done.emplace_back(std::move(flow.on_complete), flow.total / elapsed);
+    flows_.erase(min_it);
+  }
+  recompute_rates();
+  reschedule();
+  for (auto& [fn, mean_bps] : done) {
+    if (fn) fn(mean_bps);
+  }
+}
+
+}  // namespace mfw::sim

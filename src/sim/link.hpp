@@ -1,0 +1,73 @@
+// Bandwidth-shared network link with per-flow rate caps (water-filling).
+//
+// Models both the WAN between NASA LAADS and the OLCF border (per-connection
+// HTTPS throughput caps + shared trunk capacity, Fig. 3) and the
+// Defiant -> Frontier/Orion path used by the shipment stage. A flow's rate is
+// min(its own cap, its max-min fair share of the link capacity); rates are
+// recomputed whenever a flow starts or finishes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace mfw::sim {
+
+struct FlowId {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class FlowLink {
+ public:
+  /// `capacity_bps`: total link capacity in bytes/second (> 0).
+  FlowLink(SimEngine& engine, std::string name, double capacity_bps);
+  ~FlowLink();
+
+  FlowLink(const FlowLink&) = delete;
+  FlowLink& operator=(const FlowLink&) = delete;
+
+  /// Starts a flow of `bytes` with a per-flow rate ceiling `rate_cap_bps`
+  /// (e.g. a single HTTPS connection's achievable throughput). The callback
+  /// receives the flow's effective mean throughput (bytes/sec).
+  FlowId start_flow(double bytes, double rate_cap_bps,
+                    std::function<void(double mean_bps)> on_complete);
+
+  /// Aborts a flow; its callback never fires.
+  void cancel(FlowId id);
+
+  std::size_t active_flows() const { return flows_.size(); }
+  double capacity() const { return capacity_; }
+  const std::string& name() const { return name_; }
+
+  /// Current max-min fair rate of one flow (0 when idle); for telemetry.
+  double rate_of(FlowId id) const;
+
+ private:
+  struct Flow {
+    double remaining;
+    double total;
+    double cap;
+    double started_at;
+    std::function<void(double)> on_complete;
+  };
+
+  void advance();
+  void recompute_rates();
+  void reschedule();
+  void on_event();
+
+  SimEngine& engine_;
+  std::string name_;
+  double capacity_;
+  std::map<std::uint64_t, Flow> flows_;
+  std::map<std::uint64_t, double> rates_;  // current per-flow rate
+  std::uint64_t next_id_ = 1;
+  double last_update_ = 0.0;
+  EventHandle pending_event_{};
+};
+
+}  // namespace mfw::sim

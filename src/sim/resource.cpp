@@ -1,0 +1,136 @@
+#include "sim/resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+namespace mfw::sim {
+
+namespace {
+// Jobs whose remaining demand falls below this fraction of a unit are
+// considered complete; guards against float drift stalling the resource.
+constexpr double kEpsilon = 1e-9;
+}  // namespace
+
+LinearCapLaw::LinearCapLaw(double per_task_rate, double capacity)
+    : per_task_rate_(per_task_rate), capacity_(capacity) {
+  if (per_task_rate <= 0 || capacity <= 0)
+    throw std::invalid_argument("LinearCapLaw rates must be > 0");
+}
+
+double LinearCapLaw::aggregate_rate(std::size_t active) const {
+  return std::min(per_task_rate_ * static_cast<double>(active), capacity_);
+}
+
+SaturatingExpLaw::SaturatingExpLaw(double r_max, double tau)
+    : r_max_(r_max), tau_(tau) {
+  if (r_max <= 0 || tau <= 0)
+    throw std::invalid_argument("SaturatingExpLaw parameters must be > 0");
+}
+
+double SaturatingExpLaw::aggregate_rate(std::size_t active) const {
+  if (active == 0) return 0.0;
+  return r_max_ * (1.0 - std::exp(-static_cast<double>(active) / tau_));
+}
+
+StepCapLaw::StepCapLaw(double per_task_rate, std::size_t knee)
+    : per_task_rate_(per_task_rate), knee_(knee) {
+  if (per_task_rate <= 0 || knee == 0)
+    throw std::invalid_argument("StepCapLaw parameters must be > 0");
+}
+
+double StepCapLaw::aggregate_rate(std::size_t active) const {
+  return per_task_rate_ * static_cast<double>(std::min(active, knee_));
+}
+
+SharedResource::SharedResource(SimEngine& engine,
+                               std::unique_ptr<ContentionLaw> law)
+    : engine_(engine), law_(std::move(law)) {
+  if (!law_) throw std::invalid_argument("SharedResource needs a law");
+  last_update_ = engine_.now();
+}
+
+SharedResource::~SharedResource() { engine_.cancel(pending_event_); }
+
+ResourceJobId SharedResource::submit(double demand,
+                                     std::function<void()> on_complete) {
+  if (!(demand > 0)) throw std::invalid_argument("job demand must be > 0");
+  advance();
+  const std::uint64_t id = next_id_++;
+  jobs_.emplace(id, Job{demand, std::move(on_complete)});
+  reschedule();
+  return ResourceJobId{id};
+}
+
+void SharedResource::cancel(ResourceJobId id) {
+  if (!id.valid()) return;
+  advance();
+  jobs_.erase(id.id);
+  reschedule();
+}
+
+void SharedResource::advance() {
+  const double now = engine_.now();
+  const double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0 || jobs_.empty()) return;
+  const double per_job =
+      law_->aggregate_rate(jobs_.size()) / static_cast<double>(jobs_.size());
+  const double served = per_job * dt;
+  for (auto& [id, job] : jobs_) job.remaining -= served;
+}
+
+void SharedResource::reschedule() {
+  engine_.cancel(pending_event_);
+  pending_event_ = EventHandle{};
+  if (jobs_.empty()) return;
+  double min_remaining = std::numeric_limits<double>::infinity();
+  for (const auto& [id, job] : jobs_)
+    min_remaining = std::min(min_remaining, job.remaining);
+  const double per_job =
+      law_->aggregate_rate(jobs_.size()) / static_cast<double>(jobs_.size());
+  if (per_job <= 0) return;  // stalled (law returned 0); nothing to schedule
+  const double dt = std::max(min_remaining, 0.0) / per_job;
+  pending_event_ = engine_.schedule_after(dt, [this] { on_event(); });
+}
+
+void SharedResource::on_event() {
+  pending_event_ = EventHandle{};
+  advance();
+  // Collect all jobs finished at this instant, then run callbacks after the
+  // internal state is consistent (callbacks may submit new jobs). The
+  // per-rate term guards against floating-point stalls at large virtual
+  // times (see FlowLink::on_event for the rationale).
+  const double per_job =
+      jobs_.empty() ? 0.0
+                    : law_->aggregate_rate(jobs_.size()) /
+                          static_cast<double>(jobs_.size());
+  std::vector<std::function<void()>> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= std::max(kEpsilon, per_job * 1e-9)) {
+      ++completed_jobs_;
+      done.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (done.empty() && !jobs_.empty()) {
+    // Event was scheduled for a completion; force the smallest residual.
+    auto min_it = jobs_.begin();
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (it->second.remaining < min_it->second.remaining) min_it = it;
+    }
+    ++completed_jobs_;
+    done.push_back(std::move(min_it->second.on_complete));
+    jobs_.erase(min_it);
+  }
+  reschedule();
+  for (auto& fn : done) {
+    if (fn) fn();
+  }
+}
+
+}  // namespace mfw::sim

@@ -1,0 +1,43 @@
+// Element types shared by the hdfl and ncl container formats.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mfw::storage {
+
+enum class DType : std::uint8_t {
+  kF32 = 0,
+  kF64 = 1,
+  kI32 = 2,
+  kI64 = 3,
+  kU8 = 4,
+  kI16 = 5,
+};
+
+constexpr std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU8: return 1;
+    case DType::kI16: return 2;
+  }
+  return 0;
+}
+
+constexpr std::string_view dtype_name(DType t) {
+  switch (t) {
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+    case DType::kU8: return "u8";
+    case DType::kI16: return "i16";
+  }
+  return "?";
+}
+
+}  // namespace mfw::storage

@@ -1,0 +1,61 @@
+// Facility filesystem abstraction.
+//
+// Each facility in the topology (LAADS archive staging, ACE Defiant scratch,
+// Frontier's Orion) exposes a FileSystem. Paths are '/'-separated keys; there
+// is no directory object — directories exist implicitly, as on object
+// stores. The flow monitor, preprocessing, inference, and shipment stages all
+// operate through this interface, so tests can run everything against MemFs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfw::storage {
+
+struct FileInfo {
+  std::string path;
+  std::uint64_t size = 0;
+  /// Modification stamp in the owning clock's seconds (monotone per fs).
+  double mtime = 0.0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  /// Creates or replaces the file at `path` with `data`.
+  virtual void write_file(std::string_view path,
+                          std::span<const std::byte> data) = 0;
+
+  /// Reads the whole file; throws std::runtime_error when missing.
+  virtual std::vector<std::byte> read_file(std::string_view path) const = 0;
+
+  virtual bool exists(std::string_view path) const = 0;
+
+  /// Size in bytes; throws when missing.
+  virtual std::uint64_t file_size(std::string_view path) const = 0;
+
+  /// Lists files whose path matches `pattern` (glob with '*'/'?'), sorted by
+  /// path. Empty pattern lists everything.
+  virtual std::vector<FileInfo> list(std::string_view pattern) const = 0;
+
+  /// Removes a file; returns whether it existed.
+  virtual bool remove(std::string_view path) = 0;
+
+  /// Atomic rename; throws when `from` is missing.
+  virtual void rename(std::string_view from, std::string_view to) = 0;
+
+  virtual std::string name() const = 0;
+
+  // -- Convenience helpers ---------------------------------------------------
+  void write_text(std::string_view path, std::string_view text);
+  std::string read_text(std::string_view path) const;
+  std::uint64_t total_bytes() const;
+  std::size_t file_count() const;
+};
+
+}  // namespace mfw::storage

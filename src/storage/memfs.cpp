@@ -1,0 +1,97 @@
+#include "storage/memfs.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace mfw::storage {
+
+void FileSystem::write_text(std::string_view path, std::string_view text) {
+  write_file(path, std::as_bytes(std::span(text.data(), text.size())));
+}
+
+std::string FileSystem::read_text(std::string_view path) const {
+  const auto data = read_file(path);
+  return std::string(reinterpret_cast<const char*>(data.data()), data.size());
+}
+
+std::uint64_t FileSystem::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& info : list("")) total += info.size;
+  return total;
+}
+
+std::size_t FileSystem::file_count() const { return list("").size(); }
+
+MemFs::MemFs(std::string name, const sim::Clock* clock)
+    : name_(std::move(name)), clock_(clock) {}
+
+double MemFs::stamp() {
+  if (clock_) return clock_->now();
+  return ++counter_;
+}
+
+void MemFs::write_file(std::string_view path, std::span<const std::byte> data) {
+  FileInfo info;
+  {
+    std::lock_guard lock(mu_);
+    auto& entry = files_[std::string(path)];
+    entry.data.assign(data.begin(), data.end());
+    entry.mtime = stamp();
+    info = FileInfo{std::string(path), entry.data.size(), entry.mtime};
+  }
+  for (const auto& cb : write_callbacks_) cb(info);
+}
+
+std::vector<std::byte> MemFs::read_file(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end())
+    throw std::runtime_error(name_ + ": no such file: " + std::string(path));
+  return it->second.data;
+}
+
+bool MemFs::exists(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  return files_.find(path) != files_.end();
+}
+
+std::uint64_t MemFs::file_size(std::string_view path) const {
+  std::lock_guard lock(mu_);
+  const auto it = files_.find(path);
+  if (it == files_.end())
+    throw std::runtime_error(name_ + ": no such file: " + std::string(path));
+  return it->second.data.size();
+}
+
+std::vector<FileInfo> MemFs::list(std::string_view pattern) const {
+  std::lock_guard lock(mu_);
+  std::vector<FileInfo> out;
+  for (const auto& [path, entry] : files_) {
+    if (pattern.empty() || util::glob_match(pattern, path)) {
+      out.push_back(FileInfo{path, entry.data.size(), entry.mtime});
+    }
+  }
+  return out;
+}
+
+bool MemFs::remove(std::string_view path) {
+  std::lock_guard lock(mu_);
+  return files_.erase(std::string(path)) > 0;
+}
+
+void MemFs::rename(std::string_view from, std::string_view to) {
+  std::lock_guard lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end())
+    throw std::runtime_error(name_ + ": no such file: " + std::string(from));
+  auto node = files_.extract(it);
+  node.key() = std::string(to);
+  files_.insert_or_assign(std::string(to), std::move(node.mapped()));
+}
+
+void MemFs::on_write(std::function<void(const FileInfo&)> callback) {
+  write_callbacks_.push_back(std::move(callback));
+}
+
+}  // namespace mfw::storage

@@ -1,0 +1,50 @@
+// Thread-safe in-memory FileSystem, the default backing store for facility
+// filesystems in tests, examples, and simulation runs.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "sim/clock.hpp"
+#include "storage/filesystem.hpp"
+
+namespace mfw::storage {
+
+class MemFs final : public FileSystem {
+ public:
+  /// `clock` stamps mtimes when non-null (not owned; must outlive the fs);
+  /// otherwise a per-fs monotone counter is used.
+  explicit MemFs(std::string name, const sim::Clock* clock = nullptr);
+
+  void write_file(std::string_view path,
+                  std::span<const std::byte> data) override;
+  std::vector<std::byte> read_file(std::string_view path) const override;
+  bool exists(std::string_view path) const override;
+  std::uint64_t file_size(std::string_view path) const override;
+  std::vector<FileInfo> list(std::string_view pattern) const override;
+  bool remove(std::string_view path) override;
+  void rename(std::string_view from, std::string_view to) override;
+  std::string name() const override { return name_; }
+
+  /// Registers a callback invoked (outside the internal lock) after each file
+  /// create/replace. Used by event-driven tests; the production monitor polls.
+  void on_write(std::function<void(const FileInfo&)> callback);
+
+ private:
+  struct Entry {
+    std::vector<std::byte> data;
+    double mtime = 0.0;
+  };
+
+  double stamp();
+
+  std::string name_;
+  const sim::Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> files_;
+  double counter_ = 0.0;
+  std::vector<std::function<void(const FileInfo&)>> write_callbacks_;
+};
+
+}  // namespace mfw::storage

@@ -1,0 +1,132 @@
+#include "storage/serialize.hpp"
+
+namespace mfw::storage {
+
+void BinaryWriter::u16(std::uint16_t v) {
+  const std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+  raw(b, 2);
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  std::uint8_t b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, 4);
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  std::uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  raw(b, 8);
+}
+
+void BinaryWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  u32(bits);
+}
+
+void BinaryWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  u64(bits);
+}
+
+void BinaryWriter::str(std::string_view s) {
+  if (s.size() > 0xffff) throw FormatError("string too long to serialize");
+  u16(static_cast<std::uint16_t>(s.size()));
+  raw(s.data(), s.size());
+}
+
+void BinaryWriter::raw(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::byte*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+void BinaryWriter::patch_u32(std::size_t offset, std::uint32_t v) {
+  if (offset + 4 > buffer_.size()) throw FormatError("patch_u32 out of range");
+  for (int i = 0; i < 4; ++i)
+    buffer_[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::byte>(v >> (8 * i));
+}
+
+void BinaryReader::need(std::size_t size) const {
+  if (offset_ + size > data_.size())
+    throw FormatError("truncated input: need " + std::to_string(size) +
+                      " bytes at offset " + std::to_string(offset_));
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(data_[offset_++]);
+}
+
+std::uint16_t BinaryReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i)
+    v = static_cast<std::uint16_t>(
+        v | (static_cast<std::uint16_t>(static_cast<std::uint8_t>(
+                 data_[offset_ + static_cast<std::size_t>(i)]))
+             << (8 * i)));
+  offset_ += 2;
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(
+             data_[offset_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  offset_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(
+             data_[offset_ + static_cast<std::size_t>(i)]))
+         << (8 * i);
+  offset_ += 8;
+  return v;
+}
+
+float BinaryReader::f32() {
+  const std::uint32_t bits = u32();
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+double BinaryReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint16_t len = u16();
+  need(len);
+  std::string s(reinterpret_cast<const char*>(data_.data() + offset_), len);
+  offset_ += len;
+  return s;
+}
+
+std::span<const std::byte> BinaryReader::raw(std::size_t size) {
+  need(size);
+  auto view = data_.subspan(offset_, size);
+  offset_ += size;
+  return view;
+}
+
+void BinaryReader::skip(std::size_t size) {
+  need(size);
+  offset_ += size;
+}
+
+}  // namespace mfw::storage

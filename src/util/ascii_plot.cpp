@@ -1,0 +1,104 @@
+#include "util/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace mfw::util {
+
+namespace {
+std::string short_num(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof buf, "%.2g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string ascii_plot(const std::vector<Series>& series, std::size_t width,
+                       std::size_t height, const std::string& x_label,
+                       const std::string& y_label) {
+  double xmin = 0, xmax = 1, ymin = 0, ymax = 1;
+  bool first = true;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (first) {
+        xmin = xmax = s.xs[i];
+        ymin = ymax = s.ys[i];
+        first = false;
+      } else {
+        xmin = std::min(xmin, s.xs[i]);
+        xmax = std::max(xmax, s.xs[i]);
+        ymin = std::min(ymin, s.ys[i]);
+        ymax = std::max(ymax, s.ys[i]);
+      }
+    }
+  }
+  if (xmax == xmin) xmax = xmin + 1;
+  if (ymax == ymin) ymax = ymin + 1;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  auto put = [&](double x, double y, char m) {
+    const auto cx = static_cast<std::ptrdiff_t>(
+        std::lround((x - xmin) / (xmax - xmin) * static_cast<double>(width - 1)));
+    const auto cy = static_cast<std::ptrdiff_t>(
+        std::lround((y - ymin) / (ymax - ymin) * static_cast<double>(height - 1)));
+    if (cx < 0 || cy < 0 || cx >= static_cast<std::ptrdiff_t>(width) ||
+        cy >= static_cast<std::ptrdiff_t>(height))
+      return;
+    canvas[height - 1 - static_cast<std::size_t>(cy)][static_cast<std::size_t>(cx)] = m;
+  };
+
+  for (const auto& s : series) {
+    // Line segments between consecutive points, drawn with '.', then markers.
+    for (std::size_t i = 0; i + 1 < s.xs.size() && i + 1 < s.ys.size(); ++i) {
+      const int steps = 24;
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        put(s.xs[i] + t * (s.xs[i + 1] - s.xs[i]),
+            s.ys[i] + t * (s.ys[i + 1] - s.ys[i]), '.');
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i)
+      put(s.xs[i], s.ys[i], s.marker);
+  }
+
+  std::ostringstream os;
+  os << y_label << "  (" << short_num(ymin) << " .. " << short_num(ymax) << ")\n";
+  for (const auto& row : canvas) os << "  |" << row << "\n";
+  os << "  +" << std::string(width, '-') << "\n";
+  os << "   " << short_num(xmin)
+     << std::string(width > 24 ? width - 16 : 4, ' ') << short_num(xmax) << "   "
+     << x_label << "\n";
+  if (series.size() > 1 || (!series.empty() && !series.front().name.empty())) {
+    os << "  legend:";
+    for (const auto& s : series) os << "  '" << s.marker << "' = " << s.name;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                       std::size_t width) {
+  double peak = 0;
+  std::size_t label_width = 0;
+  for (const auto& [label, v] : bars) {
+    peak = std::max(peak, v);
+    label_width = std::max(label_width, label.size());
+  }
+  if (peak <= 0) peak = 1;
+  std::ostringstream os;
+  for (const auto& [label, v] : bars) {
+    const auto w = static_cast<std::size_t>(
+        std::lround(v / peak * static_cast<double>(width)));
+    os << "  " << label << std::string(label_width - label.size(), ' ') << " | "
+       << std::string(w, '#') << ' ' << short_num(v) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mfw::util

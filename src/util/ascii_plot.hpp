@@ -1,0 +1,30 @@
+// Minimal ASCII plotting for benchmark binaries: the figures in the paper are
+// line plots (scaling curves, worker timelines); we render the same series as
+// terminal plots plus CSV so the shape is inspectable without a plotting
+// stack.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mfw::util {
+
+struct Series {
+  std::string name;
+  std::vector<double> xs;
+  std::vector<double> ys;
+  char marker = '*';
+};
+
+/// Renders one or more series on a shared canvas with axis labels.
+/// `width`/`height` are the plot-area dimensions in characters.
+std::string ascii_plot(const std::vector<Series>& series, std::size_t width = 64,
+                       std::size_t height = 16, const std::string& x_label = "x",
+                       const std::string& y_label = "y");
+
+/// Horizontal bar chart: one labelled bar per entry.
+std::string ascii_bars(const std::vector<std::pair<std::string, double>>& bars,
+                       std::size_t width = 48);
+
+}  // namespace mfw::util

@@ -1,0 +1,96 @@
+#include "util/bytes.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace mfw::util {
+
+std::uint64_t parse_bytes(std::string_view text) {
+  std::size_t i = 0;
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+  std::size_t start = i;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) || text[i] == '.'))
+    ++i;
+  if (i == start) throw std::invalid_argument("parse_bytes: no number in input");
+  const double value = std::stod(std::string(text.substr(start, i - start)));
+  while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+
+  std::string unit;
+  for (; i < text.size(); ++i) {
+    if (std::isspace(static_cast<unsigned char>(text[i]))) break;
+    unit.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(text[i]))));
+  }
+  double scale = 1.0;
+  if (unit.empty() || unit == "b") {
+    scale = 1.0;
+  } else if (unit == "k" || unit == "kb" || unit == "kib") {
+    scale = static_cast<double>(kKiB);
+  } else if (unit == "m" || unit == "mb" || unit == "mib") {
+    scale = static_cast<double>(kMiB);
+  } else if (unit == "g" || unit == "gb" || unit == "gib") {
+    scale = static_cast<double>(kGiB);
+  } else if (unit == "t" || unit == "tb" || unit == "tib") {
+    scale = static_cast<double>(kTiB);
+  } else {
+    throw std::invalid_argument("parse_bytes: unknown unit '" + unit + "'");
+  }
+  return static_cast<std::uint64_t>(std::llround(value * scale));
+}
+
+namespace {
+std::string format_with_unit(double value, const char* unit) {
+  char buf[48];
+  if (value >= 100.0) {
+    std::snprintf(buf, sizeof buf, "%.0f%s", value, unit);
+  } else if (value >= 10.0) {
+    std::snprintf(buf, sizeof buf, "%.1f%s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f%s", value, unit);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string format_bytes(std::uint64_t bytes) {
+  const auto v = static_cast<double>(bytes);
+  if (bytes >= kTiB) return format_with_unit(v / static_cast<double>(kTiB), "TB");
+  if (bytes >= kGiB) return format_with_unit(v / static_cast<double>(kGiB), "GB");
+  if (bytes >= kMiB) return format_with_unit(v / static_cast<double>(kMiB), "MB");
+  if (bytes >= kKiB) return format_with_unit(v / static_cast<double>(kKiB), "KB");
+  return format_with_unit(v, "B");
+}
+
+std::string format_rate(double bytes_per_sec) {
+  if (bytes_per_sec >= static_cast<double>(kGiB))
+    return format_with_unit(bytes_per_sec / static_cast<double>(kGiB), "GB/s");
+  if (bytes_per_sec >= static_cast<double>(kMiB))
+    return format_with_unit(bytes_per_sec / static_cast<double>(kMiB), "MB/s");
+  if (bytes_per_sec >= static_cast<double>(kKiB))
+    return format_with_unit(bytes_per_sec / static_cast<double>(kKiB), "KB/s");
+  return format_with_unit(bytes_per_sec, "B/s");
+}
+
+std::string format_seconds(double seconds) {
+  char buf[48];
+  if (seconds < 0.9995e-3) {
+    std::snprintf(buf, sizeof buf, "%.0fus", seconds * 1e6);
+  } else if (seconds < 0.9995) {
+    std::snprintf(buf, sizeof buf, "%.0fms", seconds * 1e3);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof buf, "%.2fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof buf, "%dm%02.0fs", static_cast<int>(seconds / 60.0),
+                  std::fmod(seconds, 60.0));
+  } else {
+    std::snprintf(buf, sizeof buf, "%dh%02dm",
+                  static_cast<int>(seconds / 3600.0),
+                  static_cast<int>(std::fmod(seconds, 3600.0) / 60.0));
+  }
+  return buf;
+}
+
+}  // namespace mfw::util

@@ -1,0 +1,31 @@
+// Byte-size parsing/formatting ("32GB" <-> 34359738368) used by configs and
+// bench output. Units are powers of 1024 (KB == KiB here, matching common HPC
+// usage in the paper's context).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mfw::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = kKiB * 1024ULL;
+inline constexpr std::uint64_t kGiB = kMiB * 1024ULL;
+inline constexpr std::uint64_t kTiB = kGiB * 1024ULL;
+
+/// Parses "100MB", "8.4 GB", "512", "1.5TiB" (case-insensitive, optional 'i').
+/// Throws std::invalid_argument on malformed input.
+std::uint64_t parse_bytes(std::string_view text);
+
+/// Formats a byte count with the largest unit that keeps the value >= 1,
+/// e.g. 34359738368 -> "32.0GB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Formats a rate in bytes/second, e.g. "12.4MB/s".
+std::string format_rate(double bytes_per_sec);
+
+/// Formats seconds with adaptive precision ("44.0s", "5.63s", "50ms").
+std::string format_seconds(double seconds);
+
+}  // namespace mfw::util

@@ -1,0 +1,45 @@
+#include "util/crc32.hpp"
+
+#include <array>
+
+namespace mfw::util {
+namespace {
+
+std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = make_table();
+  return t;
+}
+
+}  // namespace
+
+void Crc32::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& t = table();
+  for (std::size_t i = 0; i < size; ++i) {
+    state_ = t[(state_ ^ p[i]) & 0xffu] ^ (state_ >> 8);
+  }
+}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  Crc32 c;
+  c.update(data, size);
+  return c.value();
+}
+
+std::uint32_t crc32(std::span<const std::byte> data) {
+  return crc32(data.data(), data.size());
+}
+
+}  // namespace mfw::util

@@ -1,0 +1,26 @@
+// CRC-32 (IEEE 802.3 polynomial) for integrity checks in the hdfl / ncl
+// container formats and transfer verification.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace mfw::util {
+
+/// One-shot CRC over a buffer.
+std::uint32_t crc32(std::span<const std::byte> data);
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Incremental CRC; feed chunks via update(), read via value().
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t size);
+  void update(std::span<const std::byte> data) { update(data.data(), data.size()); }
+  std::uint32_t value() const { return state_ ^ 0xffffffffu; }
+
+ private:
+  std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace mfw::util

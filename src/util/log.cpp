@@ -1,0 +1,56 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace mfw::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() = default;
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void Logger::set_sink(Sink sink) {
+  std::lock_guard lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line.append("[").append(to_string(level)).append("] ");
+  line.append(component).append(": ").append(message);
+
+  std::lock_guard lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (sink_) {
+    sink_(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace mfw::util

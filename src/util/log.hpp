@@ -1,0 +1,79 @@
+// Lightweight leveled logger used across all mfw modules.
+//
+// Design notes:
+//  - A single global logger keeps the API ergonomic for library + bench code.
+//  - Sinks are pluggable so tests can capture output.
+//  - Log calls are thread-safe (a mutex guards sink dispatch); formatting
+//    happens outside the lock.
+#pragma once
+
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mfw::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Returns the canonical short name for a level ("DEBUG", "INFO", ...).
+std::string_view to_string(LogLevel level);
+
+/// Global, thread-safe logger. Obtain via Logger::instance().
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  /// Minimum level that will be emitted. Defaults to kInfo.
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  /// Replaces the output sink. Pass nullptr to restore the default
+  /// (stderr with a "[LEVEL] component: message" prefix).
+  void set_sink(Sink sink);
+
+  void log(LogLevel level, std::string_view component, std::string_view message);
+
+ private:
+  Logger();
+
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kInfo;
+  Sink sink_;
+};
+
+namespace detail {
+// Builds the message from stream-style arguments; keeps the macro below cheap
+// when the level is disabled.
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace mfw::util
+
+// Stream-style logging macros; arguments are not evaluated when the level is
+// below the logger threshold.
+#define MFW_LOG(mfw_level_, component, ...)                            \
+  do {                                                                 \
+    auto& mfw_logger_ = ::mfw::util::Logger::instance();               \
+    if (static_cast<int>(mfw_level_) >=                                \
+        static_cast<int>(mfw_logger_.level()))                         \
+      mfw_logger_.log(mfw_level_, component,                           \
+                      ::mfw::util::detail::concat(__VA_ARGS__));       \
+  } while (0)
+
+#define MFW_DEBUG(component, ...) \
+  MFW_LOG(::mfw::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define MFW_INFO(component, ...) \
+  MFW_LOG(::mfw::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define MFW_WARN(component, ...) \
+  MFW_LOG(::mfw::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define MFW_ERROR(component, ...) \
+  MFW_LOG(::mfw::util::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,37 @@
+// Small string / path helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfw::util {
+
+/// Splits on a single delimiter; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Glob-style match supporting '*' (any run) and '?' (single char).
+/// Used by filesystem listing and the flow monitor's file patterns.
+bool glob_match(std::string_view pattern, std::string_view text);
+
+/// Joins path segments with '/' collapsing duplicate separators.
+std::string path_join(std::string_view a, std::string_view b);
+
+/// Final path component ("a/b/c.nc" -> "c.nc").
+std::string_view path_basename(std::string_view path);
+
+/// Directory part ("a/b/c.nc" -> "a/b"; "c.nc" -> "").
+std::string_view path_dirname(std::string_view path);
+
+/// printf-style formatting into std::string.
+std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace mfw::util

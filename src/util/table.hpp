@@ -1,0 +1,33 @@
+// Console table renderer for benchmark output (reproduces the paper's
+// Table I layout) and CSV export for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mfw::util {
+
+/// Column-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with column alignment and a separator under the header.
+  std::string render() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mfw::util

@@ -1,0 +1,34 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace mfw::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) throw std::invalid_argument("ThreadPool needs >= 1 thread");
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::submit(std::function<void()> task) {
+  return queue_.push(std::move(task));
+}
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace mfw::util

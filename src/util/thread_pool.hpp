@@ -1,0 +1,41 @@
+// Fixed-size thread pool over BlockingQueue. This is the *real-thread*
+// execution substrate (used by ThreadPoolExecutor and tests); the scaling
+// benchmarks use the discrete-event ClusterExecutor instead, since scaling
+// curves cannot be measured on this host's core count.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/blocking_queue.hpp"
+
+namespace mfw::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Returns false after shutdown() / destruction began.
+  bool submit(std::function<void()> task);
+
+  /// Stops accepting tasks, drains the queue, and joins workers. Idempotent.
+  void shutdown();
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mfw::util

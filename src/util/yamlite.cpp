@@ -1,0 +1,486 @@
+#include "util/yamlite.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/bytes.hpp"
+#include "util/strings.hpp"
+
+namespace mfw::util {
+
+namespace {
+
+const YamlNode& null_node() {
+  static const YamlNode node;
+  return node;
+}
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& what) {
+  throw YamlError("yaml:" + std::to_string(line_no) + ": " + what);
+}
+
+struct Line {
+  std::size_t number;   // 1-based source line
+  std::size_t indent;   // leading spaces
+  std::string content;  // after indent, comment stripped, rtrimmed
+};
+
+// Strips a trailing comment that is not inside quotes.
+std::string strip_comment(std::string_view s) {
+  bool in_single = false;
+  bool in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == '#' && !in_single && !in_double &&
+             (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t')) {
+      return std::string(trim(s.substr(0, i)));
+    }
+  }
+  return std::string(trim(s));
+}
+
+std::vector<Line> to_lines(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      ++line_no;
+      std::string_view raw = text.substr(start, i - start);
+      start = i + 1;
+      std::size_t indent = 0;
+      while (indent < raw.size() && raw[indent] == ' ') ++indent;
+      if (indent < raw.size() && raw[indent] == '\t')
+        fail(line_no, "tab indentation is not supported");
+      std::string content = strip_comment(raw.substr(indent));
+      if (content.empty()) continue;
+      if (content == "---") continue;  // document marker
+      lines.push_back({line_no, indent, std::move(content)});
+    }
+  }
+  return lines;
+}
+
+YamlNode parse_value(std::string_view token, std::size_t line_no);
+
+// Splits `inner` on top-level commas (outside quotes, brackets, and braces)
+// and invokes `consume` per field.
+template <typename Fn>
+void split_flow_fields(std::string_view inner, std::size_t line_no,
+                       Fn&& consume) {
+  bool in_single = false, in_double = false;
+  int depth = 0;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= inner.size(); ++i) {
+    if (i < inner.size()) {
+      const char c = inner[i];
+      if (c == '\'' && !in_double) in_single = !in_single;
+      else if (c == '"' && !in_single) in_double = !in_double;
+      else if (!in_single && !in_double && (c == '[' || c == '{')) ++depth;
+      else if (!in_single && !in_double && (c == ']' || c == '}')) --depth;
+    }
+    if (i == inner.size() ||
+        (inner[i] == ',' && !in_single && !in_double && depth == 0)) {
+      consume(inner.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (depth != 0 || in_single || in_double)
+    fail(line_no, "unbalanced flow collection");
+}
+
+// Parses a scalar token: unquotes, recognizes flow lists and flow maps.
+YamlNode parse_value(std::string_view token, std::size_t line_no) {
+  token = trim(token);
+  if (token.empty() || token == "~" || token == "null") return YamlNode{};
+  if (token.front() == '[') {
+    if (token.back() != ']') fail(line_no, "unterminated flow list");
+    auto node = YamlNode::list();
+    std::string_view inner = token.substr(1, token.size() - 2);
+    if (trim(inner).empty()) return node;
+    split_flow_fields(inner, line_no, [&](std::string_view field) {
+      node.push_back(parse_value(field, line_no));
+    });
+    return node;
+  }
+  if (token.front() == '{') {
+    if (token.back() != '}') fail(line_no, "unterminated flow map");
+    auto node = YamlNode::map();
+    std::string_view inner = token.substr(1, token.size() - 2);
+    if (trim(inner).empty()) return node;
+    split_flow_fields(inner, line_no, [&](std::string_view field) {
+      field = trim(field);
+      // Find the key separator at depth 0 (allowing nested collections in
+      // the value).
+      bool fs = false, fd = false;
+      int depth = 0;
+      std::size_t colon = std::string_view::npos;
+      for (std::size_t i = 0; i < field.size(); ++i) {
+        const char c = field[i];
+        if (c == '\'' && !fd) fs = !fs;
+        else if (c == '"' && !fs) fd = !fd;
+        else if (!fs && !fd && (c == '[' || c == '{')) ++depth;
+        else if (!fs && !fd && (c == ']' || c == '}')) --depth;
+        else if (c == ':' && !fs && !fd && depth == 0) {
+          colon = i;
+          break;
+        }
+      }
+      if (colon == std::string_view::npos)
+        fail(line_no, "flow map entry missing ':'");
+      std::string key(trim(field.substr(0, colon)));
+      if (key.size() >= 2 && (key.front() == '"' || key.front() == '\'') &&
+          key.back() == key.front()) {
+        key = key.substr(1, key.size() - 2);
+      }
+      node.set(std::move(key), parse_value(field.substr(colon + 1), line_no));
+    });
+    return node;
+  }
+  if ((token.front() == '"' && token.back() == '"' && token.size() >= 2) ||
+      (token.front() == '\'' && token.back() == '\'' && token.size() >= 2)) {
+    return YamlNode::scalar(std::string(token.substr(1, token.size() - 2)));
+  }
+  return YamlNode::scalar(std::string(token));
+}
+
+// Finds the ':' that splits "key: value" (outside quotes); returns npos if
+// the line is not a map entry.
+std::size_t find_key_colon(std::string_view s) {
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    else if (c == '"' && !in_single) in_double = !in_double;
+    else if (c == ':' && !in_single && !in_double) {
+      if (i + 1 == s.size() || s[i + 1] == ' ') return i;
+    }
+  }
+  return std::string_view::npos;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  YamlNode parse() {
+    if (lines_.empty()) return YamlNode::map();
+    YamlNode root = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) fail(lines_[pos_].number, "unexpected dedent/indent");
+    return root;
+  }
+
+ private:
+  // Parses the block whose entries sit exactly at `indent`.
+  YamlNode parse_block(std::size_t indent) {
+    if (starts_with(lines_[pos_].content, "- ") || lines_[pos_].content == "-") {
+      return parse_list(indent);
+    }
+    return parse_map(indent);
+  }
+
+  YamlNode parse_map(std::size_t indent) {
+    auto node = YamlNode::map();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+      const Line& line = lines_[pos_];
+      if (starts_with(line.content, "- "))
+        fail(line.number, "list item in map block");
+      const auto colon = find_key_colon(line.content);
+      if (colon == std::string_view::npos)
+        fail(line.number, "expected 'key: value'");
+      std::string key(trim(std::string_view(line.content).substr(0, colon)));
+      if (!key.empty() && (key.front() == '"' || key.front() == '\'') &&
+          key.size() >= 2 && key.back() == key.front()) {
+        key = key.substr(1, key.size() - 2);
+      }
+      std::string_view rest = trim(std::string_view(line.content).substr(colon + 1));
+      ++pos_;
+      if (!rest.empty()) {
+        node.set(std::move(key), parse_value(rest, line.number));
+      } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        node.set(std::move(key), parse_block(lines_[pos_].indent));
+      } else {
+        node.set(std::move(key), YamlNode{});
+      }
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent)
+      fail(lines_[pos_].number, "unexpected indent");
+    return node;
+  }
+
+  YamlNode parse_list(std::size_t indent) {
+    auto node = YamlNode::list();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (starts_with(lines_[pos_].content, "- ") || lines_[pos_].content == "-")) {
+      Line& line = lines_[pos_];
+      std::string_view rest =
+          line.content == "-" ? std::string_view{}
+                              : trim(std::string_view(line.content).substr(2));
+      if (rest.empty()) {
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          node.push_back(parse_block(lines_[pos_].indent));
+        } else {
+          node.push_back(YamlNode{});
+        }
+        continue;
+      }
+      const auto colon = find_key_colon(rest);
+      if (colon != std::string_view::npos) {
+        // "- key: value" opens an inline map whose further entries are
+        // indented to the position of `key`. Rewrite this line in place as a
+        // plain map entry at that virtual indent and re-parse as a map block.
+        const std::size_t virtual_indent =
+            line.indent + (line.content.size() - rest.size());
+        line.indent = virtual_indent;
+        line.content = std::string(rest);
+        node.push_back(parse_map(virtual_indent));
+      } else {
+        ++pos_;
+        node.push_back(parse_value(rest, line.number));
+      }
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent)
+      fail(lines_[pos_].number, "unexpected indent after list");
+    return node;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+bool scalar_to_bool(const std::string& s, bool& out) {
+  if (s == "true" || s == "True" || s == "yes" || s == "on") { out = true; return true; }
+  if (s == "false" || s == "False" || s == "no" || s == "off") { out = false; return true; }
+  return false;
+}
+
+void dump_node(const YamlNode& node, std::ostringstream& os, int indent);
+
+bool needs_quotes(const std::string& s) {
+  if (s.empty()) return true;
+  for (char c : s) {
+    if (c == ':' || c == '#' || c == '[' || c == ']' || c == ',' || c == '\'' ||
+        c == '"' || c == '\n')
+      return true;
+  }
+  return s.front() == ' ' || s.back() == ' ' || s == "null" || s == "~";
+}
+
+void dump_scalar(const YamlNode& node, std::ostringstream& os) {
+  if (node.is_null()) {
+    os << "null";
+    return;
+  }
+  const auto& s = node.as_string();
+  if (needs_quotes(s)) {
+    os << '"';
+    for (char c : s) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  } else {
+    os << s;
+  }
+}
+
+void dump_node(const YamlNode& node, std::ostringstream& os, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  switch (node.kind()) {
+    case YamlNode::Kind::kNull:
+    case YamlNode::Kind::kScalar:
+      os << pad;
+      dump_scalar(node, os);
+      os << '\n';
+      break;
+    case YamlNode::Kind::kList:
+      for (const auto& item : node.items()) {
+        if (item.is_map() || item.is_list()) {
+          os << pad << "-\n";
+          dump_node(item, os, indent + 2);
+        } else {
+          os << pad << "- ";
+          dump_scalar(item, os);
+          os << '\n';
+        }
+      }
+      break;
+    case YamlNode::Kind::kMap:
+      for (const auto& key : node.keys()) {
+        const auto& value = node[key];
+        if (value.is_map() || value.is_list()) {
+          os << pad << key << ":\n";
+          dump_node(value, os, indent + 2);
+        } else {
+          os << pad << key << ": ";
+          dump_scalar(value, os);
+          os << '\n';
+        }
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+YamlNode YamlNode::scalar(std::string value) {
+  YamlNode node(Kind::kScalar);
+  node.scalar_ = std::move(value);
+  return node;
+}
+
+YamlNode YamlNode::list() { return YamlNode(Kind::kList); }
+YamlNode YamlNode::map() { return YamlNode(Kind::kMap); }
+
+const std::string& YamlNode::as_string() const {
+  if (kind_ != Kind::kScalar) throw YamlError("node is not a scalar");
+  return scalar_;
+}
+
+std::int64_t YamlNode::as_int() const {
+  const auto& s = as_string();
+  try {
+    std::size_t used = 0;
+    const auto v = std::stoll(s, &used, 0);
+    if (used != s.size()) throw YamlError("trailing characters in int: " + s);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw YamlError("not an integer: " + s);
+  } catch (const std::out_of_range&) {
+    throw YamlError("integer out of range: " + s);
+  }
+}
+
+double YamlNode::as_double() const {
+  const auto& s = as_string();
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw YamlError("trailing characters in double: " + s);
+    return v;
+  } catch (const std::invalid_argument&) {
+    throw YamlError("not a number: " + s);
+  } catch (const std::out_of_range&) {
+    throw YamlError("number out of range: " + s);
+  }
+}
+
+bool YamlNode::as_bool() const {
+  bool out = false;
+  if (!scalar_to_bool(as_string(), out))
+    throw YamlError("not a boolean: " + as_string());
+  return out;
+}
+
+std::uint64_t YamlNode::as_bytes() const {
+  try {
+    return parse_bytes(as_string());
+  } catch (const std::invalid_argument& e) {
+    throw YamlError(e.what());
+  }
+}
+
+std::string YamlNode::as_string_or(std::string fallback) const {
+  return is_null() ? std::move(fallback) : as_string();
+}
+std::int64_t YamlNode::as_int_or(std::int64_t fallback) const {
+  return is_null() ? fallback : as_int();
+}
+double YamlNode::as_double_or(double fallback) const {
+  return is_null() ? fallback : as_double();
+}
+bool YamlNode::as_bool_or(bool fallback) const {
+  return is_null() ? fallback : as_bool();
+}
+
+std::size_t YamlNode::size() const {
+  if (kind_ == Kind::kList) return list_.size();
+  if (kind_ == Kind::kMap) return keys_.size();
+  return 0;
+}
+
+const YamlNode& YamlNode::at(std::size_t index) const {
+  if (kind_ != Kind::kList) throw YamlError("node is not a list");
+  if (index >= list_.size()) throw YamlError("list index out of range");
+  return list_[index];
+}
+
+const std::vector<YamlNode>& YamlNode::items() const {
+  if (kind_ != Kind::kList) throw YamlError("node is not a list");
+  return list_;
+}
+
+void YamlNode::push_back(YamlNode node) {
+  if (kind_ != Kind::kList) throw YamlError("push_back on non-list");
+  list_.push_back(std::move(node));
+}
+
+bool YamlNode::has(std::string_view key) const {
+  return kind_ == Kind::kMap && map_.find(key) != map_.end();
+}
+
+const YamlNode& YamlNode::operator[](std::string_view key) const {
+  if (kind_ != Kind::kMap) return null_node();
+  const auto it = map_.find(key);
+  return it == map_.end() ? null_node() : it->second;
+}
+
+const YamlNode& YamlNode::require(std::string_view key) const {
+  if (kind_ != Kind::kMap) throw YamlError("node is not a map");
+  const auto it = map_.find(key);
+  if (it == map_.end()) throw YamlError("missing required key: " + std::string(key));
+  return it->second;
+}
+
+const std::vector<std::string>& YamlNode::keys() const {
+  if (kind_ != Kind::kMap) throw YamlError("node is not a map");
+  return keys_;
+}
+
+void YamlNode::set(std::string key, YamlNode value) {
+  if (kind_ != Kind::kMap) throw YamlError("set on non-map");
+  if (map_.find(key) == map_.end()) keys_.push_back(key);
+  map_[std::move(key)] = std::move(value);
+}
+
+const YamlNode& YamlNode::path(std::string_view dotted) const {
+  const YamlNode* node = this;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= dotted.size(); ++i) {
+    if (i == dotted.size() || dotted[i] == '.') {
+      node = &(*node)[dotted.substr(start, i - start)];
+      start = i + 1;
+      if (node->is_null() && i != dotted.size()) return null_node();
+    }
+  }
+  return *node;
+}
+
+std::string YamlNode::dump(int indent) const {
+  std::ostringstream os;
+  dump_node(*this, os, indent);
+  return os.str();
+}
+
+YamlNode parse_yaml(std::string_view text) {
+  return Parser(to_lines(text)).parse();
+}
+
+YamlNode merge_yaml(const YamlNode& base, const YamlNode& overlay) {
+  if (!base.is_map() || !overlay.is_map()) return overlay;
+  YamlNode merged = base;
+  for (const auto& key : overlay.keys()) {
+    if (base.has(key)) {
+      merged.set(key, merge_yaml(base[key], overlay[key]));
+    } else {
+      merged.set(key, overlay[key]);
+    }
+  }
+  return merged;
+}
+
+}  // namespace mfw::util

@@ -1,0 +1,105 @@
+// yamlite: a deliberately small YAML-subset parser.
+//
+// The paper's workflow is configured "through a locally available YAML file"
+// (download endpoints, products, time spans, worker counts) and Globus Flows
+// are JSON/YAML state machines. We implement the subset those need:
+//
+//   - block maps (`key: value`, `key:` + indented block)
+//   - block lists (`- item`, `- key: value` starting an inline map entry)
+//   - scalars: strings (bare / single- / double-quoted), ints, doubles,
+//     booleans, null
+//   - flow lists on one line: `[a, b, c]`
+//   - comments (`# ...`) and blank lines
+//
+// Anchors, aliases, multi-line scalars, and flow maps are out of scope.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mfw::util {
+
+/// Parse/structure error with line information where available.
+class YamlError : public std::runtime_error {
+ public:
+  explicit YamlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A parsed YAML node: scalar, list, or map (insertion-ordered keys).
+class YamlNode {
+ public:
+  enum class Kind { kNull, kScalar, kList, kMap };
+
+  YamlNode() : kind_(Kind::kNull) {}
+  static YamlNode scalar(std::string value);
+  static YamlNode list();
+  static YamlNode map();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_map() const { return kind_ == Kind::kMap; }
+
+  // -- Scalar accessors (throw YamlError on kind/format mismatch) ----------
+  const std::string& as_string() const;
+  std::int64_t as_int() const;
+  double as_double() const;
+  bool as_bool() const;
+  /// Parses byte sizes like "32GB" via parse_bytes().
+  std::uint64_t as_bytes() const;
+
+  // Defaulted variants return `fallback` when the node is null.
+  std::string as_string_or(std::string fallback) const;
+  std::int64_t as_int_or(std::int64_t fallback) const;
+  double as_double_or(double fallback) const;
+  bool as_bool_or(bool fallback) const;
+
+  // -- List access ----------------------------------------------------------
+  std::size_t size() const;
+  const YamlNode& at(std::size_t index) const;
+  const std::vector<YamlNode>& items() const;
+  void push_back(YamlNode node);
+
+  // -- Map access -----------------------------------------------------------
+  /// True if the map contains `key` (false for non-maps).
+  bool has(std::string_view key) const;
+  /// Map lookup; returns a shared null node when the key is absent so that
+  /// chained lookups like `cfg["a"]["b"].as_int_or(3)` are safe.
+  const YamlNode& operator[](std::string_view key) const;
+  /// Map lookup that throws YamlError when the key is missing.
+  const YamlNode& require(std::string_view key) const;
+  /// Insertion-ordered keys of a map.
+  const std::vector<std::string>& keys() const;
+  void set(std::string key, YamlNode value);
+
+  /// Dotted-path lookup across nested maps: path("download.workers").
+  const YamlNode& path(std::string_view dotted) const;
+
+  /// Serializes back to YAML text (round-trip subset, used by provenance).
+  std::string dump(int indent = 0) const;
+
+ private:
+  explicit YamlNode(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  std::string scalar_;
+  std::vector<YamlNode> list_;
+  std::vector<std::string> keys_;
+  std::map<std::string, YamlNode, std::less<>> map_;
+};
+
+/// Parses a YAML document. Throws YamlError with a line number on failure.
+YamlNode parse_yaml(std::string_view text);
+
+/// Deep-merges `overlay` onto `base`: maps merge key-by-key recursively;
+/// any other kind (scalar, list, null-as-explicit-value) replaces. Used by
+/// the pipeline registry to apply per-run overrides to shared templates.
+YamlNode merge_yaml(const YamlNode& base, const YamlNode& overlay);
+
+}  // namespace mfw::util

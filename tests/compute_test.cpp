@@ -1,0 +1,371 @@
+// Tests for the compute substrate: real-thread executor, SlurmSim scheduling
+// semantics, the ClusterExecutor task farm (throughput, stragglers, node
+// drain), and the elastic BlockProvider.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "compute/block_provider.hpp"
+#include "compute/cluster.hpp"
+#include "compute/slurm_sim.hpp"
+#include "compute/thread_executor.hpp"
+#include "preprocess/tasks.hpp"
+
+namespace mfw::compute {
+namespace {
+
+TEST(ThreadPoolExecutor, FuturesDeliverResults) {
+  ThreadPoolExecutor exec(4);
+  auto f1 = exec.submit([] { return 21 * 2; });
+  auto f2 = exec.submit([] { return std::string("ok"); });
+  EXPECT_EQ(f1.get(), 42);
+  EXPECT_EQ(f2.get(), "ok");
+}
+
+TEST(ThreadPoolExecutor, ExceptionsPropagateThroughFuture) {
+  ThreadPoolExecutor exec(2);
+  auto f = exec.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolExecutor, SubmitAfterShutdownThrows) {
+  ThreadPoolExecutor exec(1);
+  exec.shutdown();
+  EXPECT_THROW(exec.submit([] { return 1; }), std::runtime_error);
+}
+
+TEST(SlurmSim, GrantsAfterSchedulingLatency) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{10, 2.0});
+  double granted_at = -1;
+  std::size_t nodes = 0;
+  slurm.submit(4, 100.0, [&](const SlurmAllocation& alloc) {
+    granted_at = engine.now();
+    nodes = alloc.node_ids.size();
+  });
+  engine.run_until(50.0);  // before the walltime expires
+  EXPECT_DOUBLE_EQ(granted_at, 2.0);
+  EXPECT_EQ(nodes, 4u);
+  EXPECT_EQ(slurm.free_nodes(), 6);
+  engine.run();  // walltime expiry returns the nodes
+  EXPECT_EQ(slurm.free_nodes(), 10);
+}
+
+TEST(SlurmSim, FifoQueueingWhenFull) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{4, 1.0});
+  std::vector<int> order;
+  SlurmJobId first = slurm.submit(4, 50.0, [&](const SlurmAllocation&) {
+    order.push_back(1);
+  });
+  slurm.submit(2, 50.0, [&](const SlurmAllocation&) { order.push_back(2); });
+  // Release the first job at t=10; job 2 then becomes eligible.
+  engine.schedule_at(10.0, [&] { slurm.release(first); });
+  engine.run_until(20.0);  // before job 2's walltime expires
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(slurm.free_nodes(), 2);
+  engine.run();
+}
+
+TEST(SlurmSim, WalltimeExpiryReturnsNodes) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{4, 0.5});
+  bool expired = false;
+  slurm.submit(4, 5.0, [](const SlurmAllocation&) {},
+               [&] { expired = true; });
+  engine.run();
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(slurm.free_nodes(), 4);
+}
+
+TEST(SlurmSim, CancelQueuedJob) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{2, 0.5});
+  slurm.submit(2, 100.0, [](const SlurmAllocation&) {});
+  bool granted = false;
+  const auto queued = slurm.submit(
+      1, 100.0, [&](const SlurmAllocation&) { granted = true; });
+  slurm.release(queued);  // cancel while still queued
+  engine.run();
+  EXPECT_FALSE(granted);
+}
+
+TEST(SlurmSim, BackfillLetsSmallJobsJumpBlockedHead) {
+  // Partition of 4; a running 3-node job blocks a queued 4-node head.
+  // Without backfill a 1-node job waits behind the head; with backfill it
+  // starts immediately on the free node.
+  auto small_job_start = [](bool backfill) {
+    sim::SimEngine engine;
+    SlurmSim slurm(engine, SlurmSimConfig{4, 0.5, backfill});
+    SlurmJobId big = slurm.submit(3, 20.0, [](const SlurmAllocation&) {});
+    slurm.submit(4, 20.0, [](const SlurmAllocation&) {});  // blocked head
+    double small_started = -1.0;
+    slurm.submit(1, 5.0, [&](const SlurmAllocation&) {
+      small_started = engine.now();
+    });
+    engine.schedule_at(10.0, [&] { slurm.release(big); });
+    engine.run_until(60.0);
+    return small_started;
+  };
+  // Backfilled right away onto the free node; without backfill the small
+  // job sits behind the head, which itself runs t=10.5..30.5.
+  EXPECT_LT(small_job_start(true), 2.0);
+  EXPECT_GT(small_job_start(false), 29.0);
+}
+
+TEST(SlurmSim, BackfillPreservesHeadPriorityOnRelease) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{4, 0.5, true});
+  SlurmJobId big = slurm.submit(4, 50.0, [](const SlurmAllocation&) {});
+  std::vector<int> order;
+  slurm.submit(4, 20.0, [&](const SlurmAllocation&) { order.push_back(1); });
+  slurm.submit(4, 20.0, [&](const SlurmAllocation&) { order.push_back(2); });
+  engine.schedule_at(5.0, [&] { slurm.release(big); });
+  engine.run_until(8.0);
+  // Only the head got the nodes (both need the full partition): FIFO held.
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  engine.run();
+}
+
+TEST(SlurmSim, RejectsInvalidRequests) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{2, 0.5});
+  EXPECT_THROW(slurm.submit(0, 1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(slurm.submit(3, 1.0, nullptr), std::invalid_argument);
+  EXPECT_THROW(slurm.submit(1, 0.0, nullptr), std::invalid_argument);
+}
+
+TEST(Cluster, RunsTasksAndRecordsResults) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(4);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    SimTaskDesc desc;
+    desc.cpu_seconds = 0.1;
+    desc.shared_demand = 5.0;
+    desc.payload = 5.0;
+    exec.submit(desc, [&](const SimTaskResult& r) {
+      ++completed;
+      EXPECT_GE(r.finished_at, r.started_at);
+      EXPECT_GE(r.started_at, r.submitted_at);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(exec.completed(), 10u);
+  EXPECT_DOUBLE_EQ(exec.completed_payload(), 50.0);
+  EXPECT_EQ(exec.results().size(), 10u);
+}
+
+TEST(Cluster, SingleWorkerThroughputMatchesLawR1) {
+  // One worker, sequential tile-unit tasks: aggregate rate must equal the
+  // law's R(1) (~10.5 t/s for the Defiant calibration).
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(1);
+  const int tasks = 50;
+  const double tiles_per_task = 20.0;
+  for (int i = 0; i < tasks; ++i) {
+    SimTaskDesc desc;
+    desc.shared_demand = tiles_per_task;
+    desc.payload = tiles_per_task;
+    exec.submit(desc);
+  }
+  engine.run();
+  const double makespan = exec.results().back().finished_at;
+  const double rate = tasks * tiles_per_task / makespan;
+  EXPECT_NEAR(rate, 38.5 * (1.0 - std::exp(-1.0 / 3.1)), 0.2);
+}
+
+TEST(Cluster, NodeScalingIsNearLinear) {
+  auto run_nodes = [](int nodes) {
+    sim::SimEngine engine;
+    ClusterExecutor exec(engine, defiant_law_factory());
+    for (int i = 0; i < nodes; ++i) exec.add_node(8);
+    for (int i = 0; i < nodes * 16; ++i) {
+      SimTaskDesc desc;
+      desc.shared_demand = 30.0;
+      desc.payload = 30.0;
+      exec.submit(desc);
+    }
+    engine.run();
+    const double makespan = exec.results().back().finished_at;
+    return exec.completed_payload() / makespan;
+  };
+  const double r1 = run_nodes(1);
+  const double r4 = run_nodes(4);
+  EXPECT_GT(r4, 3.5 * r1);
+  EXPECT_LT(r4, 4.5 * r1);
+}
+
+TEST(Cluster, OnNodeWorkerScalingSaturates) {
+  auto run_workers = [](int workers) {
+    sim::SimEngine engine;
+    ClusterExecutor exec(engine, defiant_law_factory());
+    exec.add_node(workers);
+    for (int i = 0; i < 64; ++i) {
+      SimTaskDesc desc;
+      desc.shared_demand = 20.0;
+      desc.payload = 20.0;
+      exec.submit(desc);
+    }
+    engine.run();
+    return exec.completed_payload() / exec.results().back().finished_at;
+  };
+  const double r1 = run_workers(1);
+  const double r8 = run_workers(8);
+  const double r32 = run_workers(32);
+  EXPECT_GT(r8, 2.5 * r1);        // strong initial speedup
+  EXPECT_LT(r32, r8 * 1.25);      // saturation beyond ~8 workers
+}
+
+TEST(Cluster, LeastLoadedPlacementSpreadsTasks) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(4);
+  exec.add_node(4);
+  std::set<int> nodes_used;
+  for (int i = 0; i < 8; ++i) {
+    SimTaskDesc desc;
+    desc.shared_demand = 10.0;
+    exec.submit(desc, [&](const SimTaskResult& r) { nodes_used.insert(r.node); });
+  }
+  engine.run();
+  EXPECT_EQ(nodes_used.size(), 2u);
+}
+
+TEST(Cluster, DrainNodeRemovesAfterCompletion) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  const int node = exec.add_node(2);
+  SimTaskDesc desc;
+  desc.shared_demand = 5.0;
+  exec.submit(desc);
+  EXPECT_TRUE(exec.drain_node(node));
+  EXPECT_EQ(exec.node_count(), 1u);  // still busy
+  engine.run();
+  EXPECT_EQ(exec.node_count(), 0u);
+  EXPECT_FALSE(exec.drain_node(999));
+}
+
+TEST(Cluster, NotifyIdleFires) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(1);
+  bool idle = false;
+  SimTaskDesc desc;
+  desc.shared_demand = 3.0;
+  exec.submit(desc);
+  exec.notify_idle([&] { idle = true; });
+  engine.run();
+  EXPECT_TRUE(idle);
+}
+
+TEST(Cluster, ActivityTransitionsAreConsistent) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(3);
+  for (int i = 0; i < 9; ++i) {
+    SimTaskDesc desc;
+    desc.shared_demand = 4.0;
+    exec.submit(desc);
+  }
+  engine.run();
+  const auto& activity = exec.activity();
+  ASSERT_FALSE(activity.empty());
+  int peak = 0;
+  double last_t = 0;
+  for (const auto& [t, n] : activity) {
+    ASSERT_GE(t, last_t);
+    last_t = t;
+    ASSERT_GE(n, 0);
+    ASSERT_LE(n, 3);
+    peak = std::max(peak, n);
+  }
+  EXPECT_EQ(peak, 3);
+  EXPECT_EQ(activity.back().second, 0);  // idle at the end
+}
+
+TEST(BlockProvider, ScalesOutUnderLoadAndInWhenIdle) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{36, 0.5});
+  ClusterExecutor exec(engine, defiant_law_factory());
+  BlockConfig config;
+  config.nodes_per_block = 1;
+  config.workers_per_node = 4;
+  config.init_blocks = 1;
+  config.min_blocks = 0;
+  config.max_blocks = 4;
+  config.idle_timeout = 3.0;
+  config.poll_interval = 0.5;
+  BlockProvider provider(engine, slurm, exec, config);
+  provider.start();
+  int completed = 0;
+  for (int i = 0; i < 60; ++i) {
+    SimTaskDesc desc;
+    desc.shared_demand = 20.0;
+    exec.submit(desc, [&](const SimTaskResult&) { ++completed; });
+  }
+  int peak_blocks = 0;
+  // Observe scaling while the farm works.
+  for (int t = 1; t < 200; ++t) {
+    engine.run_until(t * 0.5);
+    peak_blocks = std::max(peak_blocks, provider.active_blocks());
+    if (completed == 60 && provider.active_blocks() == 0) break;
+  }
+  engine.run_until(300.0);
+  EXPECT_EQ(completed, 60);
+  EXPECT_GT(peak_blocks, 1);             // scaled out under queue pressure
+  EXPECT_EQ(provider.active_blocks(), 0);  // scaled back in when idle
+  provider.stop();
+  engine.run();
+}
+
+TEST(BlockProvider, StopReleasesEverything) {
+  sim::SimEngine engine;
+  SlurmSim slurm(engine, SlurmSimConfig{8, 0.5});
+  ClusterExecutor exec(engine, defiant_law_factory());
+  BlockConfig config;
+  config.init_blocks = 2;
+  config.max_blocks = 2;
+  BlockProvider provider(engine, slurm, exec, config);
+  provider.start();
+  engine.run_until(5.0);
+  EXPECT_EQ(provider.active_blocks(), 2);
+  provider.stop();
+  engine.run();
+  EXPECT_EQ(provider.active_blocks(), 0);
+  EXPECT_EQ(slurm.free_nodes(), 8);
+}
+
+TEST(PreprocessTasks, DescriptorsReflectWorkload) {
+  modis::GranuleGenerator gen(2022);
+  // Daytime granule: payload tiles > 0.
+  modis::GranuleId day{modis::ProductKind::kMod02, modis::Satellite::kTerra,
+                       2022, 1, 0};
+  while (!modis::is_daytime(day.satellite, day.slot, day.day_of_year)) ++day.slot;
+  modis::GranuleStats stats;
+  const auto desc = preprocess::make_preprocess_task(gen, day, {}, &stats);
+  EXPECT_TRUE(stats.daytime);
+  EXPECT_GT(desc.payload, 0.0);
+  EXPECT_GT(desc.shared_demand, 0.0);
+  EXPECT_EQ(desc.label, day.filename());
+
+  // Night granule: minimum demand, zero payload.
+  modis::GranuleId night = day;
+  while (modis::is_daytime(night.satellite, night.slot, night.day_of_year))
+    ++night.slot;
+  const auto night_desc = preprocess::make_preprocess_task(gen, night);
+  EXPECT_DOUBLE_EQ(night_desc.payload, 0.0);
+  EXPECT_GT(night_desc.shared_demand, 0.0);
+
+  const auto inf = preprocess::make_inference_task(100, "x");
+  EXPECT_DOUBLE_EQ(inf.payload, 100.0);
+  EXPECT_GT(inf.shared_demand, 0.0);
+}
+
+}  // namespace
+}  // namespace mfw::compute

@@ -1,0 +1,186 @@
+// Tests for the cross-facility federation layer: facility profiles, the
+// pipeline-as-a-service registry (templates + overrides), and the campaign
+// orchestrator's placement policies.
+#include <gtest/gtest.h>
+
+#include "federation/orchestrator.hpp"
+#include "util/log.hpp"
+
+namespace mfw::federation {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::Logger::instance().set_level(util::LogLevel::kError);
+  }
+  void TearDown() override {
+    util::Logger::instance().set_level(util::LogLevel::kInfo);
+  }
+};
+
+TEST_F(FederationTest, BuiltinProfilesDiffer) {
+  const auto olcf = FacilityProfile::olcf_defiant();
+  const auto nersc = FacilityProfile::nersc_perlmutter_like();
+  const auto alcf = FacilityProfile::alcf_polaris_like();
+  EXPECT_EQ(olcf.total_nodes, 36);
+  EXPECT_GT(nersc.total_nodes, olcf.total_nodes);
+  EXPECT_LT(alcf.total_nodes, olcf.total_nodes);
+  EXPECT_NE(nersc.scheduler_latency, alcf.scheduler_latency);
+}
+
+TEST_F(FederationTest, ProfileFromYamlAndValidation) {
+  const auto profile = FacilityProfile::from_yaml(util::parse_yaml(R"(
+name: CSCS-like
+total_nodes: 48
+workers_per_node: 12
+scheduler_latency: 3.0
+node_r_max: 40
+node_tau: 3.0
+archive_bandwidth: 50MB
+analysis_link: 2GB
+)"));
+  EXPECT_EQ(profile.name, "CSCS-like");
+  EXPECT_EQ(profile.total_nodes, 48);
+  EXPECT_DOUBLE_EQ(profile.archive_bandwidth_bps, 50.0 * 1024 * 1024);
+  EXPECT_THROW(FacilityProfile::from_yaml(util::parse_yaml("total_nodes: 0\n")),
+               util::YamlError);
+}
+
+TEST_F(FederationTest, ProfileAppliesToConfig) {
+  pipeline::EomlConfig config;
+  config.preprocess_nodes = 50;  // more than Polaris-like has
+  FacilityProfile::alcf_polaris_like().apply(config);
+  EXPECT_EQ(config.facility_total_nodes, 24);
+  EXPECT_EQ(config.preprocess_nodes, 24);  // clamped to the partition
+  EXPECT_DOUBLE_EQ(config.slurm_latency, 4.0);
+  EXPECT_DOUBLE_EQ(config.node_r_max, 44.0);
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST_F(FederationTest, RegistryPublishListInstantiate) {
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  EXPECT_GE(registry.size(), 3u);
+  EXPECT_TRUE(registry.has("aicca-daily"));
+  EXPECT_FALSE(registry.entry("aicca-daily").description.empty());
+
+  const auto config = registry.instantiate("aicca-daily");
+  EXPECT_EQ(config.preprocess_nodes, 10);
+  EXPECT_TRUE(config.daytime_only);
+  EXPECT_THROW(registry.instantiate("nope"), std::invalid_argument);
+}
+
+TEST_F(FederationTest, RegistryOverridesDeepMerge) {
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  const auto config = registry.instantiate("aicca-daily", R"(
+workflow:
+  max_files: 6
+  span: {first_day: 42}
+preprocess:
+  nodes: 2
+)");
+  ASSERT_TRUE(config.max_files.has_value());
+  EXPECT_EQ(*config.max_files, 6u);
+  EXPECT_EQ(config.span.first_day, 42);
+  EXPECT_EQ(config.preprocess_nodes, 2);
+  // Untouched template values survive the merge.
+  EXPECT_EQ(config.workers_per_node, 8);
+  EXPECT_EQ(config.download_workers, 3);
+}
+
+TEST_F(FederationTest, RegistryRejectsBrokenTemplates) {
+  PipelineRegistry registry;
+  EXPECT_THROW(
+      registry.publish(PipelineEntry{"bad", "x", "download: {workers: 0}\n"}),
+      std::invalid_argument);
+  EXPECT_THROW(registry.publish(PipelineEntry{"", "x", ""}),
+               std::invalid_argument);
+}
+
+std::vector<CampaignJob> small_jobs(int count) {
+  std::vector<CampaignJob> jobs;
+  for (int day = 1; day <= count; ++day) {
+    jobs.push_back(CampaignJob{
+        "aicca-daily",
+        "workflow: {max_files: 4, span: {first_day: " + std::to_string(day) +
+            "}}\npreprocess: {nodes: 2}\n"});
+  }
+  return jobs;
+}
+
+TEST_F(FederationTest, CampaignRunsAllJobsAcrossFacilities) {
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  CampaignOrchestrator orchestrator(
+      registry,
+      {FacilityProfile::olcf_defiant(),
+       FacilityProfile::nersc_perlmutter_like()},
+      PlacementPolicy::kRoundRobin);
+  int observed = 0;
+  const auto report =
+      orchestrator.run(small_jobs(4), [&](const JobOutcome&) { ++observed; });
+  EXPECT_EQ(report.jobs.size(), 4u);
+  EXPECT_EQ(observed, 4);
+  EXPECT_GT(report.total_tiles, 0u);
+  // Round-robin used both facilities.
+  std::set<std::string> used;
+  for (const auto& job : report.jobs) used.insert(job.facility);
+  EXPECT_EQ(used.size(), 2u);
+  // Campaign makespan equals the slowest facility queue.
+  double slowest = 0;
+  for (const auto& [name, busy] : report.facility_busy_time)
+    slowest = std::max(slowest, busy);
+  EXPECT_DOUBLE_EQ(report.campaign_makespan, slowest);
+}
+
+TEST_F(FederationTest, LeastLoadedBeatsSingleFacility) {
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  const auto jobs = small_jobs(6);
+
+  CampaignOrchestrator single(registry, {FacilityProfile::olcf_defiant()});
+  const auto single_report = single.run(jobs);
+
+  CampaignOrchestrator federated(
+      registry,
+      {FacilityProfile::olcf_defiant(),
+       FacilityProfile::nersc_perlmutter_like(),
+       FacilityProfile::alcf_polaris_like()},
+      PlacementPolicy::kLeastLoaded);
+  const auto federated_report = federated.run(jobs);
+
+  EXPECT_EQ(single_report.total_tiles, federated_report.total_tiles);
+  EXPECT_LT(federated_report.campaign_makespan,
+            single_report.campaign_makespan);
+}
+
+TEST_F(FederationTest, FacilityCharacteristicsShapeJobMakespan) {
+  // The same job must take longer on a facility whose archive path is the
+  // bottleneck (WAN below the workers' aggregate connection throughput).
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  const std::vector<CampaignJob> job = small_jobs(1);
+
+  auto fast_profile = FacilityProfile::olcf_defiant();
+  fast_profile.archive_bandwidth_bps = 23.5 * 1024 * 1024;
+  auto slow_profile = fast_profile;
+  slow_profile.name = "throttled";
+  slow_profile.archive_bandwidth_bps = 6.0 * 1024 * 1024;
+
+  CampaignOrchestrator fast(registry, {fast_profile});
+  CampaignOrchestrator slow(registry, {slow_profile});
+  const double fast_time = fast.run(job).jobs[0].makespan;
+  const double slow_time = slow.run(job).jobs[0].makespan;
+  EXPECT_LT(fast_time * 1.5, slow_time);
+}
+
+TEST_F(FederationTest, EmptyFacilitiesRejected) {
+  PipelineRegistry registry;
+  registry.publish_builtin();
+  EXPECT_THROW(CampaignOrchestrator(registry, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfw::federation

@@ -1,0 +1,558 @@
+// Tests for the flow engine: definition parsing/validation, runner
+// semantics (actions, choices, waits, context, overhead, failure), the
+// event bus, and the filesystem monitor.
+#include <gtest/gtest.h>
+
+#include "flow/definition.hpp"
+#include "flow/event_bus.hpp"
+#include "flow/monitor.hpp"
+#include "flow/runner.hpp"
+#include "storage/memfs.hpp"
+
+namespace mfw::flow {
+namespace {
+
+constexpr const char* kSimpleFlow = R"(
+name: simple
+start_at: work
+states:
+  work:
+    type: action
+    action: echo
+    parameters:
+      value: 42
+    result_path: result
+    next: finish
+  finish:
+    type: succeed
+)";
+
+TEST(Definition, ParsesFromYaml) {
+  const auto def = FlowDefinition::from_yaml_text(kSimpleFlow);
+  EXPECT_EQ(def.name(), "simple");
+  EXPECT_EQ(def.start_at(), "work");
+  ASSERT_TRUE(def.has_state("work"));
+  EXPECT_EQ(def.state("work").action, "echo");
+  EXPECT_EQ(def.state("work").parameters["value"].as_int(), 42);
+}
+
+TEST(Definition, ValidatesGraph) {
+  EXPECT_THROW(FlowDefinition::from_yaml_text(R"(
+start_at: missing
+states:
+  other:
+    type: succeed
+)"),
+               util::YamlError);
+  EXPECT_THROW(FlowDefinition::from_yaml_text(R"(
+start_at: a
+states:
+  a:
+    type: action
+    action: x
+    next: nowhere
+)"),
+               util::YamlError);
+  EXPECT_THROW(FlowDefinition::from_yaml_text(R"(
+start_at: a
+states:
+  a:
+    type: pass
+)"),
+               util::YamlError);  // non-terminal without next
+}
+
+TEST(Definition, ChoiceParsing) {
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: decide
+states:
+  decide:
+    type: choice
+    choices:
+      - variable: count
+        greater_than: 0
+        next: go
+    default: stop
+  go:
+    type: succeed
+  stop:
+    type: fail
+    error: empty
+)");
+  const auto& decide = def.state("decide");
+  ASSERT_EQ(decide.choices.size(), 1u);
+  EXPECT_EQ(decide.choices[0].op, ChoiceRule::Op::kGreaterThan);
+  EXPECT_EQ(decide.default_next, "stop");
+}
+
+struct RunnerFixture {
+  sim::SimEngine engine;
+  ProvenanceLog provenance;
+  FlowRunner runner{engine, &provenance};
+};
+
+TEST(Runner, ActionResultStoredInContext) {
+  RunnerFixture fx;
+  fx.runner.register_action(
+      "echo", [](const util::YamlNode& params, const util::YamlNode&,
+                 ActionHandle handle) {
+        handle.succeed(params["value"]);
+      });
+  util::YamlNode final_context;
+  bool succeeded = false;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& record, const util::YamlNode& context) {
+                    succeeded = record.succeeded;
+                    final_context = context;
+                  });
+  fx.engine.run();
+  ASSERT_TRUE(succeeded);
+  EXPECT_EQ(final_context["result"].as_int(), 42);
+}
+
+TEST(Runner, ParameterReferencesResolveFromContext) {
+  RunnerFixture fx;
+  std::string seen;
+  fx.runner.register_action(
+      "consume", [&](const util::YamlNode& params, const util::YamlNode&,
+                     ActionHandle handle) {
+        seen = params["path"].as_string();
+        handle.succeed(util::YamlNode::map());
+      });
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: s
+states:
+  s:
+    type: action
+    action: consume
+    parameters:
+      path: $.file.path
+    next: end
+  end:
+    type: succeed
+)");
+  auto context = util::YamlNode::map();
+  auto file = util::YamlNode::map();
+  file.set("path", util::YamlNode::scalar("tiles/x.ncl"));
+  context.set("file", std::move(file));
+  fx.runner.start(def, std::move(context));
+  fx.engine.run();
+  EXPECT_EQ(seen, "tiles/x.ncl");
+}
+
+TEST(Runner, ChoiceRoutesOnContext) {
+  RunnerFixture fx;
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: decide
+states:
+  decide:
+    type: choice
+    choices:
+      - variable: n
+        greater_than: 10
+        next: big
+      - variable: n
+        greater_or_equal: 0
+        next: small
+    default: neg
+  big:
+    type: succeed
+  small:
+    type: succeed
+  neg:
+    type: fail
+    error: negative
+)");
+  auto run_with = [&](const std::string& n) {
+    auto context = util::YamlNode::map();
+    context.set("n", util::YamlNode::scalar(n));
+    std::string last_state;
+    bool ok = false;
+    fx.runner.start(def, std::move(context),
+                    [&](const RunRecord& record, const util::YamlNode&) {
+                      ok = record.succeeded;
+                      last_state = record.states.back().state;
+                    });
+    fx.engine.run();
+    return std::make_pair(ok, last_state);
+  };
+  EXPECT_EQ(run_with("50"), std::make_pair(true, std::string("big")));
+  EXPECT_EQ(run_with("3"), std::make_pair(true, std::string("small")));
+  EXPECT_EQ(run_with("-2"), std::make_pair(false, std::string("neg")));
+}
+
+TEST(Runner, WaitAdvancesVirtualTime) {
+  RunnerFixture fx;
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: nap
+states:
+  nap:
+    type: wait
+    seconds: 7.5
+    next: end
+  end:
+    type: succeed
+)");
+  double finished = -1;
+  fx.runner.start(def, util::YamlNode::map(),
+                  [&](const RunRecord& r, const util::YamlNode&) {
+                    finished = r.finished_at;
+                  });
+  fx.engine.run();
+  EXPECT_NEAR(finished, 7.5, 1e-9);
+}
+
+TEST(Runner, PassAssignsContext) {
+  RunnerFixture fx;
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: set
+states:
+  set:
+    type: pass
+    set:
+      mode: fast
+      copy: $.input
+    next: end
+  end:
+    type: succeed
+)");
+  auto context = util::YamlNode::map();
+  context.set("input", util::YamlNode::scalar("original"));
+  util::YamlNode final_context;
+  fx.runner.start(def, std::move(context),
+                  [&](const RunRecord&, const util::YamlNode& ctx) {
+                    final_context = ctx;
+                  });
+  fx.engine.run();
+  EXPECT_EQ(final_context["mode"].as_string(), "fast");
+  EXPECT_EQ(final_context["copy"].as_string(), "original");
+}
+
+TEST(Runner, ActionFailureFailsRun) {
+  RunnerFixture fx;
+  fx.runner.register_action(
+      "echo", [](const util::YamlNode&, const util::YamlNode&,
+                 ActionHandle handle) { handle.fail("kaput"); });
+  bool succeeded = true;
+  std::string error;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& record, const util::YamlNode&) {
+                    succeeded = record.succeeded;
+                    error = record.error;
+                  });
+  fx.engine.run();
+  EXPECT_FALSE(succeeded);
+  EXPECT_EQ(error, "kaput");
+}
+
+TEST(Runner, UnregisteredActionRejectedAtStart) {
+  RunnerFixture fx;
+  EXPECT_THROW(
+      fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow)),
+      std::invalid_argument);
+}
+
+TEST(Runner, ActionOverheadChargedPerAction) {
+  sim::SimEngine engine;
+  ProvenanceLog provenance;
+  FlowRunner runner(engine, &provenance, FlowRunnerConfig{0.05, 1000});
+  runner.register_action("echo",
+                         [](const util::YamlNode& p, const util::YamlNode&,
+                            ActionHandle h) { h.succeed(p["value"]); });
+  double finished = -1;
+  runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+               util::YamlNode::map(),
+               [&](const RunRecord& r, const util::YamlNode&) {
+                 finished = r.finished_at;
+               });
+  engine.run();
+  EXPECT_NEAR(finished, 0.05, 1e-9);  // one action, ~50 ms overhead
+  EXPECT_NEAR(provenance.mean_action_overhead(), 0.05, 1e-9);
+}
+
+TEST(Runner, AsyncActionsCompleteAcrossEvents) {
+  RunnerFixture fx;
+  fx.runner.register_action(
+      "echo", [&](const util::YamlNode& p, const util::YamlNode&,
+                  ActionHandle handle) {
+        // Succeed three seconds later, from a different event.
+        fx.engine.schedule_after(
+            3.0, [p, succeed = handle.succeed] { succeed(p["value"]); });
+      });
+  double finished = -1;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& r, const util::YamlNode&) {
+                    finished = r.finished_at;
+                  });
+  fx.engine.run();
+  EXPECT_GT(finished, 3.0);
+}
+
+TEST(Runner, DefinitionLoopHitsTransitionGuard) {
+  sim::SimEngine engine;
+  FlowRunner runner(engine, nullptr, FlowRunnerConfig{0.0, 50});
+  // pass <-> bounce loop with no exit: the guard must fail the run.
+  const auto def = FlowDefinition::from_yaml_text(R"(
+start_at: a
+states:
+  a:
+    type: pass
+    next: b
+  b:
+    type: pass
+    next: a
+)");
+  bool succeeded = true;
+  std::string error;
+  runner.start(def, util::YamlNode::map(),
+               [&](const RunRecord& r, const util::YamlNode&) {
+                 succeeded = r.succeeded;
+                 error = r.error;
+               });
+  engine.run();
+  EXPECT_FALSE(succeeded);
+  EXPECT_NE(error.find("max_transitions"), std::string::npos);
+}
+
+TEST(Runner, MultipleConcurrentRuns) {
+  RunnerFixture fx;
+  fx.runner.register_action("echo",
+                            [](const util::YamlNode& p, const util::YamlNode&,
+                               ActionHandle h) { h.succeed(p["value"]); });
+  int finished = 0;
+  const auto def = FlowDefinition::from_yaml_text(kSimpleFlow);
+  for (int i = 0; i < 20; ++i)
+    fx.runner.start(def, util::YamlNode::map(),
+                    [&](const RunRecord& r, const util::YamlNode&) {
+                      EXPECT_TRUE(r.succeeded);
+                      ++finished;
+                    });
+  EXPECT_EQ(fx.runner.active_runs(), 20u);
+  fx.engine.run();
+  EXPECT_EQ(finished, 20);
+  EXPECT_EQ(fx.runner.active_runs(), 0u);
+}
+
+TEST(Runner, ProvenanceRecordsStates) {
+  RunnerFixture fx;
+  fx.runner.register_action("echo",
+                            [](const util::YamlNode& p, const util::YamlNode&,
+                               ActionHandle h) { h.succeed(p["value"]); });
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow));
+  fx.engine.run();
+  ASSERT_EQ(fx.provenance.size(), 1u);
+  const auto& run = fx.provenance.run(0);
+  ASSERT_EQ(run.states.size(), 2u);
+  EXPECT_EQ(run.states[0].state, "work");
+  EXPECT_EQ(run.states[0].kind, "action");
+  EXPECT_EQ(run.states[1].kind, "succeed");
+  EXPECT_TRUE(run.succeeded);
+  EXPECT_FALSE(fx.provenance.dump().empty());
+  EXPECT_EQ(fx.provenance.runs_of("simple").size(), 1u);
+  EXPECT_TRUE(fx.provenance.runs_of("other").empty());
+}
+
+TEST(Schema, FieldValidation) {
+  const auto doc = util::parse_yaml(
+      "path: tiles/x.ncl\nlabels: [1, 2]\nmeta: {a: 1}\n");
+  std::vector<FieldSpec> ok{{"path", util::YamlNode::Kind::kScalar, true},
+                            {"labels", util::YamlNode::Kind::kList, true},
+                            {"meta.a", util::YamlNode::Kind::kScalar, true},
+                            {"optional", util::YamlNode::Kind::kMap, false}};
+  EXPECT_FALSE(validate_fields(doc, ok).has_value());
+
+  std::vector<FieldSpec> missing{{"nope", util::YamlNode::Kind::kScalar, true}};
+  const auto err1 = validate_fields(doc, missing);
+  ASSERT_TRUE(err1.has_value());
+  EXPECT_NE(err1->find("missing"), std::string::npos);
+
+  std::vector<FieldSpec> wrong_kind{{"labels", util::YamlNode::Kind::kMap, true}};
+  const auto err2 = validate_fields(doc, wrong_kind);
+  ASSERT_TRUE(err2.has_value());
+  EXPECT_NE(err2->find("expected map"), std::string::npos);
+}
+
+TEST(Schema, RunnerEnforcesInputSchema) {
+  RunnerFixture fx;
+  ActionSchema schema;
+  schema.inputs = {{"value", util::YamlNode::Kind::kScalar, true},
+                   {"count", util::YamlNode::Kind::kScalar, true}};
+  fx.runner.register_action(
+      "echo",
+      [](const util::YamlNode& p, const util::YamlNode&, ActionHandle h) {
+        h.succeed(p["value"]);
+      },
+      schema);
+  ASSERT_NE(fx.runner.schema("echo"), nullptr);
+  // kSimpleFlow passes only `value`; the missing `count` must fail the run
+  // before the action executes.
+  bool succeeded = true;
+  std::string error;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& r, const util::YamlNode&) {
+                    succeeded = r.succeeded;
+                    error = r.error;
+                  });
+  fx.engine.run();
+  EXPECT_FALSE(succeeded);
+  EXPECT_NE(error.find("input schema"), std::string::npos);
+}
+
+TEST(Schema, RunnerEnforcesOutputSchema) {
+  RunnerFixture fx;
+  ActionSchema schema;
+  schema.outputs = {{"labels", util::YamlNode::Kind::kList, true}};
+  fx.runner.register_action(
+      "echo",
+      [](const util::YamlNode&, const util::YamlNode&, ActionHandle h) {
+        auto result = util::YamlNode::map();
+        result.set("labels", util::YamlNode::scalar("oops-not-a-list"));
+        h.succeed(std::move(result));
+      },
+      schema);
+  bool succeeded = true;
+  std::string error;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& r, const util::YamlNode&) {
+                    succeeded = r.succeeded;
+                    error = r.error;
+                  });
+  fx.engine.run();
+  EXPECT_FALSE(succeeded);
+  EXPECT_NE(error.find("output schema"), std::string::npos);
+}
+
+TEST(Schema, ValidActionPassesBothSchemas) {
+  RunnerFixture fx;
+  ActionSchema schema;
+  schema.inputs = {{"value", util::YamlNode::Kind::kScalar, true}};
+  schema.outputs = {{"doubled", util::YamlNode::Kind::kScalar, true}};
+  fx.runner.register_action(
+      "echo",
+      [](const util::YamlNode& p, const util::YamlNode&, ActionHandle h) {
+        auto result = util::YamlNode::map();
+        result.set("doubled", util::YamlNode::scalar(std::to_string(
+                                  p["value"].as_int() * 2)));
+        h.succeed(std::move(result));
+      },
+      schema);
+  util::YamlNode context;
+  bool succeeded = false;
+  fx.runner.start(FlowDefinition::from_yaml_text(kSimpleFlow),
+                  util::YamlNode::map(),
+                  [&](const RunRecord& r, const util::YamlNode& ctx) {
+                    succeeded = r.succeeded;
+                    context = ctx;
+                  });
+  fx.engine.run();
+  ASSERT_TRUE(succeeded);
+  EXPECT_EQ(context.path("result.doubled").as_int(), 84);
+}
+
+TEST(ContextSet, CreatesNestedMaps) {
+  auto root = util::YamlNode::map();
+  context_set(root, "a.b.c", util::YamlNode::scalar("1"));
+  context_set(root, "a.d", util::YamlNode::scalar("2"));
+  EXPECT_EQ(root.path("a.b.c").as_int(), 1);
+  EXPECT_EQ(root.path("a.d").as_int(), 2);
+}
+
+TEST(EventBus, DeliversAsynchronously) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  std::vector<std::string> seen;
+  bus.subscribe("topic", [&](const util::YamlNode& event) {
+    seen.push_back(event["msg"].as_string());
+  });
+  auto event = util::YamlNode::map();
+  event.set("msg", util::YamlNode::scalar("hello"));
+  bus.publish("topic", std::move(event));
+  EXPECT_TRUE(seen.empty());  // not delivered synchronously
+  engine.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "hello");
+}
+
+TEST(EventBus, UnsubscribeStopsDelivery) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  int count = 0;
+  const auto sub = bus.subscribe("t", [&](const util::YamlNode&) { ++count; });
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  bus.unsubscribe(sub);
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+  EXPECT_EQ(bus.published_count(), 2u);
+}
+
+TEST(Monitor, DetectsNewAndModifiedFiles) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  std::vector<std::string> triggered;
+  FsMonitor monitor(engine, fs, FsMonitorConfig{"tiles/*.ncl", 1.0},
+                    [&](const std::vector<storage::FileInfo>& files) {
+                      for (const auto& f : files) triggered.push_back(f.path);
+                    });
+  monitor.start();
+  engine.schedule_at(0.5, [&] { fs.write_text("tiles/a.ncl", "1"); });
+  engine.schedule_at(2.5, [&] { fs.write_text("tiles/b.ncl", "2"); });
+  engine.schedule_at(4.5, [&] { fs.write_text("tiles/a.ncl", "modified"); });
+  engine.schedule_at(6.0, [&] { monitor.stop(); });
+  engine.run();
+  EXPECT_EQ(triggered,
+            (std::vector<std::string>{"tiles/a.ncl", "tiles/b.ncl",
+                                      "tiles/a.ncl"}));
+  EXPECT_FALSE(monitor.running());
+  EXPECT_EQ(monitor.batches_triggered(), 3u);
+}
+
+TEST(Monitor, IgnoresNonMatchingPaths) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  int batches = 0;
+  FsMonitor monitor(engine, fs, FsMonitorConfig{"tiles/*.ncl", 1.0},
+                    [&](const auto&) { ++batches; });
+  monitor.start();
+  engine.schedule_at(0.5, [&] { fs.write_text("staging/x.hdf", "1"); });
+  engine.schedule_at(2.0, [&] { monitor.stop(); });
+  engine.run();
+  EXPECT_EQ(batches, 0);
+}
+
+TEST(Monitor, StopDrainsLastBatch) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  int files_seen = 0;
+  FsMonitor monitor(engine, fs, FsMonitorConfig{"*.ncl", 5.0},
+                    [&](const auto& files) { files_seen += files.size(); });
+  monitor.start();
+  // File lands just before stop; the drain poll must pick it up.
+  engine.schedule_at(6.0, [&] {
+    fs.write_text("late.ncl", "x");
+    monitor.stop();
+  });
+  engine.run();
+  EXPECT_EQ(files_seen, 1);
+}
+
+TEST(Monitor, RejectsBadConfig) {
+  sim::SimEngine engine;
+  storage::MemFs fs("x");
+  EXPECT_THROW(FsMonitor(engine, fs, FsMonitorConfig{"", 1.0}, [](const auto&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(FsMonitor(engine, fs, FsMonitorConfig{"*", 0.0}, [](const auto&) {}),
+               std::invalid_argument);
+  EXPECT_THROW(FsMonitor(engine, fs, FsMonitorConfig{"*", 1.0}, nullptr),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mfw::flow

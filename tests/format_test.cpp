@@ -1,0 +1,154 @@
+// Unit tests for the hdfl and ncl container formats: round-trips, partial
+// reads, CRC integrity, and append-variable behaviour.
+#include <gtest/gtest.h>
+
+#include "storage/hdfl.hpp"
+#include "storage/ncl.hpp"
+
+namespace mfw::storage {
+namespace {
+
+std::vector<float> ramp(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<float>(i) * 0.5f;
+  return v;
+}
+
+TEST(Hdfl, RoundTripDatasetsAndAttrs) {
+  HdflFile file;
+  file.attrs()["product"] = "MOD02";
+  file.attrs()["slot"] = "42";
+  file.add(Dataset::f32("Radiance", {2, 3, 4}, ramp(24)));
+  std::vector<std::uint8_t> mask(12, 1);
+  file.add(Dataset::u8("Mask", {3, 4}, mask));
+
+  const auto bytes = file.serialize();
+  const auto loaded = HdflFile::deserialize(bytes);
+  EXPECT_EQ(loaded.attrs().at("product"), "MOD02");
+  EXPECT_EQ(loaded.dataset_count(), 2u);
+  const auto rad = loaded.dataset("Radiance").as_f32();
+  ASSERT_EQ(rad.size(), 24u);
+  EXPECT_FLOAT_EQ(rad[7], 3.5f);
+  EXPECT_EQ(loaded.dataset("Mask").as_u8()[5], 1);
+  EXPECT_EQ(loaded.names(), (std::vector<std::string>{"Radiance", "Mask"}));
+}
+
+TEST(Hdfl, PartialReadExtractsOneDataset) {
+  HdflFile file;
+  file.add(Dataset::f32("A", {4}, ramp(4)));
+  file.add(Dataset::f32("B", {8}, ramp(8)));
+  file.add(Dataset::f32("C", {2}, ramp(2)));
+  const auto bytes = file.serialize();
+
+  const auto b = HdflFile::read_dataset(bytes, "B");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->element_count(), 8u);
+  EXPECT_FLOAT_EQ(b->as_f32()[3], 1.5f);
+  EXPECT_FALSE(HdflFile::read_dataset(bytes, "missing").has_value());
+}
+
+TEST(Hdfl, CorruptionDetected) {
+  HdflFile file;
+  file.add(Dataset::f32("A", {8}, ramp(8)));
+  auto bytes = file.serialize();
+  bytes[bytes.size() - 10] ^= std::byte{0xff};  // flip a payload byte
+  EXPECT_THROW(HdflFile::deserialize(bytes), FormatError);
+}
+
+TEST(Hdfl, BadMagicRejected) {
+  std::vector<std::byte> junk(64, std::byte{0x5a});
+  EXPECT_THROW(HdflFile::deserialize(junk), FormatError);
+  EXPECT_THROW(HdflFile::read_dataset(junk, "x"), FormatError);
+}
+
+TEST(Hdfl, ShapeMismatchRejected) {
+  Dataset ds;
+  ds.name = "bad";
+  ds.dtype = DType::kF32;
+  ds.shape = {4};
+  ds.data.resize(8);  // needs 16 bytes
+  HdflFile file;
+  EXPECT_THROW(file.add(std::move(ds)), FormatError);
+}
+
+TEST(Hdfl, TypedViewChecksDtype) {
+  HdflFile file;
+  file.add(Dataset::f32("A", {2}, ramp(2)));
+  EXPECT_THROW(file.dataset("A").as_u8(), FormatError);
+  EXPECT_THROW(file.dataset("missing"), FormatError);
+}
+
+TEST(Hdfl, ReplaceDatasetKeepsSingleEntry) {
+  HdflFile file;
+  file.add(Dataset::f32("A", {2}, ramp(2)));
+  file.add(Dataset::f32("A", {4}, ramp(4)));
+  EXPECT_EQ(file.dataset_count(), 1u);
+  EXPECT_EQ(file.dataset("A").element_count(), 4u);
+}
+
+TEST(Ncl, RoundTripDimsVarsAttrs) {
+  NclFile file;
+  file.add_dim("tile", 3);
+  file.add_dim("ch", 2);
+  file.attrs()["granule"] = "X";
+  file.add_f32("data", {"tile", "ch"}, ramp(6), {{"units", "W/m2"}});
+  std::vector<std::int32_t> labels{1, 2, 3};
+  file.add_i32("label", {"tile"}, labels);
+
+  const auto loaded = NclFile::deserialize(file.serialize());
+  EXPECT_EQ(loaded.dim("tile"), 3u);
+  EXPECT_EQ(loaded.attrs().at("granule"), "X");
+  EXPECT_EQ(loaded.var("data").attrs.at("units"), "W/m2");
+  EXPECT_FLOAT_EQ(loaded.var("data").as_f32()[5], 2.5f);
+  EXPECT_EQ(loaded.var("label").as_i32()[2], 3);
+  EXPECT_EQ(loaded.var_names(),
+            (std::vector<std::string>{"data", "label"}));
+}
+
+TEST(Ncl, SizeValidationAgainstDims) {
+  NclFile file;
+  file.add_dim("tile", 3);
+  EXPECT_THROW(file.add_f32("bad", {"tile"}, ramp(5)), FormatError);
+  EXPECT_THROW(file.add_f32("bad", {"nodim"}, ramp(3)), FormatError);
+}
+
+TEST(Ncl, DimRedefinitionRejected) {
+  NclFile file;
+  file.add_dim("tile", 3);
+  EXPECT_NO_THROW(file.add_dim("tile", 3));  // same length is idempotent
+  EXPECT_THROW(file.add_dim("tile", 4), FormatError);
+}
+
+TEST(Ncl, AppendVariableAfterReload) {
+  NclFile file;
+  file.add_dim("tile", 2);
+  file.add_f32("data", {"tile"}, ramp(2));
+  auto loaded = NclFile::deserialize(file.serialize());
+  // The inference stage's append-labels pattern.
+  std::vector<std::int32_t> labels{7, 9};
+  loaded.add_i32("label", {"tile"}, labels);
+  const auto final_file = NclFile::deserialize(loaded.serialize());
+  EXPECT_EQ(final_file.var("label").as_i32()[1], 9);
+  EXPECT_EQ(final_file.var_count(), 2u);
+}
+
+TEST(Ncl, CorruptionDetected) {
+  NclFile file;
+  file.add_dim("n", 4);
+  file.add_f32("v", {"n"}, ramp(4));
+  auto bytes = file.serialize();
+  bytes[bytes.size() - 6] ^= std::byte{0x01};
+  EXPECT_THROW(NclFile::deserialize(bytes), FormatError);
+}
+
+TEST(Ncl, EmptyFileRoundTrips) {
+  NclFile file;
+  file.attrs()["kind"] = "tile-manifest";
+  file.attrs()["tile_count"] = "0";
+  const auto loaded = NclFile::deserialize(file.serialize());
+  EXPECT_EQ(loaded.var_count(), 0u);
+  EXPECT_EQ(loaded.attrs().at("tile_count"), "0");
+}
+
+}  // namespace
+}  // namespace mfw::storage

@@ -1,0 +1,281 @@
+// Unit tests for the synthetic MODIS system: noise determinism, orbit
+// geometry, product consistency, catalog naming/sizing, and workload
+// statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "modis/catalog.hpp"
+#include "modis/noise.hpp"
+#include "modis/products.hpp"
+#include "util/rng.hpp"
+
+namespace mfw::modis {
+namespace {
+
+TEST(Noise, DeterministicPerSeed) {
+  NoiseField a(42), b(42), c(43);
+  EXPECT_DOUBLE_EQ(a.at(1.5, 2.5), b.at(1.5, 2.5));
+  EXPECT_NE(a.at(1.5, 2.5), c.at(1.5, 2.5));
+}
+
+TEST(Noise, BoundedAndSmooth) {
+  NoiseField field(7);
+  for (double x = -10; x < 10; x += 0.37) {
+    for (double y = -10; y < 10; y += 0.41) {
+      const double v = field.fbm(x, y, 4);
+      ASSERT_GE(v, -1.0);
+      ASSERT_LE(v, 1.0);
+      // Smoothness: nearby samples are close.
+      const double v2 = field.fbm(x + 1e-4, y, 4);
+      ASSERT_LT(std::abs(v - v2), 0.02);
+    }
+  }
+}
+
+TEST(Geo, GroundTrackCoversLatitudes) {
+  double min_lat = 90, max_lat = -90;
+  for (int slot = 0; slot < kSlotsPerDay; ++slot) {
+    const auto p = ground_track(Satellite::kTerra, slot, 0.5);
+    min_lat = std::min(min_lat, p.lat);
+    max_lat = std::max(max_lat, p.lat);
+    ASSERT_GE(p.lon, -180.0);
+    ASSERT_LT(p.lon, 180.0);
+  }
+  EXPECT_LT(min_lat, -75.0);  // polar orbit reaches high latitudes
+  EXPECT_GT(max_lat, 75.0);
+}
+
+TEST(Geo, DayNightSplitRoughlyHalf) {
+  int day = 0;
+  for (int slot = 0; slot < kSlotsPerDay; ++slot)
+    if (is_daytime(Satellite::kTerra, slot, 1)) ++day;
+  EXPECT_GT(day, kSlotsPerDay / 4);
+  EXPECT_LT(day, 3 * kSlotsPerDay / 4);
+}
+
+TEST(Geo, SolarZenithExtremes) {
+  // Local noon at the equator (lon 0, day fraction 0.5): low zenith.
+  const double noon = solar_zenith_deg({0.0, 0.0}, 0.5, 80);
+  const double midnight = solar_zenith_deg({0.0, 0.0}, 0.0, 80);
+  EXPECT_LT(noon, 30.0);
+  EXPECT_GT(midnight, 90.0);
+}
+
+TEST(Products, GeneratedShapesMatchGeometry) {
+  GranuleGenerator gen(1);
+  GranuleSpec spec;
+  spec.geometry = kSmallGeometry;
+  spec.slot = 100;
+  const auto m03 = gen.mod03(spec);
+  EXPECT_EQ(m03.latitude.size(), spec.geometry.pixels());
+  EXPECT_EQ(m03.land_mask.size(), spec.geometry.pixels());
+  const auto m06 = gen.mod06(spec);
+  EXPECT_EQ(m06.cloud_mask.size(), spec.geometry.pixels());
+  const auto m02 = gen.mod02(spec);
+  EXPECT_EQ(m02.radiance.size(),
+            spec.geometry.pixels() * static_cast<std::size_t>(spec.geometry.bands));
+}
+
+TEST(Products, CrossProductConsistency) {
+  // MOD06 cloud mask and MOD02 radiance must describe the same scene: cloudy
+  // pixels are brighter in the visible bands (daytime granule).
+  GranuleGenerator gen(2022);
+  GranuleSpec spec;
+  spec.geometry = kSmallGeometry;
+  // Find a daytime slot.
+  int slot = 0;
+  while (!is_daytime(spec.satellite, slot, spec.day_of_year)) ++slot;
+  spec.slot = slot;
+  const auto m02 = gen.mod02(spec);
+  const auto m06 = gen.mod06(spec);
+  ASSERT_TRUE(m02.daytime);
+  double cloudy_sum = 0, clear_sum = 0;
+  std::size_t cloudy_n = 0, clear_n = 0;
+  for (int r = 0; r < spec.geometry.rows; ++r) {
+    for (int c = 0; c < spec.geometry.cols; ++c) {
+      const std::size_t i =
+          static_cast<std::size_t>(r) * spec.geometry.cols + c;
+      const float vis = m02.at(0, r, c);
+      if (m06.cloud_mask[i]) {
+        cloudy_sum += vis;
+        ++cloudy_n;
+      } else {
+        clear_sum += vis;
+        ++clear_n;
+      }
+    }
+  }
+  ASSERT_GT(cloudy_n, 0u);
+  ASSERT_GT(clear_n, 0u);
+  EXPECT_GT(cloudy_sum / cloudy_n, clear_sum / clear_n + 0.1);
+}
+
+TEST(Products, NightGranulesHaveFilledReflectiveBands) {
+  GranuleGenerator gen(2022);
+  GranuleSpec spec;
+  spec.geometry = kSmallGeometry;
+  int slot = 0;
+  while (is_daytime(spec.satellite, slot, spec.day_of_year)) ++slot;
+  spec.slot = slot;
+  const auto m02 = gen.mod02(spec);
+  ASSERT_FALSE(m02.daytime);
+  EXPECT_FLOAT_EQ(m02.at(0, 0, 0), kFillValue);
+  EXPECT_FLOAT_EQ(m02.at(2, 5, 5), kFillValue);
+  // Thermal bands remain valid at night.
+  EXPECT_NE(m02.at(3, 0, 0), kFillValue);
+}
+
+TEST(Products, HdflRoundTripAllProducts) {
+  GranuleGenerator gen(5);
+  GranuleSpec spec;
+  spec.geometry = GranuleGeometry{64, 48, 4};
+  spec.slot = 37;
+  const auto m02 = gen.mod02(spec);
+  const auto back02 = Mod02Granule::from_hdfl(
+      storage::HdflFile::deserialize(m02.to_hdfl().serialize()));
+  EXPECT_EQ(back02.spec.slot, 37);
+  EXPECT_EQ(back02.daytime, m02.daytime);
+  EXPECT_EQ(back02.radiance, m02.radiance);
+
+  const auto m03 = gen.mod03(spec);
+  const auto back03 = Mod03Granule::from_hdfl(
+      storage::HdflFile::deserialize(m03.to_hdfl().serialize()));
+  EXPECT_EQ(back03.land_mask, m03.land_mask);
+
+  const auto m06 = gen.mod06(spec);
+  const auto back06 = Mod06Granule::from_hdfl(
+      storage::HdflFile::deserialize(m06.to_hdfl().serialize()));
+  EXPECT_EQ(back06.cloud_mask, m06.cloud_mask);
+}
+
+TEST(Products, LandFractionPlausible) {
+  EarthModel earth(2022);
+  int land = 0;
+  const int n = 6000;
+  util::Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    const LatLon p{rng.uniform(-80, 80), rng.uniform(-180, 180)};
+    if (earth.is_land(p)) ++land;
+  }
+  const double frac = static_cast<double>(land) / n;
+  EXPECT_GT(frac, 0.12);
+  EXPECT_LT(frac, 0.55);
+}
+
+TEST(Catalog, FilenameRoundTrip) {
+  GranuleId id{ProductKind::kMod02, Satellite::kTerra, 2022, 1, 95};
+  EXPECT_EQ(id.filename(), "MOD021KM.A2022001.0755.061.hdf");
+  const auto parsed = parse_granule_filename(id.filename());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+
+  GranuleId aqua{ProductKind::kMod06, Satellite::kAqua, 2023, 365, 0};
+  EXPECT_EQ(aqua.filename(), "MYD06_L2.A2023365.0000.061.hdf");
+  EXPECT_EQ(*parse_granule_filename(aqua.filename()), aqua);
+}
+
+TEST(Catalog, RejectsMalformedFilenames) {
+  EXPECT_FALSE(parse_granule_filename("notaproduct.A2022001.0000.061.hdf"));
+  EXPECT_FALSE(parse_granule_filename("MOD021KM.A2022001.0003.061.hdf"));  // minute not multiple of 5
+  EXPECT_FALSE(parse_granule_filename("MOD021KM.A2022001.0000.061.txt"));
+  EXPECT_FALSE(parse_granule_filename("MOD021KM.X2022001.0000.061.hdf"));
+}
+
+TEST(Catalog, ProductNames) {
+  EXPECT_EQ(product_short_name(ProductKind::kMod03, Satellite::kAqua), "MYD03");
+  const auto parsed = parse_product_name("MOD021KM");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, ProductKind::kMod02);
+  EXPECT_FALSE(parse_product_name("TROPOMI").has_value());
+}
+
+TEST(Catalog, ListsFullDay) {
+  ArchiveService archive(2022);
+  const auto entries = archive.list(ProductKind::kMod02, Satellite::kTerra,
+                                    DaySpan{2022, 1, 1});
+  ASSERT_EQ(entries.size(), 288u);
+  EXPECT_EQ(entries.front().id.slot, 0);
+  EXPECT_EQ(entries.back().id.slot, 287);
+  for (const auto& e : entries) ASSERT_GT(e.size_bytes, 0u);
+}
+
+TEST(Catalog, DayVolumesMatchPaper) {
+  // Paper: ~32 GB MOD02, ~8.4 GB MOD03, ~18 GB MOD06 per day.
+  ArchiveService archive(2022);
+  auto total = [&](ProductKind kind) {
+    std::uint64_t sum = 0;
+    for (const auto& e :
+         archive.list(kind, Satellite::kTerra, DaySpan{2022, 1, 1}))
+      sum += e.size_bytes;
+    return static_cast<double>(sum) / (1024.0 * 1024 * 1024);
+  };
+  EXPECT_NEAR(total(ProductKind::kMod02), 32.0, 6.0);
+  EXPECT_NEAR(total(ProductKind::kMod03), 8.4, 1.5);
+  EXPECT_NEAR(total(ProductKind::kMod06), 18.0, 3.0);
+}
+
+TEST(Catalog, SizesDeterministic) {
+  ArchiveService a(2022), b(2022);
+  const GranuleId id{ProductKind::kMod02, Satellite::kTerra, 2022, 15, 100};
+  EXPECT_EQ(a.size_of(id), b.size_of(id));
+}
+
+TEST(Catalog, MaterializeParsesBack) {
+  ArchiveService archive(2022);
+  const GranuleId id{ProductKind::kMod06, Satellite::kTerra, 2022, 1, 130};
+  const auto bytes = archive.materialize(id, GranuleGeometry{64, 48, 4});
+  const auto granule = Mod06Granule::from_hdfl(storage::HdflFile::deserialize(bytes));
+  EXPECT_EQ(granule.spec.slot, 130);
+  EXPECT_EQ(granule.cloud_mask.size(), 64u * 48u);
+}
+
+TEST(Stats, NightGranulesYieldNoTiles) {
+  GranuleGenerator gen(2022);
+  GranuleSpec spec;
+  spec.geometry = kFullGeometry;
+  int slot = 0;
+  while (is_daytime(spec.satellite, slot, spec.day_of_year)) ++slot;
+  spec.slot = slot;
+  const auto stats = estimate_granule_stats(gen, spec);
+  EXPECT_FALSE(stats.daytime);
+  EXPECT_EQ(stats.selected_tiles, 0);
+}
+
+TEST(Stats, SelectedSubsetOfCandidates) {
+  GranuleGenerator gen(2022);
+  for (int slot = 0; slot < 288; slot += 17) {
+    GranuleSpec spec;
+    spec.geometry = kFullGeometry;
+    spec.slot = slot;
+    const auto stats = estimate_granule_stats(gen, spec);
+    ASSERT_LE(stats.selected_tiles, stats.candidate_tiles);
+    ASSERT_LE(stats.candidate_tiles, 150);  // 15 x 10 grid at full geometry
+    ASSERT_GE(stats.selected_tiles, 0);
+  }
+}
+
+TEST(Stats, DayYieldIsRealistic) {
+  // Across a full day, mean selected tiles per daytime granule should be in
+  // the range the AICCA papers describe (tens to ~150 per swath).
+  GranuleGenerator gen(2022);
+  long total = 0;
+  int day_granules = 0;
+  for (int slot = 0; slot < 288; ++slot) {
+    GranuleSpec spec;
+    spec.geometry = kFullGeometry;
+    spec.slot = slot;
+    const auto stats = estimate_granule_stats(gen, spec);
+    if (stats.daytime) {
+      ++day_granules;
+      total += stats.selected_tiles;
+    }
+  }
+  ASSERT_GT(day_granules, 0);
+  const double mean = static_cast<double>(total) / day_granules;
+  EXPECT_GT(mean, 30.0);
+  EXPECT_LT(mean, 150.0);
+}
+
+}  // namespace
+}  // namespace mfw::modis

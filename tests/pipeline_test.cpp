@@ -1,0 +1,148 @@
+// Tests for pipeline configuration parsing and the timeline recorder.
+#include <gtest/gtest.h>
+
+#include "pipeline/config.hpp"
+#include "pipeline/timeline.hpp"
+
+namespace mfw::pipeline {
+namespace {
+
+TEST(Config, DefaultsAreValid) {
+  EomlConfig config;
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_EQ(config.download_workers, 3);
+  EXPECT_EQ(config.products.size(), 3u);
+}
+
+TEST(Config, ParsesFullYaml) {
+  const auto config = EomlConfig::from_yaml_text(R"(
+workflow:
+  satellite: Terra
+  products: [MOD02, MOD03, MOD06]
+  span:
+    year: 2022
+    first_day: 1
+    last_day: 2
+  max_files: 80
+  daytime_only: true
+  seed: 99
+download:
+  workers: 6
+  wan_capacity: 200MB
+  connection_speed: 10MB
+preprocess:
+  nodes: 10
+  workers_per_node: 8
+  tile_size: 128
+  channels: 6
+  min_cloud_fraction: 0.3
+  slurm_latency: 2.0
+monitor:
+  poll_interval: 0.5
+  action_overhead: 0.05
+inference:
+  workers: 1
+shipment:
+  streams: 8
+  link_capacity: 2GB
+content:
+  materialize: false
+)");
+  EXPECT_EQ(config.satellite, modis::Satellite::kTerra);
+  EXPECT_EQ(config.span.last_day, 2);
+  ASSERT_TRUE(config.max_files.has_value());
+  EXPECT_EQ(*config.max_files, 80u);
+  EXPECT_EQ(config.download_workers, 6);
+  EXPECT_DOUBLE_EQ(config.wan_capacity_bps, 200.0 * 1024 * 1024);
+  EXPECT_EQ(config.preprocess_nodes, 10);
+  EXPECT_EQ(config.workers_per_node, 8);
+  EXPECT_DOUBLE_EQ(config.slurm_latency, 2.0);
+  EXPECT_DOUBLE_EQ(config.poll_interval, 0.5);
+  EXPECT_EQ(config.shipment_streams, 8);
+  EXPECT_EQ(config.seed, 99u);
+}
+
+TEST(Config, ElasticBlockParsing) {
+  const auto config = EomlConfig::from_yaml_text(R"(
+preprocess:
+  elastic: true
+  block:
+    nodes_per_block: 2
+    init_blocks: 1
+    max_blocks: 5
+    idle_timeout: 10
+)");
+  EXPECT_TRUE(config.elastic);
+  EXPECT_EQ(config.block.nodes_per_block, 2);
+  EXPECT_EQ(config.block.max_blocks, 5);
+  EXPECT_DOUBLE_EQ(config.block.idle_timeout, 10.0);
+}
+
+TEST(Config, RejectsInvalidValues) {
+  EomlConfig config;
+  config.download_workers = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = EomlConfig{};
+  config.span.last_day = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = EomlConfig{};
+  config.products.clear();
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_THROW(EomlConfig::from_yaml_text("workflow:\n  satellite: Hubble\n"),
+               util::YamlError);
+  EXPECT_THROW(EomlConfig::from_yaml_text("workflow:\n  products: [SENTINEL]\n"),
+               util::YamlError);
+}
+
+TEST(Config, MaterializeGeometryValidation) {
+  EomlConfig config;
+  config.materialize = true;
+  config.geometry = modis::GranuleGeometry{64, 64, 6};
+  config.tiler.tile_size = 128;  // larger than the content grid
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.tiler.tile_size = 32;
+  EXPECT_NO_THROW(config.validate());
+}
+
+TEST(Timeline, StepFunctionSemantics) {
+  StageTimeline stage;
+  stage.stage = "download";
+  stage.transitions = {{0.0, 1}, {2.0, 3}, {5.0, 0}};
+  EXPECT_EQ(stage.at(-1.0), 0);
+  EXPECT_EQ(stage.at(0.0), 1);
+  EXPECT_EQ(stage.at(1.9), 1);
+  EXPECT_EQ(stage.at(2.0), 3);
+  EXPECT_EQ(stage.at(10.0), 0);
+  EXPECT_EQ(stage.peak(), 3);
+}
+
+TEST(Timeline, RenderWindowZoomsIn) {
+  TimelineRecorder recorder;
+  recorder.add_stage("download", {{0.0, 3}, {100.0, 0}});
+  recorder.add_stage("preprocess", {{100.0, 32}, {130.0, 0}});
+  // Full render spans 0..130; the window render spans 95..130 only.
+  const auto zoomed = recorder.render_window(95.0, 130.0, 40, 50, 8);
+  EXPECT_NE(zoomed.find("95"), std::string::npos);
+  EXPECT_NE(zoomed.find("130"), std::string::npos);
+  // Degenerate window does not crash.
+  EXPECT_FALSE(recorder.render_window(5.0, 5.0, 10, 20, 4).empty());
+}
+
+TEST(Timeline, RecorderCsvAndRender) {
+  TimelineRecorder recorder;
+  recorder.add_stage("download", {{0.0, 3}, {10.0, 0}});
+  recorder.add_stage("preprocess", {{10.0, 32}, {40.0, 0}});
+  recorder.add_stage("inference", {{12.0, 1}, {42.0, 0}});
+  EXPECT_DOUBLE_EQ(recorder.end_time(), 42.0);
+  EXPECT_EQ(recorder.stage("preprocess").peak(), 32);
+  EXPECT_THROW(recorder.stage("nope"), std::invalid_argument);
+
+  const auto csv = recorder.to_csv(10);
+  EXPECT_NE(csv.find("time_s,download,preprocess,inference"), std::string::npos);
+  const auto plot = recorder.render(50, 60, 10);
+  EXPECT_NE(plot.find("active workers"), std::string::npos);
+  EXPECT_NE(plot.find("download"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mfw::pipeline

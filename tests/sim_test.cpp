@@ -1,0 +1,283 @@
+// Unit tests for the discrete-event engine, contention laws, the
+// processor-sharing SharedResource, and the water-filling FlowLink.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/clock.hpp"
+#include "sim/engine.hpp"
+#include "sim/link.hpp"
+#include "sim/resource.hpp"
+
+namespace mfw::sim {
+namespace {
+
+TEST(SimEngine, ExecutesInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+}
+
+TEST(SimEngine, FifoForSimultaneousEvents) {
+  SimEngine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    engine.schedule_at(1.0, [&, i] { order.push_back(i); });
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool fired = false;
+  const auto handle = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(handle);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.processed(), 0u);
+}
+
+TEST(SimEngine, EventsScheduleMoreEvents) {
+  SimEngine engine;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) engine.schedule_after(1.0, chain);
+  };
+  engine.schedule_after(1.0, chain);
+  engine.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_DOUBLE_EQ(engine.now(), 5.0);
+}
+
+TEST(SimEngine, PastSchedulingClampsToNow) {
+  SimEngine engine;
+  engine.schedule_at(10.0, [] {});
+  engine.run();
+  double fired_at = -1;
+  engine.schedule_at(5.0, [&] { fired_at = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(fired_at, 10.0);
+}
+
+TEST(SimEngine, RunUntilAdvancesExactly) {
+  SimEngine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(5.0, [&] { ++fired; });
+  EXPECT_EQ(engine.run_until(2.5), 1u);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.5);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(WallClock, MonotoneNonNegative) {
+  WallClock clock;
+  const double a = clock.now();
+  const double b = clock.now();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(ContentionLaws, Values) {
+  LinearCapLaw linear(10.0, 35.0);
+  EXPECT_DOUBLE_EQ(linear.aggregate_rate(1), 10.0);
+  EXPECT_DOUBLE_EQ(linear.aggregate_rate(3), 30.0);
+  EXPECT_DOUBLE_EQ(linear.aggregate_rate(8), 35.0);
+
+  StepCapLaw step(10.0, 4);
+  EXPECT_DOUBLE_EQ(step.aggregate_rate(2), 20.0);
+  EXPECT_DOUBLE_EQ(step.aggregate_rate(9), 40.0);
+
+  SaturatingExpLaw sat(38.5, 3.1);
+  EXPECT_NEAR(sat.aggregate_rate(1), 38.5 * (1 - std::exp(-1 / 3.1)), 1e-9);
+  EXPECT_LT(sat.aggregate_rate(8), 38.5);
+  EXPECT_GT(sat.aggregate_rate(64), 38.4);
+  EXPECT_DOUBLE_EQ(sat.aggregate_rate(0), 0.0);
+}
+
+TEST(ContentionLaws, RejectBadParameters) {
+  EXPECT_THROW(LinearCapLaw(0, 1), std::invalid_argument);
+  EXPECT_THROW(SaturatingExpLaw(1, 0), std::invalid_argument);
+  EXPECT_THROW(StepCapLaw(1, 0), std::invalid_argument);
+}
+
+TEST(SharedResource, SingleJobTakesDemandOverRate) {
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(2.0, 100.0));
+  double done_at = -1;
+  res.submit(10.0, [&] { done_at = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);  // 10 units at 2/s
+  EXPECT_EQ(res.completed_jobs(), 1u);
+}
+
+TEST(SharedResource, ProcessorSharingSplitsRate) {
+  SimEngine engine;
+  // Linear law with a huge cap: 2 jobs share 2*per_task = no contention.
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(1.0, 1e9));
+  std::vector<double> done;
+  res.submit(10.0, [&] { done.push_back(engine.now()); });
+  res.submit(10.0, [&] { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 10.0, 1e-9);
+  EXPECT_NEAR(done[1], 10.0, 1e-9);
+}
+
+TEST(SharedResource, CapacitySaturationStretchesService) {
+  SimEngine engine;
+  // Cap 1.0: two jobs of demand 1 take 2s total (serial capacity).
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(1.0, 1.0));
+  std::vector<double> done;
+  res.submit(1.0, [&] { done.push_back(engine.now()); });
+  res.submit(1.0, [&] { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(SharedResource, LateArrivalRecomputesCompletion) {
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(1.0, 1.0));
+  std::vector<double> done;
+  res.submit(2.0, [&] { done.push_back(engine.now()); });
+  // At t=1 the first job has 1 unit left; a second job halves its rate.
+  engine.schedule_at(1.0, [&] {
+    res.submit(2.0, [&] { done.push_back(engine.now()); });
+  });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  // First job: 1 + 1/(0.5) = 3s. Second: remaining 1 unit alone at 1/s -> 4s.
+  EXPECT_NEAR(done[0], 3.0, 1e-9);
+  EXPECT_NEAR(done[1], 4.0, 1e-9);
+}
+
+TEST(SharedResource, CancelRemovesJob) {
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(1.0, 10.0));
+  bool fired = false;
+  const auto id = res.submit(5.0, [&] { fired = true; });
+  engine.schedule_at(1.0, [&] { res.cancel(id); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(res.active(), 0u);
+}
+
+TEST(SharedResource, RejectsNonPositiveDemand) {
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<LinearCapLaw>(1.0, 1.0));
+  EXPECT_THROW(res.submit(0.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(res.submit(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(SharedResource, ManyJobsAllComplete) {
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<SaturatingExpLaw>(38.5, 3.1));
+  int completed = 0;
+  for (int i = 0; i < 500; ++i)
+    res.submit(1.0 + (i % 7), [&] { ++completed; });
+  engine.run();
+  EXPECT_EQ(completed, 500);
+  EXPECT_EQ(res.active(), 0u);
+}
+
+TEST(FlowLink, SingleFlowAtCapRate) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 100.0);
+  double done_at = -1, reported_bps = 0;
+  link.start_flow(50.0, 10.0, [&](double bps) {
+    done_at = engine.now();
+    reported_bps = bps;
+  });
+  engine.run();
+  EXPECT_NEAR(done_at, 5.0, 1e-9);  // capped by per-flow 10 B/s
+  EXPECT_NEAR(reported_bps, 10.0, 1e-6);
+}
+
+TEST(FlowLink, CapacitySharedFairly) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 10.0);
+  std::vector<double> done;
+  // Two flows each capped at 10 but sharing 10 total -> 5 each.
+  link.start_flow(10.0, 10.0, [&](double) { done.push_back(engine.now()); });
+  link.start_flow(10.0, 10.0, [&](double) { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(FlowLink, WaterFillingRespectsSmallCaps) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 10.0);
+  std::vector<std::pair<double, double>> done;  // (time, bps)
+  // Flow A capped at 2 B/s; flow B can use the leftover 8 B/s.
+  link.start_flow(2.0, 2.0, [&](double bps) { done.emplace_back(engine.now(), bps); });
+  link.start_flow(8.0, 100.0, [&](double bps) { done.emplace_back(engine.now(), bps); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].first, 1.0, 1e-9);
+  EXPECT_NEAR(done[0].second, 2.0, 1e-6);
+  EXPECT_NEAR(done[1].first, 1.0, 1e-9);
+  EXPECT_NEAR(done[1].second, 8.0, 1e-6);
+}
+
+TEST(FlowLink, DepartureSpeedsUpRemaining) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 10.0);
+  std::vector<double> done;
+  link.start_flow(5.0, 100.0, [&](double) { done.push_back(engine.now()); });
+  link.start_flow(10.0, 100.0, [&](double) { done.push_back(engine.now()); });
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);   // 5 B at 5 B/s
+  EXPECT_NEAR(done[1], 1.5, 1e-9);   // remaining 5 B at full 10 B/s
+}
+
+TEST(FlowLink, CancelledFlowNeverCompletes) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 10.0);
+  bool fired = false;
+  const auto id = link.start_flow(100.0, 10.0, [&](double) { fired = true; });
+  engine.schedule_at(1.0, [&] { link.cancel(id); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(link.active_flows(), 0u);
+}
+
+TEST(FlowLink, NoFloatingPointStallAtLargeTimes) {
+  SimEngine engine;
+  // Advance virtual time far out, then run many small flows; the event loop
+  // must terminate (regression test for the sub-quantum-dt stall).
+  engine.schedule_at(1e7, [] {});
+  engine.run();
+  FlowLink link(engine, "wan", 1.2e9);
+  int completed = 0;
+  for (int i = 0; i < 200; ++i)
+    link.start_flow(150.0 + i, 3e8, [&](double) { ++completed; });
+  const std::size_t events = engine.run();
+  EXPECT_EQ(completed, 200);
+  EXPECT_LT(events, 100000u);
+}
+
+TEST(FlowLink, ManyStaggeredFlowsAllComplete) {
+  SimEngine engine;
+  FlowLink link(engine, "wan", 120.0 * 1024 * 1024);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(i * 0.1, [&, i] {
+      link.start_flow(1e6 * (1 + i % 5), 8e6, [&](double) { ++completed; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 100);
+}
+
+}  // namespace
+}  // namespace mfw::sim

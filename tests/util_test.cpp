@@ -1,0 +1,322 @@
+// Unit tests for mfw::util: statistics, byte formatting, CRC32, strings,
+// globbing, RNG determinism, blocking queue, and thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "util/ascii_plot.hpp"
+#include "util/blocking_queue.hpp"
+#include "util/bytes.hpp"
+#include "util/crc32.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mfw::util {
+namespace {
+
+TEST(StreamingStats, EmptyIsZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(StreamingStats, MatchesClosedForm) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStats, SingleSampleHasZeroVariance) {
+  StreamingStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+}
+
+TEST(Percentile, RejectsOutOfRange) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into first bin
+  h.add(0.5);
+  h.add(9.99);
+  h.add(100.0);  // clamps into last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Bytes, ParsesUnits) {
+  EXPECT_EQ(parse_bytes("512"), 512u);
+  EXPECT_EQ(parse_bytes("1KB"), 1024u);
+  EXPECT_EQ(parse_bytes("32GB"), 32ull * kGiB);
+  EXPECT_EQ(parse_bytes("8.4 GB"),
+            static_cast<std::uint64_t>(
+                std::llround(8.4 * static_cast<double>(kGiB))));
+  EXPECT_EQ(parse_bytes("1.5TiB"),
+            static_cast<std::uint64_t>(
+                std::llround(1.5 * static_cast<double>(kTiB))));
+}
+
+TEST(Bytes, RejectsGarbage) {
+  EXPECT_THROW(parse_bytes("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_bytes("12parsecs"), std::invalid_argument);
+}
+
+TEST(Bytes, FormatsRoundTrippable) {
+  EXPECT_EQ(format_bytes(32ull * kGiB), "32.0GB");
+  EXPECT_EQ(format_bytes(100), "100B");
+  EXPECT_EQ(format_bytes(1536), "1.50KB");
+}
+
+TEST(Bytes, FormatsSeconds) {
+  EXPECT_EQ(format_seconds(44.0), "44.00s");
+  EXPECT_EQ(format_seconds(0.05), "50ms");
+  EXPECT_EQ(format_seconds(125.0), "2m05s");
+}
+
+TEST(Crc32, KnownVectors) {
+  // Standard check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+  EXPECT_EQ(crc32("", 0), 0x00000000u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  Crc32 inc;
+  inc.update("1234", 4);
+  inc.update("56789", 5);
+  EXPECT_EQ(inc.value(), crc32("123456789", 9));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimAndJoin) {
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(join({"a", "b", "c"}, "/"), "a/b/c");
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(glob_match("*.ncl", "tiles/file.ncl"));
+  EXPECT_TRUE(glob_match("tiles/*.ncl", "tiles/file.ncl"));
+  EXPECT_FALSE(glob_match("tiles/*.ncl", "outbox/file.ncl"));
+  EXPECT_TRUE(glob_match("MOD0?1KM*", "MOD021KM.A2022001.0000.061.hdf"));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_FALSE(glob_match("?", ""));
+  EXPECT_TRUE(glob_match("a*b*c", "axxbyyc"));
+  EXPECT_FALSE(glob_match("a*b*c", "axxbyy"));
+}
+
+TEST(Strings, PathHelpers) {
+  EXPECT_EQ(path_join("a/", "/b"), "a/b");
+  EXPECT_EQ(path_join("", "b"), "b");
+  EXPECT_EQ(path_basename("a/b/c.nc"), "c.nc");
+  EXPECT_EQ(path_dirname("a/b/c.nc"), "a/b");
+  EXPECT_EQ(path_dirname("c.nc"), "");
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(1234), b(1234), c(99);
+  EXPECT_EQ(a(), b());
+  Rng a2(1234);
+  (void)c();
+  EXPECT_NE(a2(), c());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  StreamingStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal());
+  EXPECT_NEAR(s.mean(), 0.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 10001; ++i) xs.push_back(rng.lognormal_median(8.0, 0.3));
+  EXPECT_NEAR(percentile(xs, 50), 8.0, 0.25);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(BlockingQueue, FifoOrder) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_EQ(q.pop().value(), 2);
+  EXPECT_EQ(q.try_pop().value(), 3);
+  EXPECT_FALSE(q.try_pop().has_value());
+}
+
+TEST(BlockingQueue, CloseDrainsThenStops) {
+  BlockingQueue<int> q;
+  q.push(1);
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  EXPECT_EQ(q.pop().value(), 1);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BlockingQueue, CrossThreadDelivery) {
+  BlockingQueue<int> q;
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) q.push(i);
+    q.close();
+  });
+  int count = 0;
+  while (q.pop()) ++count;
+  producer.join();
+  EXPECT_EQ(count, 100);
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) pool.submit([&] { ++counter; });
+    pool.shutdown();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.submit([] {}));
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"a", "longer"});
+  t.add_row({"1", "2"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,longer\n1,2\n");
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CsvQuotesSpecials) {
+  Table t({"x"});
+  t.add_row({"a,b\"c"});
+  EXPECT_EQ(t.to_csv(), "x\n\"a,b\"\"c\"\n");
+}
+
+TEST(Bytes, FormatsRates) {
+  EXPECT_EQ(format_rate(12.4 * 1024 * 1024), "12.4MB/s");
+  EXPECT_EQ(format_rate(3.0), "3.00B/s");
+  EXPECT_EQ(format_rate(2.0 * 1024 * 1024 * 1024), "2.00GB/s");
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0);
+  h.add(1.5);
+  h.add(3.0);
+  const auto text = h.render(10);
+  EXPECT_NE(text.find("(2)"), std::string::npos);
+  EXPECT_NE(text.find("(1)"), std::string::npos);
+  EXPECT_THROW(Histogram(0.0, 4.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(4.0, 4.0, 2), std::invalid_argument);
+}
+
+TEST(AsciiPlot, RendersSeriesAndLegend) {
+  // Smoke: output contains axes labels, legend names, and markers.
+  Series a{"alpha", {0, 1, 2}, {0, 1, 4}, 'a'};
+  Series b{"beta", {0, 1, 2}, {4, 1, 0}, 'b'};
+  const auto plot = ascii_plot({a, b}, 30, 8, "xs", "ys");
+  EXPECT_NE(plot.find("xs"), std::string::npos);
+  EXPECT_NE(plot.find("ys"), std::string::npos);
+  EXPECT_NE(plot.find("alpha"), std::string::npos);
+  EXPECT_NE(plot.find('a'), std::string::npos);
+  EXPECT_NE(plot.find('b'), std::string::npos);
+}
+
+TEST(AsciiPlot, BarsScaleToPeak) {
+  const auto bars = ascii_bars({{"long", 10.0}, {"short", 1.0}}, 20);
+  // The peak bar is 20 chars; the small one about 2.
+  EXPECT_NE(bars.find(std::string(20, '#')), std::string::npos);
+  EXPECT_EQ(bars.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(AsciiPlot, DegenerateInputsDoNotCrash) {
+  EXPECT_FALSE(ascii_plot({}, 10, 4).empty());
+  Series flat{"flat", {1, 1}, {2, 2}, '*'};
+  EXPECT_FALSE(ascii_plot({flat}, 10, 4).empty());
+  EXPECT_TRUE(ascii_bars({}).empty());
+}
+
+TEST(Logger, SinkReceivesFormattedLine) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> lines;
+  logger.set_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  logger.set_level(LogLevel::kInfo);
+  MFW_INFO("test", "hello ", 42);
+  MFW_DEBUG("test", "hidden");
+  logger.set_sink(nullptr);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[INFO] test: hello 42");
+}
+
+}  // namespace
+}  // namespace mfw::util

@@ -1,0 +1,190 @@
+// Unit tests for the yamlite parser: the YAML subset used by workflow
+// configuration files and flow definitions.
+#include <gtest/gtest.h>
+
+#include "util/yamlite.hpp"
+
+namespace mfw::util {
+namespace {
+
+TEST(Yamlite, ScalarMap) {
+  const auto doc = parse_yaml("a: 1\nb: hello\nc: 2.5\nd: true\n");
+  EXPECT_EQ(doc["a"].as_int(), 1);
+  EXPECT_EQ(doc["b"].as_string(), "hello");
+  EXPECT_DOUBLE_EQ(doc["c"].as_double(), 2.5);
+  EXPECT_TRUE(doc["d"].as_bool());
+}
+
+TEST(Yamlite, NestedMaps) {
+  const auto doc = parse_yaml(
+      "download:\n"
+      "  workers: 3\n"
+      "  endpoint:\n"
+      "    name: defiant\n"
+      "preprocess:\n"
+      "  nodes: 10\n");
+  EXPECT_EQ(doc["download"]["workers"].as_int(), 3);
+  EXPECT_EQ(doc.path("download.endpoint.name").as_string(), "defiant");
+  EXPECT_EQ(doc["preprocess"]["nodes"].as_int(), 10);
+}
+
+TEST(Yamlite, BlockList) {
+  const auto doc = parse_yaml(
+      "products:\n"
+      "  - MOD02\n"
+      "  - MOD03\n"
+      "  - MOD06\n");
+  ASSERT_EQ(doc["products"].size(), 3u);
+  EXPECT_EQ(doc["products"].at(1).as_string(), "MOD03");
+}
+
+TEST(Yamlite, FlowList) {
+  const auto doc = parse_yaml("products: [MOD02, MOD03, \"MOD06\"]\nempty: []\n");
+  ASSERT_EQ(doc["products"].size(), 3u);
+  EXPECT_EQ(doc["products"].at(2).as_string(), "MOD06");
+  EXPECT_EQ(doc["empty"].size(), 0u);
+}
+
+TEST(Yamlite, FlowMap) {
+  const auto doc = parse_yaml(
+      "span: {year: 2022, first_day: 1, last_day: 7}\n"
+      "nested: {a: {b: 2}, list: [1, 2], s: \"x, y\"}\n"
+      "empty: {}\n");
+  EXPECT_EQ(doc.path("span.year").as_int(), 2022);
+  EXPECT_EQ(doc.path("span.last_day").as_int(), 7);
+  EXPECT_EQ(doc.path("nested.a.b").as_int(), 2);
+  ASSERT_EQ(doc.path("nested.list").size(), 2u);
+  EXPECT_EQ(doc.path("nested.s").as_string(), "x, y");
+  EXPECT_TRUE(doc["empty"].is_map());
+  EXPECT_EQ(doc["empty"].size(), 0u);
+}
+
+TEST(Yamlite, FlowMapErrors) {
+  EXPECT_THROW(parse_yaml("a: {k: 1\n"), YamlError);
+  EXPECT_THROW(parse_yaml("a: {noseparator}\n"), YamlError);
+}
+
+TEST(Yamlite, MergeDeep) {
+  const auto base = parse_yaml(
+      "a: {x: 1, y: 2}\n"
+      "keep: yes\n"
+      "list: [1, 2]\n");
+  const auto overlay = parse_yaml(
+      "a: {y: 99, z: 3}\n"
+      "list: [7]\n"
+      "extra: new\n");
+  const auto merged = merge_yaml(base, overlay);
+  EXPECT_EQ(merged.path("a.x").as_int(), 1);    // kept from base
+  EXPECT_EQ(merged.path("a.y").as_int(), 99);   // overridden
+  EXPECT_EQ(merged.path("a.z").as_int(), 3);    // added
+  EXPECT_EQ(merged["keep"].as_string(), "yes");
+  EXPECT_EQ(merged["list"].size(), 1u);         // lists replace, not append
+  EXPECT_EQ(merged["extra"].as_string(), "new");
+}
+
+TEST(Yamlite, ListOfMaps) {
+  const auto doc = parse_yaml(
+      "choices:\n"
+      "  - variable: x\n"
+      "    next: a\n"
+      "  - variable: y\n"
+      "    next: b\n");
+  ASSERT_EQ(doc["choices"].size(), 2u);
+  EXPECT_EQ(doc["choices"].at(0)["variable"].as_string(), "x");
+  EXPECT_EQ(doc["choices"].at(1)["next"].as_string(), "b");
+}
+
+TEST(Yamlite, CommentsAndBlanks) {
+  const auto doc = parse_yaml(
+      "# top comment\n"
+      "\n"
+      "a: 1  # trailing comment\n"
+      "b: \"has # inside quotes\"\n");
+  EXPECT_EQ(doc["a"].as_int(), 1);
+  EXPECT_EQ(doc["b"].as_string(), "has # inside quotes");
+}
+
+TEST(Yamlite, QuotedStringsAndNull) {
+  const auto doc = parse_yaml("a: 'single'\nb: \"double\"\nc: null\nd: ~\n");
+  EXPECT_EQ(doc["a"].as_string(), "single");
+  EXPECT_EQ(doc["b"].as_string(), "double");
+  EXPECT_TRUE(doc["c"].is_null());
+  EXPECT_TRUE(doc["d"].is_null());
+}
+
+TEST(Yamlite, ColonInsideValue) {
+  const auto doc = parse_yaml("url: https://ladsweb.modaps.eosdis.nasa.gov\n");
+  EXPECT_EQ(doc["url"].as_string(), "https://ladsweb.modaps.eosdis.nasa.gov");
+}
+
+TEST(Yamlite, DefaultsWhenMissing) {
+  const auto doc = parse_yaml("a: 1\n");
+  EXPECT_EQ(doc["zzz"].as_int_or(5), 5);
+  EXPECT_EQ(doc["zzz"].as_string_or("d"), "d");
+  EXPECT_TRUE(doc.path("x.y.z").is_null());
+  EXPECT_FALSE(doc.has("zzz"));
+  EXPECT_TRUE(doc.has("a"));
+}
+
+TEST(Yamlite, RequireThrowsOnMissing) {
+  const auto doc = parse_yaml("a: 1\n");
+  EXPECT_THROW(doc.require("missing"), YamlError);
+  EXPECT_NO_THROW(doc.require("a"));
+}
+
+TEST(Yamlite, ByteSizeScalars) {
+  const auto doc = parse_yaml("size: 32GB\n");
+  EXPECT_EQ(doc["size"].as_bytes(), 32ull * 1024 * 1024 * 1024);
+}
+
+TEST(Yamlite, TypeErrors) {
+  const auto doc = parse_yaml("a: hello\nlist: [1]\n");
+  EXPECT_THROW(doc["a"].as_int(), YamlError);
+  EXPECT_THROW(doc["a"].as_bool(), YamlError);
+  EXPECT_THROW(doc["list"].as_string(), YamlError);
+  EXPECT_THROW(doc["a"].at(0), YamlError);
+}
+
+TEST(Yamlite, RejectsTabsAndBadIndent) {
+  EXPECT_THROW(parse_yaml("a:\n\tb: 1\n"), YamlError);
+  EXPECT_THROW(parse_yaml("a: 1\n   stray\n"), YamlError);
+}
+
+TEST(Yamlite, KeyOrderPreserved) {
+  const auto doc = parse_yaml("z: 1\na: 2\nm: 3\n");
+  ASSERT_EQ(doc.keys().size(), 3u);
+  EXPECT_EQ(doc.keys()[0], "z");
+  EXPECT_EQ(doc.keys()[1], "a");
+  EXPECT_EQ(doc.keys()[2], "m");
+}
+
+TEST(Yamlite, DumpRoundTrip) {
+  const char* text =
+      "name: flow\n"
+      "states:\n"
+      "  one:\n"
+      "    type: action\n"
+      "    items:\n"
+      "      - a\n"
+      "      - b\n";
+  const auto doc = parse_yaml(text);
+  const auto doc2 = parse_yaml(doc.dump());
+  EXPECT_EQ(doc2["name"].as_string(), "flow");
+  EXPECT_EQ(doc2.path("states.one.type").as_string(), "action");
+  ASSERT_EQ(doc2.path("states.one.items").size(), 2u);
+  EXPECT_EQ(doc2.path("states.one.items").at(1).as_string(), "b");
+}
+
+TEST(Yamlite, DocumentMarkerIgnored) {
+  const auto doc = parse_yaml("---\na: 1\n");
+  EXPECT_EQ(doc["a"].as_int(), 1);
+}
+
+TEST(Yamlite, EmptyDocumentIsEmptyMap) {
+  const auto doc = parse_yaml("");
+  EXPECT_TRUE(doc.is_map());
+  EXPECT_EQ(doc.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mfw::util

@@ -1,0 +1,153 @@
+// mfwctl — command-line front end for the EO-ML workflow.
+//
+//   mfwctl run <config.yaml> [--timeline] [--csv <path>] [--quiet]
+//       Run the five-stage workflow from a YAML configuration file.
+//   mfwctl registry
+//       List the built-in shareable pipeline templates.
+//   mfwctl run-template <name> [<overrides.yaml>] [--facility <profile>]
+//       Instantiate a registry template (optionally merged with overrides)
+//       and run it on a named facility profile (olcf | nersc | alcf).
+//   mfwctl facilities
+//       Show the built-in facility profiles.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "federation/orchestrator.hpp"
+#include "pipeline/eoml_workflow.hpp"
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace mfw;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mfwctl run <config.yaml> [--timeline] [--csv <path>] [--quiet]\n"
+               "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
+               "  mfwctl registry\n"
+               "  mfwctl facilities\n");
+  return 2;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+int run_config(pipeline::EomlConfig config, bool timeline,
+               const std::string& csv_path) {
+  pipeline::EomlWorkflow workflow(std::move(config));
+  const auto report = workflow.run();
+  std::printf("%s\n", report.summary().c_str());
+  if (timeline) std::printf("%s\n", report.timeline.render(120, 90, 14).c_str());
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    out << report.timeline.to_csv(200);
+    std::printf("timeline CSV written to %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+federation::FacilityProfile profile_by_name(const std::string& name) {
+  if (name == "olcf") return federation::FacilityProfile::olcf_defiant();
+  if (name == "nersc")
+    return federation::FacilityProfile::nersc_perlmutter_like();
+  if (name == "alcf") return federation::FacilityProfile::alcf_polaris_like();
+  throw std::runtime_error("unknown facility '" + name +
+                           "' (expected olcf|nersc|alcf)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+
+  auto has_flag = [&](const char* flag) {
+    for (const auto& a : args)
+      if (a == flag) return true;
+    return false;
+  };
+  auto flag_value = [&](const char* flag) -> std::string {
+    for (std::size_t i = 0; i + 1 < args.size(); ++i)
+      if (args[i] == flag) return args[i + 1];
+    return {};
+  };
+  auto positional = [&](std::size_t index) -> std::string {
+    std::size_t seen = 0;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      if (args[i].rfind("--", 0) == 0) {
+        if (args[i] == "--csv" || args[i] == "--facility") ++i;  // skip value
+        continue;
+      }
+      if (seen++ == index) return args[i];
+    }
+    return {};
+  };
+
+  util::Logger::instance().set_level(
+      has_flag("--quiet") ? util::LogLevel::kError : util::LogLevel::kInfo);
+
+  try {
+    if (command == "run") {
+      const auto path = positional(0);
+      if (path.empty()) return usage();
+      auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      return run_config(std::move(config), has_flag("--timeline"),
+                        flag_value("--csv"));
+    }
+    if (command == "run-template") {
+      const auto name = positional(0);
+      if (name.empty()) return usage();
+      federation::PipelineRegistry registry;
+      registry.publish_builtin();
+      std::string overrides;
+      if (const auto overrides_path = positional(1); !overrides_path.empty())
+        overrides = slurp(overrides_path);
+      auto config = registry.instantiate(name, overrides);
+      if (const auto facility = flag_value("--facility"); !facility.empty())
+        profile_by_name(facility).apply(config);
+      return run_config(std::move(config), has_flag("--timeline"),
+                        flag_value("--csv"));
+    }
+    if (command == "registry") {
+      federation::PipelineRegistry registry;
+      registry.publish_builtin();
+      for (const auto& name : registry.names())
+        std::printf("%-16s %s\n", name.c_str(),
+                    registry.entry(name).description.c_str());
+      return 0;
+    }
+    if (command == "facilities") {
+      for (const auto& profile :
+           {federation::FacilityProfile::olcf_defiant(),
+            federation::FacilityProfile::nersc_perlmutter_like(),
+            federation::FacilityProfile::alcf_polaris_like()}) {
+        std::printf("%-24s %3d nodes  sched %.1fs  archive %s  analysis %s\n",
+                    profile.name.c_str(), profile.total_nodes,
+                    profile.scheduler_latency,
+                    util::format_rate(profile.archive_bandwidth_bps).c_str(),
+                    util::format_rate(profile.analysis_link_bps).c_str());
+      }
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
