@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_elasticity.dir/ablation_elasticity.cpp.o"
+  "CMakeFiles/ablation_elasticity.dir/ablation_elasticity.cpp.o.d"
+  "ablation_elasticity"
+  "ablation_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_latent.dir/ablation_latent.cpp.o"
+  "CMakeFiles/ablation_latent.dir/ablation_latent.cpp.o.d"
+  "ablation_latent"
+  "ablation_latent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_latent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_swath.dir/fig1_swath.cpp.o"
+  "CMakeFiles/fig1_swath.dir/fig1_swath.cpp.o.d"
+  "fig1_swath"
+  "fig1_swath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_swath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

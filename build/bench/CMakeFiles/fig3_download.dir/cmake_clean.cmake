@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_download.dir/fig3_download.cpp.o"
+  "CMakeFiles/fig3_download.dir/fig3_download.cpp.o.d"
+  "fig3_download"
+  "fig3_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_12k.dir/headline_12k.cpp.o"
+  "CMakeFiles/headline_12k.dir/headline_12k.cpp.o.d"
+  "headline_12k"
+  "headline_12k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_12k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for headline_12k.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_contention.dir/micro_contention.cpp.o"
+  "CMakeFiles/micro_contention.dir/micro_contention.cpp.o.d"
+  "micro_contention"
+  "micro_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table1_throughput.cpp" "bench/CMakeFiles/table1_throughput.dir/table1_throughput.cpp.o" "gcc" "bench/CMakeFiles/table1_throughput.dir/table1_throughput.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/mfw_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mfw_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mfw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/mfw_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/mfw_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/transfer/CMakeFiles/mfw_transfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/modis/CMakeFiles/mfw_modis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mfw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

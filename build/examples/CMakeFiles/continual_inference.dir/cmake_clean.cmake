@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continual_inference.dir/continual_inference.cpp.o"
+  "CMakeFiles/continual_inference.dir/continual_inference.cpp.o.d"
+  "continual_inference"
+  "continual_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continual_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_facility.dir/cross_facility.cpp.o"
+  "CMakeFiles/cross_facility.dir/cross_facility.cpp.o.d"
+  "cross_facility"
+  "cross_facility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_facility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

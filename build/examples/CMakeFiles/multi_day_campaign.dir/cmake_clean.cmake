@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_day_campaign.dir/multi_day_campaign.cpp.o"
+  "CMakeFiles/multi_day_campaign.dir/multi_day_campaign.cpp.o.d"
+  "multi_day_campaign"
+  "multi_day_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_day_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ricc_training.dir/ricc_training.cpp.o"
+  "CMakeFiles/ricc_training.dir/ricc_training.cpp.o.d"
+  "ricc_training"
+  "ricc_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ricc_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("storage")
+subdirs("modis")
+subdirs("ml")
+subdirs("compute")
+subdirs("transfer")
+subdirs("flow")
+subdirs("preprocess")
+subdirs("pipeline")
+subdirs("federation")
+subdirs("analysis")

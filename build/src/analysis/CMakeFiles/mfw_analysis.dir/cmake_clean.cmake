@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_analysis.dir/aicca.cpp.o"
+  "CMakeFiles/mfw_analysis.dir/aicca.cpp.o.d"
+  "libmfw_analysis.a"
+  "libmfw_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/block_provider.cpp" "src/compute/CMakeFiles/mfw_compute.dir/block_provider.cpp.o" "gcc" "src/compute/CMakeFiles/mfw_compute.dir/block_provider.cpp.o.d"
+  "/root/repo/src/compute/cluster.cpp" "src/compute/CMakeFiles/mfw_compute.dir/cluster.cpp.o" "gcc" "src/compute/CMakeFiles/mfw_compute.dir/cluster.cpp.o.d"
+  "/root/repo/src/compute/slurm_sim.cpp" "src/compute/CMakeFiles/mfw_compute.dir/slurm_sim.cpp.o" "gcc" "src/compute/CMakeFiles/mfw_compute.dir/slurm_sim.cpp.o.d"
+  "/root/repo/src/compute/thread_executor.cpp" "src/compute/CMakeFiles/mfw_compute.dir/thread_executor.cpp.o" "gcc" "src/compute/CMakeFiles/mfw_compute.dir/thread_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_compute.dir/block_provider.cpp.o"
+  "CMakeFiles/mfw_compute.dir/block_provider.cpp.o.d"
+  "CMakeFiles/mfw_compute.dir/cluster.cpp.o"
+  "CMakeFiles/mfw_compute.dir/cluster.cpp.o.d"
+  "CMakeFiles/mfw_compute.dir/slurm_sim.cpp.o"
+  "CMakeFiles/mfw_compute.dir/slurm_sim.cpp.o.d"
+  "CMakeFiles/mfw_compute.dir/thread_executor.cpp.o"
+  "CMakeFiles/mfw_compute.dir/thread_executor.cpp.o.d"
+  "libmfw_compute.a"
+  "libmfw_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

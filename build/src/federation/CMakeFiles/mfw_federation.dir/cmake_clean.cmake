@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_federation.dir/facility_profile.cpp.o"
+  "CMakeFiles/mfw_federation.dir/facility_profile.cpp.o.d"
+  "CMakeFiles/mfw_federation.dir/orchestrator.cpp.o"
+  "CMakeFiles/mfw_federation.dir/orchestrator.cpp.o.d"
+  "CMakeFiles/mfw_federation.dir/registry.cpp.o"
+  "CMakeFiles/mfw_federation.dir/registry.cpp.o.d"
+  "libmfw_federation.a"
+  "libmfw_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/definition.cpp" "src/flow/CMakeFiles/mfw_flow.dir/definition.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/definition.cpp.o.d"
+  "/root/repo/src/flow/event_bus.cpp" "src/flow/CMakeFiles/mfw_flow.dir/event_bus.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/event_bus.cpp.o.d"
+  "/root/repo/src/flow/monitor.cpp" "src/flow/CMakeFiles/mfw_flow.dir/monitor.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/monitor.cpp.o.d"
+  "/root/repo/src/flow/provenance.cpp" "src/flow/CMakeFiles/mfw_flow.dir/provenance.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/provenance.cpp.o.d"
+  "/root/repo/src/flow/runner.cpp" "src/flow/CMakeFiles/mfw_flow.dir/runner.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/runner.cpp.o.d"
+  "/root/repo/src/flow/schema.cpp" "src/flow/CMakeFiles/mfw_flow.dir/schema.cpp.o" "gcc" "src/flow/CMakeFiles/mfw_flow.dir/schema.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mfw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_flow.dir/definition.cpp.o"
+  "CMakeFiles/mfw_flow.dir/definition.cpp.o.d"
+  "CMakeFiles/mfw_flow.dir/event_bus.cpp.o"
+  "CMakeFiles/mfw_flow.dir/event_bus.cpp.o.d"
+  "CMakeFiles/mfw_flow.dir/monitor.cpp.o"
+  "CMakeFiles/mfw_flow.dir/monitor.cpp.o.d"
+  "CMakeFiles/mfw_flow.dir/provenance.cpp.o"
+  "CMakeFiles/mfw_flow.dir/provenance.cpp.o.d"
+  "CMakeFiles/mfw_flow.dir/runner.cpp.o"
+  "CMakeFiles/mfw_flow.dir/runner.cpp.o.d"
+  "CMakeFiles/mfw_flow.dir/schema.cpp.o"
+  "CMakeFiles/mfw_flow.dir/schema.cpp.o.d"
+  "libmfw_flow.a"
+  "libmfw_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

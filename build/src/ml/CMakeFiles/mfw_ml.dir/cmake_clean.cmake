@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_ml.dir/cluster.cpp.o"
+  "CMakeFiles/mfw_ml.dir/cluster.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/continual.cpp.o"
+  "CMakeFiles/mfw_ml.dir/continual.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/layers.cpp.o"
+  "CMakeFiles/mfw_ml.dir/layers.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/loss.cpp.o"
+  "CMakeFiles/mfw_ml.dir/loss.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/optim.cpp.o"
+  "CMakeFiles/mfw_ml.dir/optim.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/ricc.cpp.o"
+  "CMakeFiles/mfw_ml.dir/ricc.cpp.o.d"
+  "CMakeFiles/mfw_ml.dir/tensor.cpp.o"
+  "CMakeFiles/mfw_ml.dir/tensor.cpp.o.d"
+  "libmfw_ml.a"
+  "libmfw_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

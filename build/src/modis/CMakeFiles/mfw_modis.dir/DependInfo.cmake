@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modis/catalog.cpp" "src/modis/CMakeFiles/mfw_modis.dir/catalog.cpp.o" "gcc" "src/modis/CMakeFiles/mfw_modis.dir/catalog.cpp.o.d"
+  "/root/repo/src/modis/geo.cpp" "src/modis/CMakeFiles/mfw_modis.dir/geo.cpp.o" "gcc" "src/modis/CMakeFiles/mfw_modis.dir/geo.cpp.o.d"
+  "/root/repo/src/modis/noise.cpp" "src/modis/CMakeFiles/mfw_modis.dir/noise.cpp.o" "gcc" "src/modis/CMakeFiles/mfw_modis.dir/noise.cpp.o.d"
+  "/root/repo/src/modis/products.cpp" "src/modis/CMakeFiles/mfw_modis.dir/products.cpp.o" "gcc" "src/modis/CMakeFiles/mfw_modis.dir/products.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mfw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_modis.dir/catalog.cpp.o"
+  "CMakeFiles/mfw_modis.dir/catalog.cpp.o.d"
+  "CMakeFiles/mfw_modis.dir/geo.cpp.o"
+  "CMakeFiles/mfw_modis.dir/geo.cpp.o.d"
+  "CMakeFiles/mfw_modis.dir/noise.cpp.o"
+  "CMakeFiles/mfw_modis.dir/noise.cpp.o.d"
+  "CMakeFiles/mfw_modis.dir/products.cpp.o"
+  "CMakeFiles/mfw_modis.dir/products.cpp.o.d"
+  "libmfw_modis.a"
+  "libmfw_modis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_modis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mfw_modis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mfw_modis.
+# This may be replaced when dependencies are built.

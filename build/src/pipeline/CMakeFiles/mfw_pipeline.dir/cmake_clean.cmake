@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_pipeline.dir/config.cpp.o"
+  "CMakeFiles/mfw_pipeline.dir/config.cpp.o.d"
+  "CMakeFiles/mfw_pipeline.dir/eoml_workflow.cpp.o"
+  "CMakeFiles/mfw_pipeline.dir/eoml_workflow.cpp.o.d"
+  "CMakeFiles/mfw_pipeline.dir/timeline.cpp.o"
+  "CMakeFiles/mfw_pipeline.dir/timeline.cpp.o.d"
+  "libmfw_pipeline.a"
+  "libmfw_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preprocess/tasks.cpp" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tasks.cpp.o" "gcc" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tasks.cpp.o.d"
+  "/root/repo/src/preprocess/tile_io.cpp" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tile_io.cpp.o" "gcc" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tile_io.cpp.o.d"
+  "/root/repo/src/preprocess/tiler.cpp" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tiler.cpp.o" "gcc" "src/preprocess/CMakeFiles/mfw_preprocess.dir/tiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modis/CMakeFiles/mfw_modis.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/mfw_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mfw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_preprocess.dir/tasks.cpp.o"
+  "CMakeFiles/mfw_preprocess.dir/tasks.cpp.o.d"
+  "CMakeFiles/mfw_preprocess.dir/tile_io.cpp.o"
+  "CMakeFiles/mfw_preprocess.dir/tile_io.cpp.o.d"
+  "CMakeFiles/mfw_preprocess.dir/tiler.cpp.o"
+  "CMakeFiles/mfw_preprocess.dir/tiler.cpp.o.d"
+  "libmfw_preprocess.a"
+  "libmfw_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

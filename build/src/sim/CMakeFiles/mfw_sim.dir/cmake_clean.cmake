@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_sim.dir/engine.cpp.o"
+  "CMakeFiles/mfw_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mfw_sim.dir/link.cpp.o"
+  "CMakeFiles/mfw_sim.dir/link.cpp.o.d"
+  "CMakeFiles/mfw_sim.dir/resource.cpp.o"
+  "CMakeFiles/mfw_sim.dir/resource.cpp.o.d"
+  "libmfw_sim.a"
+  "libmfw_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/faulty_fs.cpp" "src/storage/CMakeFiles/mfw_storage.dir/faulty_fs.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/faulty_fs.cpp.o.d"
+  "/root/repo/src/storage/hdfl.cpp" "src/storage/CMakeFiles/mfw_storage.dir/hdfl.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/hdfl.cpp.o.d"
+  "/root/repo/src/storage/lustre_sim.cpp" "src/storage/CMakeFiles/mfw_storage.dir/lustre_sim.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/lustre_sim.cpp.o.d"
+  "/root/repo/src/storage/memfs.cpp" "src/storage/CMakeFiles/mfw_storage.dir/memfs.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/memfs.cpp.o.d"
+  "/root/repo/src/storage/ncl.cpp" "src/storage/CMakeFiles/mfw_storage.dir/ncl.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/ncl.cpp.o.d"
+  "/root/repo/src/storage/posixfs.cpp" "src/storage/CMakeFiles/mfw_storage.dir/posixfs.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/posixfs.cpp.o.d"
+  "/root/repo/src/storage/serialize.cpp" "src/storage/CMakeFiles/mfw_storage.dir/serialize.cpp.o" "gcc" "src/storage/CMakeFiles/mfw_storage.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_storage.dir/faulty_fs.cpp.o"
+  "CMakeFiles/mfw_storage.dir/faulty_fs.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/hdfl.cpp.o"
+  "CMakeFiles/mfw_storage.dir/hdfl.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/lustre_sim.cpp.o"
+  "CMakeFiles/mfw_storage.dir/lustre_sim.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/memfs.cpp.o"
+  "CMakeFiles/mfw_storage.dir/memfs.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/ncl.cpp.o"
+  "CMakeFiles/mfw_storage.dir/ncl.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/posixfs.cpp.o"
+  "CMakeFiles/mfw_storage.dir/posixfs.cpp.o.d"
+  "CMakeFiles/mfw_storage.dir/serialize.cpp.o"
+  "CMakeFiles/mfw_storage.dir/serialize.cpp.o.d"
+  "libmfw_storage.a"
+  "libmfw_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmfw_storage.a"
+)

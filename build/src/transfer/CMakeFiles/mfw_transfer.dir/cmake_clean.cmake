@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_transfer.dir/download.cpp.o"
+  "CMakeFiles/mfw_transfer.dir/download.cpp.o.d"
+  "CMakeFiles/mfw_transfer.dir/transfer_service.cpp.o"
+  "CMakeFiles/mfw_transfer.dir/transfer_service.cpp.o.d"
+  "libmfw_transfer.a"
+  "libmfw_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_plot.cpp" "src/util/CMakeFiles/mfw_util.dir/ascii_plot.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/util/bytes.cpp" "src/util/CMakeFiles/mfw_util.dir/bytes.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/bytes.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/util/CMakeFiles/mfw_util.dir/crc32.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/crc32.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/util/CMakeFiles/mfw_util.dir/log.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/log.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/mfw_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/mfw_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/mfw_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/mfw_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/yamlite.cpp" "src/util/CMakeFiles/mfw_util.dir/yamlite.cpp.o" "gcc" "src/util/CMakeFiles/mfw_util.dir/yamlite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfw_util.dir/ascii_plot.cpp.o"
+  "CMakeFiles/mfw_util.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/bytes.cpp.o"
+  "CMakeFiles/mfw_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/crc32.cpp.o"
+  "CMakeFiles/mfw_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/log.cpp.o"
+  "CMakeFiles/mfw_util.dir/log.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/stats.cpp.o"
+  "CMakeFiles/mfw_util.dir/stats.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/strings.cpp.o"
+  "CMakeFiles/mfw_util.dir/strings.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/table.cpp.o"
+  "CMakeFiles/mfw_util.dir/table.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/mfw_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mfw_util.dir/yamlite.cpp.o"
+  "CMakeFiles/mfw_util.dir/yamlite.cpp.o.d"
+  "libmfw_util.a"
+  "libmfw_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfw_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

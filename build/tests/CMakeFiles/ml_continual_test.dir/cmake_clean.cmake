@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_continual_test.dir/ml_continual_test.cpp.o"
+  "CMakeFiles/ml_continual_test.dir/ml_continual_test.cpp.o.d"
+  "ml_continual_test"
+  "ml_continual_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_continual_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

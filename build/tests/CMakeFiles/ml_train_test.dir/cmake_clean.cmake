@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_train_test.dir/ml_train_test.cpp.o"
+  "CMakeFiles/ml_train_test.dir/ml_train_test.cpp.o.d"
+  "ml_train_test"
+  "ml_train_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_train_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

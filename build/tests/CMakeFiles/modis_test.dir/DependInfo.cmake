@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/modis_test.cpp" "tests/CMakeFiles/modis_test.dir/modis_test.cpp.o" "gcc" "tests/CMakeFiles/modis_test.dir/modis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/modis/CMakeFiles/mfw_modis.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mfw_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mfw_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mfw_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modis_test.dir/modis_test.cpp.o"
+  "CMakeFiles/modis_test.dir/modis_test.cpp.o.d"
+  "modis_test"
+  "modis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mfwctl.dir/mfwctl.cpp.o"
+  "CMakeFiles/mfwctl.dir/mfwctl.cpp.o.d"
+  "mfwctl"
+  "mfwctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mfwctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
