@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "pipeline/eoml_workflow.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace mfw;
@@ -47,5 +49,46 @@ int main() {
               m.stddev);
   std::printf("Within 25%% of the paper's 44s: %s\n",
               (m.mean > 33.0 && m.mean < 55.0) ? "yes" : "no");
+
+  // -- streaming variant -----------------------------------------------------
+  // The 44s headline measures the farm in isolation (inputs already on
+  // Lustre). End to end the barrier makes every granule wait for the slowest
+  // download; streaming hides the farm inside the download window, so the
+  // same 10x8 allocation adds almost nothing past the last download.
+  std::printf(
+      "\n=== Streaming variant (end-to-end, 10 nodes x 8 workers) ===\n");
+  util::Logger::instance().set_level(util::LogLevel::kWarn);
+  util::Table cmp({"scheduling", "makespan (s)", "post-download (s)",
+                   "dl/pp overlap (s)", "tiles"});
+  double barrier_makespan = 0.0;
+  double streaming_makespan = 0.0;
+  for (const auto mode : {pipeline::SchedulingMode::kBarrier,
+                          pipeline::SchedulingMode::kStreaming}) {
+    pipeline::EomlConfig config;
+    config.max_files = 40;
+    config.daytime_only = true;
+    config.download_workers = 3;
+    config.preprocess_nodes = 10;
+    config.workers_per_node = 8;
+    config.inference_workers = 1;
+    config.scheduling = mode;
+    pipeline::EomlWorkflow workflow(config);
+    const auto report = workflow.run();
+    (mode == pipeline::SchedulingMode::kBarrier ? barrier_makespan
+                                                : streaming_makespan) =
+        report.makespan;
+    cmp.add_row({pipeline::to_string(mode),
+                 util::Table::num(report.makespan, 2),
+                 util::Table::num(report.makespan - report.download_span.end, 2),
+                 util::Table::num(report.download_preprocess_overlap(), 2),
+                 util::Table::num(static_cast<double>(report.total_tiles), 0)});
+  }
+  std::printf("%s\n", cmp.render().c_str());
+  std::printf("Streaming saves %.2fs end-to-end (%.1f%%)\n",
+              barrier_makespan - streaming_makespan,
+              barrier_makespan > 0
+                  ? 100.0 * (barrier_makespan - streaming_makespan) /
+                        barrier_makespan
+                  : 0.0);
   return 0;
 }

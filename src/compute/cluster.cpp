@@ -73,6 +73,8 @@ bool ClusterExecutor::drain_node(int node_id) {
 }
 
 void ClusterExecutor::submit(SimTaskDesc desc, SimTaskCallback callback) {
+  if (sealed_)
+    throw std::logic_error("ClusterExecutor::submit after seal()");
   queue_.push_back(PendingTask{std::move(desc), engine_.now(), std::move(callback)});
   dispatch();
 }
@@ -80,6 +82,19 @@ void ClusterExecutor::submit(SimTaskDesc desc, SimTaskCallback callback) {
 void ClusterExecutor::notify_idle(std::function<void()> callback) {
   idle_callbacks_.push_back(std::move(callback));
   check_idle();
+}
+
+void ClusterExecutor::seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  MFW_DEBUG(kComponent, "submission stream sealed at ", completed_,
+            " completed, ", queue_.size() + running_, " outstanding");
+  check_all_complete();
+}
+
+void ClusterExecutor::notify_all_complete(std::function<void()> callback) {
+  complete_callbacks_.push_back(std::move(callback));
+  check_all_complete();
 }
 
 int ClusterExecutor::active_workers() const {
@@ -191,6 +206,7 @@ void ClusterExecutor::complete(std::uint64_t instance) {
   if (state.task.callback) state.task.callback(result);
   dispatch();
   check_idle();
+  check_all_complete();
 }
 
 bool ClusterExecutor::fail_node(int node_id) {
@@ -220,6 +236,7 @@ bool ClusterExecutor::fail_node(int node_id) {
            " tasks on ", nodes_.size(), " surviving nodes");
   dispatch();
   check_idle();
+  check_all_complete();
   return true;
 }
 
@@ -231,6 +248,18 @@ void ClusterExecutor::check_idle() {
   if (!queue_.empty() || running_ != 0 || idle_callbacks_.empty()) return;
   auto callbacks = std::move(idle_callbacks_);
   idle_callbacks_.clear();
+  for (auto& cb : callbacks) {
+    engine_.schedule_after(0.0, std::move(cb));
+  }
+}
+
+void ClusterExecutor::check_all_complete() {
+  if (!sealed_ || !queue_.empty() || running_ != 0 ||
+      complete_callbacks_.empty()) {
+    return;
+  }
+  auto callbacks = std::move(complete_callbacks_);
+  complete_callbacks_.clear();
   for (auto& cb : callbacks) {
     engine_.schedule_after(0.0, std::move(cb));
   }

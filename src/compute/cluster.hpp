@@ -69,13 +69,27 @@ class ClusterExecutor {
   /// requeued tasks wait for the next add_node().
   bool fail_node(int node_id);
 
-  /// Enqueues a task. `callback` (optional) fires on completion.
+  /// Enqueues a task. `callback` (optional) fires on completion. Throws
+  /// after seal().
   void submit(SimTaskDesc desc, SimTaskCallback callback = nullptr);
 
   /// Registers a one-shot callback for the next moment the executor becomes
   /// fully idle (empty queue, no running tasks). Fires immediately (via a
   /// zero-delay event) if already idle.
   void notify_idle(std::function<void()> callback);
+
+  /// Declares the submission stream closed: no further submit() calls are
+  /// allowed. Event-driven producers (tasks trickling in per readiness
+  /// event) use seal() + notify_all_complete() instead of counting: "idle"
+  /// is ambiguous while the stream is open — the farm may merely be starved
+  /// between arrivals — but sealed + idle means the workload is done.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// One-shot callback for the moment the executor is sealed AND fully
+  /// idle. Fires via a zero-delay event; fires immediately if already
+  /// drained.
+  void notify_all_complete(std::function<void()> callback);
 
   std::size_t queued() const { return queue_.size(); }
   std::size_t running() const { return running_; }
@@ -122,6 +136,7 @@ class ClusterExecutor {
   void complete(std::uint64_t instance);
   void record_activity();
   void check_idle();
+  void check_all_complete();
 
   sim::SimEngine& engine_;
   LawFactory law_factory_;
@@ -135,9 +150,11 @@ class ClusterExecutor {
   std::size_t completed_ = 0;
   std::size_t requeued_ = 0;
   double completed_payload_ = 0.0;
+  bool sealed_ = false;
   std::vector<std::pair<double, int>> activity_;
   std::vector<SimTaskResult> results_;
   std::vector<std::function<void()>> idle_callbacks_;
+  std::vector<std::function<void()>> complete_callbacks_;
 };
 
 }  // namespace mfw::compute

@@ -19,12 +19,25 @@ void EventBus::publish(const std::string& topic, util::YamlNode event) {
   ++published_;
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return;
-  // Snapshot the handlers: subscribers added/removed after publish() do not
-  // see this event, and handlers run outside the publisher's stack frame.
+  // Snapshot subscriber *ids*, not handlers: subscribers added after
+  // publish() do not see this event, and a subscriber removed before (or
+  // during) dispatch is skipped — so unsubscribe() is safe to call from
+  // inside a handler while the snapshot is being walked.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(it->second.size());
+  for (const auto& [id, handler] : it->second) ids.push_back(id);
   auto payload = std::make_shared<util::YamlNode>(std::move(event));
-  for (const auto& [id, handler] : it->second) {
-    engine_.schedule_after(0.0, [handler, payload] { handler(*payload); });
-  }
+  engine_.schedule_after(0.0, [this, topic, ids = std::move(ids), payload] {
+    for (const auto id : ids) {
+      const auto tit = topics_.find(topic);
+      if (tit == topics_.end()) return;
+      const auto hit = tit->second.find(id);
+      if (hit == tit->second.end()) continue;  // unsubscribed since snapshot
+      // Copy so a handler that unsubscribes itself stays alive for the call.
+      const Handler handler = hit->second;
+      handler(*payload);
+    }
+  });
 }
 
 std::size_t EventBus::subscriber_count(const std::string& topic) const {

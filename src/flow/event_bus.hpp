@@ -32,7 +32,11 @@ class EventBus {
   Subscription subscribe(const std::string& topic, Handler handler);
   void unsubscribe(Subscription subscription);
 
-  /// Publishes an event; all current subscribers receive it asynchronously.
+  /// Publishes an event; current subscribers receive it asynchronously.
+  /// Delivery checks each subscriber is still registered: unsubscribing —
+  /// even from inside a handler during dispatch — suppresses any pending
+  /// deliveries to that subscription, and subscribers added after publish()
+  /// do not see the event.
   void publish(const std::string& topic, util::YamlNode event);
 
   std::size_t subscriber_count(const std::string& topic) const;

@@ -1,0 +1,71 @@
+// Typed dataflow events carried over the EventBus.
+//
+// The streaming scheduler replaces implicit whole-stage sequencing with an
+// explicit event contract: stage boundaries communicate through these typed
+// records, serialized to YamlNode payloads, so any bus subscriber (tests,
+// telemetry, provenance tooling) can observe the dataflow without linking
+// against the publishing stage. See DESIGN.md "Dataflow architecture".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "modis/catalog.hpp"
+#include "util/yamlite.hpp"
+
+namespace mfw::flow {
+
+namespace topics {
+/// One archive file landed on the facility filesystem (DownloadService).
+inline constexpr const char* kDownloadFile = "download.file";
+/// One archive file was abandoned after exhausting its retry budget.
+inline constexpr const char* kDownloadFailed = "download.failed";
+/// A MOD02/MOD03/MOD06 triplet is whole and safe to preprocess
+/// (GranuleTracker).
+inline constexpr const char* kGranuleReady = "granule.ready";
+/// Stage lifecycle events (EomlWorkflow).
+inline constexpr const char* kWorkflow = "workflow";
+}  // namespace topics
+
+/// Product-independent identity of one 5-minute granule triplet.
+struct GranuleKey {
+  modis::Satellite satellite = modis::Satellite::kTerra;
+  int year = 2022;
+  int day_of_year = 1;
+  int slot = 0;
+
+  auto operator<=>(const GranuleKey&) const = default;
+
+  /// e.g. "terra.A2022001.s0095"
+  std::string to_string() const;
+  static GranuleKey of(const modis::GranuleId& id);
+};
+
+/// Payload of topics::kDownloadFile / kDownloadFailed.
+struct FileEvent {
+  modis::GranuleId id;
+  std::string path;  // empty for failures
+  std::uint64_t bytes = 0;
+  double finished_at = 0.0;
+  int attempts = 1;
+
+  util::YamlNode to_yaml() const;
+  /// nullopt for payloads that do not carry a parseable granule filename.
+  static std::optional<FileEvent> from_yaml(const util::YamlNode& node);
+};
+
+/// Payload of topics::kGranuleReady.
+struct ReadyGranule {
+  GranuleKey key;
+  std::string mod02_path;
+  std::string mod03_path;
+  std::string mod06_path;
+  double first_file_at = 0.0;  // first triplet member landed
+  double ready_at = 0.0;       // triplet became whole
+
+  util::YamlNode to_yaml() const;
+  static std::optional<ReadyGranule> from_yaml(const util::YamlNode& node);
+};
+
+}  // namespace mfw::flow

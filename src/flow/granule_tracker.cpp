@@ -1,0 +1,75 @@
+#include "flow/granule_tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace mfw::flow {
+
+namespace {
+constexpr const char* kComponent = "granules";
+}
+
+GranuleTracker::GranuleTracker(EventBus& bus, GranuleTrackerConfig config)
+    : bus_(bus), config_(std::move(config)) {
+  if (config_.required.empty())
+    throw std::invalid_argument("GranuleTracker needs >= 1 required product");
+  if (config_.file_topic.empty() || config_.ready_topic.empty())
+    throw std::invalid_argument("GranuleTracker needs non-empty topics");
+  file_sub_ = bus_.subscribe(config_.file_topic, [this](const util::YamlNode& node) {
+    if (const auto event = FileEvent::from_yaml(node)) observe_file(*event);
+  });
+}
+
+GranuleTracker::~GranuleTracker() { bus_.unsubscribe(file_sub_); }
+
+Subscription GranuleTracker::on_ready(ReadyHandler handler) {
+  return bus_.subscribe(
+      config_.ready_topic,
+      [handler = std::move(handler)](const util::YamlNode& node) {
+        if (const auto ready = ReadyGranule::from_yaml(node)) handler(*ready);
+      });
+}
+
+void GranuleTracker::observe_file(const FileEvent& event) {
+  if (std::find(config_.required.begin(), config_.required.end(),
+                event.id.product) == config_.required.end()) {
+    return;
+  }
+  ++files_;
+  const auto key = GranuleKey::of(event.id);
+  if (completed_.count(key)) return;  // late duplicate of a whole triplet
+  auto [it, inserted] = partial_.emplace(key, Partial{});
+  Partial& partial = it->second;
+  if (inserted) partial.first_at = event.finished_at;
+  partial.paths[event.id.product] = event.path;
+  if (partial.paths.size() < config_.required.size()) return;
+
+  ReadyGranule ready;
+  ready.key = key;
+  const auto path_of = [&partial](modis::ProductKind kind) {
+    const auto pit = partial.paths.find(kind);
+    return pit == partial.paths.end() ? std::string{} : pit->second;
+  };
+  ready.mod02_path = path_of(modis::ProductKind::kMod02);
+  ready.mod03_path = path_of(modis::ProductKind::kMod03);
+  ready.mod06_path = path_of(modis::ProductKind::kMod06);
+  ready.first_file_at = partial.first_at;
+  ready.ready_at = event.finished_at;
+  partial_.erase(it);
+  completed_.insert(key);
+  ++ready_;
+  MFW_DEBUG(kComponent, "granule ", ready.key.to_string(), " whole after ",
+            ready.ready_at - ready.first_file_at, "s");
+  bus_.publish(config_.ready_topic, ready.to_yaml());
+}
+
+std::vector<GranuleKey> GranuleTracker::pending_keys() const {
+  std::vector<GranuleKey> keys;
+  keys.reserve(partial_.size());
+  for (const auto& [key, partial] : partial_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace mfw::flow

@@ -55,7 +55,7 @@ void FsMonitor::poll() {
     MFW_DEBUG(kComponent, "batch of ", fresh.size(), " new files");
     trigger_(fresh);
   }
-  if (stop_requested_ && fresh.empty()) {
+  if (stop_requested_ && (fresh.empty() || !config_.sticky)) {
     running_ = false;
     MFW_DEBUG(kComponent, "stopped after ", polls_, " polls");
     return;

@@ -19,8 +19,11 @@ namespace mfw::flow {
 struct FsMonitorConfig {
   std::string pattern;      // glob over the watched filesystem
   double poll_interval = 1.0;
-  /// When true, the monitor stops after `stop()` is called AND the last poll
-  /// found nothing new (graceful drain).
+  /// When true (graceful drain), the monitor keeps polling after `stop()`
+  /// until a poll finds nothing new — files that land while earlier batches
+  /// are still being produced are never lost. When false, the drain poll
+  /// after stop() is the last one: it still delivers whatever it finds, but
+  /// the monitor stops even if that batch was non-empty.
   bool sticky = true;
 };
 

@@ -1,5 +1,6 @@
 #include "pipeline/config.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace mfw::pipeline {
@@ -29,7 +30,17 @@ std::vector<modis::ProductKind> parse_products(const util::YamlNode& node) {
   return out;
 }
 
+SchedulingMode parse_scheduling(const std::string& name) {
+  if (name == "barrier") return SchedulingMode::kBarrier;
+  if (name == "streaming") return SchedulingMode::kStreaming;
+  throw util::YamlError("unknown scheduling mode: " + name);
+}
+
 }  // namespace
+
+const char* to_string(SchedulingMode mode) {
+  return mode == SchedulingMode::kStreaming ? "streaming" : "barrier";
+}
 
 EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
   EomlConfig config;
@@ -50,6 +61,8 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
     config.daytime_only = wf["daytime_only"].as_bool_or(config.daytime_only);
     config.seed = static_cast<std::uint64_t>(
         wf["seed"].as_int_or(static_cast<std::int64_t>(config.seed)));
+    if (wf.has("scheduling"))
+      config.scheduling = parse_scheduling(wf["scheduling"].as_string());
   }
 
   const auto& dl = root["download"];
@@ -148,6 +161,18 @@ EomlConfig EomlConfig::from_yaml_text(std::string_view text) {
 
 void EomlConfig::validate() const {
   if (products.empty()) throw std::invalid_argument("config: no products");
+  if (scheduling == SchedulingMode::kStreaming) {
+    // The per-granule readiness trigger is defined over whole triplets: with
+    // any product missing from the stream, granule.ready would never fire.
+    const auto has = [this](modis::ProductKind kind) {
+      return std::find(products.begin(), products.end(), kind) !=
+             products.end();
+    };
+    if (!has(modis::ProductKind::kMod02) || !has(modis::ProductKind::kMod03) ||
+        !has(modis::ProductKind::kMod06))
+      throw std::invalid_argument(
+          "config: streaming scheduling requires MOD02+MOD03+MOD06 products");
+  }
   if (download_workers <= 0)
     throw std::invalid_argument("config: download_workers must be >= 1");
   if (preprocess_nodes <= 0 || workers_per_node <= 0)

@@ -19,6 +19,20 @@
 
 namespace mfw::pipeline {
 
+/// How stage boundaries are sequenced (see DESIGN.md "Dataflow
+/// architecture").
+enum class SchedulingMode {
+  /// Paper-faithful: preprocessing is delayed until every download lands
+  /// (the whole-stage HDF partial-read barrier). Reproduction default.
+  kBarrier,
+  /// Event-driven: each granule is preprocessed the moment its
+  /// MOD02/MOD03/MOD06 triplet is whole (granule.ready), overlapping
+  /// Download/Preprocess/Inference and shrinking makespan.
+  kStreaming,
+};
+
+const char* to_string(SchedulingMode mode);
+
 struct EomlConfig {
   // -- data selection --------------------------------------------------------
   modis::Satellite satellite = modis::Satellite::kTerra;
@@ -30,6 +44,9 @@ struct EomlConfig {
   std::optional<std::size_t> max_files;
   bool daytime_only = true;
   std::uint64_t seed = 2022;
+
+  // -- stage coupling --------------------------------------------------------
+  SchedulingMode scheduling = SchedulingMode::kBarrier;
 
   // -- download stage --------------------------------------------------------
   int download_workers = 3;

@@ -7,6 +7,7 @@
 #include "preprocess/tile_io.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -78,6 +79,17 @@ double EomlReport::preprocess_throughput() const {
   return d > 0 ? static_cast<double>(total_tiles) / d : 0.0;
 }
 
+double EomlReport::dwell_p50() const { return util::percentile(granule_dwell, 50.0); }
+
+double EomlReport::dwell_p95() const { return util::percentile(granule_dwell, 95.0); }
+
+double EomlReport::download_preprocess_overlap() const {
+  if (!download_span.ran() || !preprocess_span.ran()) return 0.0;
+  const double lo = std::max(download_span.start, preprocess_span.start);
+  const double hi = std::min(download_span.end, preprocess_span.end);
+  return std::max(0.0, hi - lo);
+}
+
 std::string EomlReport::summary() const {
   std::ostringstream os;
   os << "EO-ML workflow report\n"
@@ -99,7 +111,14 @@ std::string EomlReport::summary() const {
      << ", trigger gap " << util::format_seconds(monitor_trigger_gap) << ")\n"
      << "  shipment:            "
      << util::format_seconds(shipment_span.duration()) << "  (" << shipped_files
-     << " files, " << util::format_bytes(shipped_bytes) << " to Orion)\n";
+     << " files, " << util::format_bytes(shipped_bytes) << " to Orion)\n"
+     << "  scheduling:          " << to_string(scheduling) << "  (dl/pp overlap "
+     << util::format_seconds(download_preprocess_overlap()) << ", dwell p50 "
+     << util::format_seconds(dwell_p50()) << ", p95 "
+     << util::format_seconds(dwell_p95());
+  if (incomplete_granules > 0)
+    os << ", " << incomplete_granules << " incomplete triplets skipped";
+  os << ")\n";
   return os.str();
 }
 
@@ -139,6 +158,16 @@ EomlWorkflow::~EomlWorkflow() = default;
 EomlReport EomlWorkflow::run() {
   if (started_) throw std::logic_error("EomlWorkflow::run called twice");
   started_ = true;
+  report_.scheduling = config_.scheduling;
+  tracker_.on_ready(
+      [this](const flow::ReadyGranule& granule) { on_granule_ready(granule); });
+  if (streaming()) {
+    // The dataflow graph has no download->preprocess barrier: the allocation
+    // and the tile monitor come up with the stream, so nodes are ready when
+    // the first whole triplet arrives.
+    request_preprocess_nodes({});
+    start_monitor();
+  }
   start_download();
   engine_.run();
   if (!finished_)
@@ -193,26 +222,61 @@ void EomlWorkflow::start_download() {
   dl.seed = config_.seed;
   downloader_ = std::make_unique<transfer::DownloadService>(
       engine_, laads_, wan_, defiant_fs_, dl);
+  downloader_->set_event_bus(&bus_);
   report_.download_span.start = engine_.now();
   publish_stage_event("download", "started");
   downloader_->start([this](const transfer::DownloadReport& dr) {
-    report_.download = dr;
-    report_.download_span.end = engine_.now();
-    report_.download_launch_latency = dr.launch_latency();
-    downloads_done_ = true;
-    publish_stage_event("download", "completed",
-                        {{"files", std::to_string(dr.files.size())},
-                         {"bytes", std::to_string(dr.total_bytes)}});
+    on_downloads_complete(dr);
+  });
+}
+
+void EomlWorkflow::on_downloads_complete(const transfer::DownloadReport& dr) {
+  report_.download = dr;
+  report_.download_span.end = engine_.now();
+  report_.download_launch_latency = dr.launch_latency();
+  downloads_done_ = true;
+  publish_stage_event("download", "completed",
+                      {{"files", std::to_string(dr.files.size())},
+                       {"bytes", std::to_string(dr.total_bytes)}});
+  if (!streaming()) {
     MFW_INFO(kComponent, "downloads complete; starting preprocessing");
     // "preprocessing is delayed until all downloads are complete"
     start_preprocess();
     start_monitor();
-  });
+    return;
+  }
+  // Streaming: the farm has been running since t=0. The bus may still hold
+  // in-flight granule.ready dispatches (this callback races ahead of the last
+  // file event's delivery), so completion cannot be "tracker is idle" —
+  // instead count the whole triplets the report guarantees and seal once that
+  // many have been submitted.
+  std::map<flow::GranuleKey, unsigned> have;
+  for (const auto& file : dr.files)
+    have[flow::GranuleKey::of(file.id)] |=
+        1u << static_cast<unsigned>(file.id.product);
+  std::set<flow::GranuleKey> all_keys;
+  for (const auto& [key, bits] : have) all_keys.insert(key);
+  for (const auto& id : dr.failed) all_keys.insert(flow::GranuleKey::of(id));
+  constexpr unsigned kWhole =
+      (1u << static_cast<unsigned>(modis::ProductKind::kMod02)) |
+      (1u << static_cast<unsigned>(modis::ProductKind::kMod03)) |
+      (1u << static_cast<unsigned>(modis::ProductKind::kMod06));
+  expected_granules_ = 0;
+  for (const auto& [key, bits] : have)
+    if (bits == kWhole) ++expected_granules_;
+  report_.incomplete_granules = all_keys.size() - expected_granules_;
+  MFW_INFO(kComponent, "downloads complete; ", expected_granules_,
+           " whole triplets in stream");
+  maybe_seal_preprocess();
 }
 
 void EomlWorkflow::start_preprocess() {
   report_.preprocess_span.start = engine_.now();
   publish_stage_event("preprocess", "started");
+  request_preprocess_nodes([this] { submit_preprocess_tasks(); });
+}
+
+void EomlWorkflow::request_preprocess_nodes(std::function<void()> on_nodes) {
   slurm_request_time_ = engine_.now();
   if (config_.elastic) {
     compute::BlockConfig block = config_.block;
@@ -220,19 +284,62 @@ void EomlWorkflow::start_preprocess() {
     blocks_.emplace(engine_, slurm_, preprocess_exec_, block);
     blocks_->start();
     report_.slurm_allocation_latency = config_.slurm_latency;  // per block
-    submit_preprocess_tasks();
+    if (on_nodes) on_nodes();
   } else {
     preprocess_job_ = slurm_.submit(
         config_.preprocess_nodes, /*walltime=*/7 * 24 * 3600.0,
-        [this](const compute::SlurmAllocation& alloc) {
+        [this, on_nodes = std::move(on_nodes)](
+            const compute::SlurmAllocation& alloc) {
           report_.slurm_allocation_latency = engine_.now() - slurm_request_time_;
           for (std::size_t i = 0; i < alloc.node_ids.size(); ++i)
             preprocess_exec_.add_node(config_.workers_per_node);
           MFW_INFO(kComponent, "preprocess allocation: ", alloc.node_ids.size(),
                    " nodes x ", config_.workers_per_node, " workers");
-          submit_preprocess_tasks();
+          if (on_nodes) on_nodes();
         });
   }
+}
+
+void EomlWorkflow::on_granule_ready(const flow::ReadyGranule& granule) {
+  // Both modes record readiness (powers the dwell metrics); only the
+  // streaming scheduler turns the event into an immediate task.
+  granule_ready_at_[granule.key] = granule.ready_at;
+  if (!streaming()) return;
+  if (report_.preprocess_span.start < 0) {
+    report_.preprocess_span.start = engine_.now();
+    publish_stage_event("preprocess", "started");
+  }
+  modis::GranuleId id;
+  id.product = modis::ProductKind::kMod02;
+  id.satellite = granule.key.satellite;
+  id.year = granule.key.year;
+  id.day_of_year = granule.key.day_of_year;
+  id.slot = granule.key.slot;
+  ++report_.granules;
+  ++granules_submitted_;
+  const auto desc = preprocess::make_preprocess_task(
+      laads_.generator(), id, config_.preprocess_cost);
+  preprocess_exec_.submit(desc,
+                          [this, id](const compute::SimTaskResult& result) {
+                            on_preprocess_task_done(result, id);
+                          });
+  maybe_seal_preprocess();
+}
+
+void EomlWorkflow::maybe_seal_preprocess() {
+  if (!streaming() || preprocess_sealed_ || !downloads_done_) return;
+  if (granules_submitted_ < expected_granules_) return;
+  preprocess_sealed_ = true;
+  if (report_.incomplete_granules > 0)
+    MFW_WARN(kComponent, report_.incomplete_granules,
+             " granules never completed their triplet; skipped");
+  if (report_.preprocess_span.start < 0) {
+    // Degenerate stream: no whole triplet ever formed.
+    report_.preprocess_span.start = engine_.now();
+    publish_stage_event("preprocess", "started");
+  }
+  preprocess_exec_.seal();
+  preprocess_exec_.notify_all_complete([this] { finish_preprocess(); });
 }
 
 void EomlWorkflow::submit_preprocess_tasks() {
@@ -289,24 +396,32 @@ void EomlWorkflow::on_preprocess_task_done(const compute::SimTaskResult& result,
   }
   report_.total_tiles += tiles;
   if (first_tile_time_ < 0) first_tile_time_ = engine_.now();
+  const auto ready_it = granule_ready_at_.find(flow::GranuleKey::of(id));
+  if (ready_it != granule_ready_at_.end())
+    report_.granule_dwell.push_back(engine_.now() - ready_it->second);
 
-  if (--preprocess_pending_ == 0) {
-    preprocess_done_ = true;
-    report_.preprocess_span.end = engine_.now();
-    publish_stage_event("preprocess", "completed",
-                        {{"granules", std::to_string(report_.granules)},
-                         {"tiles", std::to_string(report_.total_tiles)}});
-    MFW_INFO(kComponent, "preprocessing complete: ", report_.total_tiles,
-             " tiles at ",
-             util::Table::num(report_.preprocess_throughput(), 2), " tiles/s");
-    if (blocks_) {
-      blocks_->stop();
-    } else {
-      slurm_.release(preprocess_job_);
-    }
-    monitor_->stop();
-    check_shipment();
+  // Barrier mode counts down its fixed batch; streaming completion goes
+  // through seal() + notify_all_complete instead (the batch size is not
+  // known until the download report lands).
+  if (!streaming() && --preprocess_pending_ == 0) finish_preprocess();
+}
+
+void EomlWorkflow::finish_preprocess() {
+  preprocess_done_ = true;
+  report_.preprocess_span.end = engine_.now();
+  publish_stage_event("preprocess", "completed",
+                      {{"granules", std::to_string(report_.granules)},
+                       {"tiles", std::to_string(report_.total_tiles)}});
+  MFW_INFO(kComponent, "preprocessing complete: ", report_.total_tiles,
+           " tiles at ",
+           util::Table::num(report_.preprocess_throughput(), 2), " tiles/s");
+  if (blocks_) {
+    blocks_->stop();
+  } else {
+    slurm_.release(preprocess_job_);
   }
+  monitor_->stop();
+  check_shipment();
 }
 
 void EomlWorkflow::start_monitor() {

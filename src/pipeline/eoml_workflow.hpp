@@ -5,9 +5,13 @@
 //                    archive over the WAN onto ACE Defiant's filesystem.
 //   (2) Preprocess — a Parsl-like task farm (SlurmSim allocation, optionally
 //                    elastic blocks) tiles each MOD02 granule into
-//                    ocean-cloud tiles written as ncl files. Preprocessing
-//                    is delayed until all downloads complete (HDF partial-
-//                    read hazard, as in the paper).
+//                    ocean-cloud tiles written as ncl files. In barrier mode
+//                    (the paper-faithful default) preprocessing is delayed
+//                    until all downloads complete (HDF partial-read hazard,
+//                    as in the paper); in streaming mode each granule is
+//                    tiled the moment GranuleTracker reports its
+//                    MOD02/03/06 triplet whole (granule.ready), overlapping
+//                    the download stage.
 //   (3) Monitor &  — an FsMonitor crawls the tile directory; each batch of
 //       Trigger      new files triggers a Globus-Flows-style run.
 //   (4) Inference  — the triggered flow runs RICC inference (42 AICCA
@@ -33,6 +37,7 @@
 #include "compute/cluster.hpp"
 #include "compute/slurm_sim.hpp"
 #include "flow/event_bus.hpp"
+#include "flow/granule_tracker.hpp"
 #include "flow/monitor.hpp"
 #include "flow/provenance.hpp"
 #include "flow/runner.hpp"
@@ -54,6 +59,7 @@ struct StageSpan {
 };
 
 struct EomlReport {
+  SchedulingMode scheduling = SchedulingMode::kBarrier;
   transfer::DownloadReport download;
   StageSpan download_span;
   StageSpan preprocess_span;
@@ -67,9 +73,24 @@ struct EomlReport {
   std::size_t labeled_tiles = 0;
   std::size_t shipped_files = 0;
   std::uint64_t shipped_bytes = 0;
+  /// Granules whose triplet never became whole (download failures);
+  /// streaming mode skips them. Always 0 in barrier mode, which preprocesses
+  /// from the catalog listing regardless.
+  std::size_t incomplete_granules = 0;
 
   /// Tiles/second over the preprocessing span (Table I's metric).
   double preprocess_throughput() const;
+
+  // -- dataflow overlap metrics ---------------------------------------------
+  /// Per-granule dwell: triplet whole (granule.ready) -> tiles written. In
+  /// barrier mode the dwell includes the whole-stage wait for the last
+  /// download; streaming shrinks it to queueing + tiling time.
+  std::vector<double> granule_dwell;
+  double dwell_p50() const;
+  double dwell_p95() const;
+  /// Wall-clock overlap between the download and preprocess spans (0 in
+  /// barrier mode, by construction).
+  double download_preprocess_overlap() const;
 
   // -- Fig. 7 latency breakdown ---------------------------------------------
   double download_launch_latency = 0.0;  // workers + listing (paper: 5.63 s)
@@ -111,9 +132,24 @@ class EomlWorkflow {
   const storage::LustreSimFs& defiant_lustre() const { return defiant_fs_; }
 
  private:
+  bool streaming() const {
+    return config_.scheduling == SchedulingMode::kStreaming;
+  }
+
   void start_download();
+  void on_downloads_complete(const transfer::DownloadReport& dr);
   void start_preprocess();
+  /// Requests the preprocess allocation (static Slurm job or elastic
+  /// blocks); `on_nodes` fires once nodes are granted (static) or the block
+  /// provider is running (elastic).
+  void request_preprocess_nodes(std::function<void()> on_nodes);
   void submit_preprocess_tasks();
+  /// Streaming dataflow edge: one granule.ready -> one preprocess task.
+  void on_granule_ready(const flow::ReadyGranule& granule);
+  /// Streaming completion: seals the farm once downloads are done and every
+  /// whole triplet has been submitted.
+  void maybe_seal_preprocess();
+  void finish_preprocess();
   void on_preprocess_task_done(const compute::SimTaskResult& result,
                                const modis::GranuleId& id);
   void start_monitor();
@@ -147,6 +183,10 @@ class EomlWorkflow {
 
   flow::ProvenanceLog provenance_;
   flow::EventBus bus_{engine_};
+  /// Assembles download.file events into granule.ready events in both
+  /// scheduling modes (the event contract is always observable); only the
+  /// streaming scheduler acts on them.
+  flow::GranuleTracker tracker_{bus_};
   flow::FlowRunner runner_;
   flow::FlowDefinition inference_flow_;
   std::unique_ptr<flow::FsMonitor> monitor_;
@@ -169,6 +209,16 @@ class EomlWorkflow {
   double slurm_request_time_ = -1.0;
   double first_tile_time_ = -1.0;
   double first_flow_time_ = -1.0;
+
+  // -- streaming dataflow state ----------------------------------------------
+  /// ready_at per granule (fed by granule.ready in both modes; powers the
+  /// dwell metrics).
+  std::map<flow::GranuleKey, double> granule_ready_at_;
+  /// Whole triplets expected from the download report; known once the
+  /// terminal report lands.
+  std::size_t expected_granules_ = 0;
+  std::size_t granules_submitted_ = 0;
+  bool preprocess_sealed_ = false;
 };
 
 }  // namespace mfw::pipeline

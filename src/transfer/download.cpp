@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "flow/events.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -141,8 +142,16 @@ void DownloadService::attempt_download(int worker,
     if (attempt >= config_.max_attempts) {
       MFW_WARN(kComponent, "giving up on ", entry.id.filename(), " after ",
                attempt, " attempts");
-      engine_.schedule_after(wasted, [this, worker, entry] {
+      engine_.schedule_after(wasted, [this, worker, entry, attempt] {
         report_.failed.push_back(entry.id);
+        if (bus_) {
+          flow::FileEvent event;
+          event.id = entry.id;
+          event.bytes = entry.size_bytes;
+          event.finished_at = engine_.now();
+          event.attempts = attempt;
+          bus_->publish(flow::topics::kDownloadFailed, event.to_yaml());
+        }
         worker_loop(worker);
       });
       return;
@@ -193,6 +202,18 @@ void DownloadService::store_file(const modis::CatalogEntry& entry,
   done.attempts = attempt;
   report_.total_bytes += entry.size_bytes;
   report_.files.push_back(std::move(done));
+
+  const DownloadedFile& stored = report_.files.back();
+  if (file_observer_) file_observer_(stored);
+  if (bus_) {
+    flow::FileEvent event;
+    event.id = stored.id;
+    event.path = stored.path;
+    event.bytes = stored.bytes;
+    event.finished_at = stored.finished_at;
+    event.attempts = stored.attempts;
+    bus_->publish(flow::topics::kDownloadFile, event.to_yaml());
+  }
 }
 
 void DownloadService::record_activity() {

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "flow/event_bus.hpp"
 #include "modis/catalog.hpp"
 #include "sim/link.hpp"
 #include "storage/filesystem.hpp"
@@ -115,6 +116,22 @@ class DownloadService {
                   sim::FlowLink& wan, storage::FileSystem& destination,
                   DownloadConfig config);
 
+  using FileObserver = std::function<void(const DownloadedFile&)>;
+
+  /// Attaches a bus for per-file completion events: every stored file is
+  /// published as a typed flow::FileEvent on flow::topics::kDownloadFile and
+  /// every abandoned file on flow::topics::kDownloadFailed. This is the
+  /// event contract the streaming scheduler consumes (via GranuleTracker);
+  /// the terminal report remains the stage summary. Call before start().
+  void set_event_bus(flow::EventBus* bus) { bus_ = bus; }
+
+  /// Registers a typed in-process observer invoked synchronously as each
+  /// file is stored (before the bus event is published). Call before
+  /// start().
+  void set_file_observer(FileObserver observer) {
+    file_observer_ = std::move(observer);
+  }
+
   /// Starts the stage; `on_complete` fires (virtual time) when every file is
   /// stored. May be called once.
   void start(std::function<void(const DownloadReport&)> on_complete);
@@ -152,6 +169,8 @@ class DownloadService {
   DownloadReport report_;
   std::function<void(const DownloadReport&)> on_complete_;
   std::vector<std::pair<double, int>> activity_;
+  flow::EventBus* bus_ = nullptr;
+  FileObserver file_observer_;
 };
 
 }  // namespace mfw::transfer

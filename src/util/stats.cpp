@@ -44,8 +44,8 @@ double stddev(std::span<const double> xs) {
 }
 
 double percentile(std::span<const double> xs, double p) {
-  if (xs.empty()) return 0.0;
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile p out of range");
+  if (xs.empty()) return 0.0;
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();

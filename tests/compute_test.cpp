@@ -264,6 +264,68 @@ TEST(Cluster, NotifyIdleFires) {
   EXPECT_TRUE(idle);
 }
 
+TEST(Cluster, SealWithOutstandingWorkDefersAllComplete) {
+  // The streaming scheduler's completion contract: "idle" is ambiguous while
+  // the submission stream is open, so all-complete only fires after seal()
+  // AND the last outstanding task.
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(1);
+  int completed = 0;
+  double all_complete_at = -1.0;
+  for (int i = 0; i < 3; ++i) {
+    SimTaskDesc desc;
+    desc.shared_demand = 3.0;
+    exec.submit(desc, [&](const SimTaskResult&) { ++completed; });
+  }
+  exec.notify_all_complete([&] { all_complete_at = engine.now(); });
+  engine.run_until(1e-6);
+  EXPECT_FALSE(exec.sealed());
+  EXPECT_LT(all_complete_at, 0.0);  // stream still open
+  exec.seal();
+  EXPECT_TRUE(exec.sealed());
+  EXPECT_LT(all_complete_at, 0.0);  // tasks still outstanding
+  engine.run();
+  EXPECT_EQ(completed, 3);
+  EXPECT_GT(all_complete_at, 0.0);
+}
+
+TEST(Cluster, SealWhenAlreadyIdleFiresImmediately) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(1);
+  bool fired = false;
+  exec.seal();
+  exec.notify_all_complete([&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Cluster, SubmitAfterSealThrows) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.add_node(1);
+  exec.seal();
+  exec.seal();  // idempotent
+  EXPECT_THROW(exec.submit(SimTaskDesc{}), std::logic_error);
+}
+
+TEST(Cluster, SubmitBeforeNodesQueuesUntilAllocation) {
+  // Streaming submits granules from t=0, before the Slurm grant adds nodes;
+  // tasks must queue and run once capacity appears.
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  int completed = 0;
+  SimTaskDesc desc;
+  desc.shared_demand = 3.0;
+  exec.submit(desc, [&](const SimTaskResult&) { ++completed; });
+  engine.run();
+  EXPECT_EQ(completed, 0);  // no nodes yet, nothing can run
+  exec.add_node(1);
+  engine.run();
+  EXPECT_EQ(completed, 1);
+}
+
 TEST(Cluster, ActivityTransitionsAreConsistent) {
   sim::SimEngine engine;
   ClusterExecutor exec(engine, defiant_law_factory());

@@ -1,10 +1,13 @@
 // Tests for the flow engine: definition parsing/validation, runner
 // semantics (actions, choices, waits, context, overhead, failure), the
-// event bus, and the filesystem monitor.
+// event bus, the filesystem monitor, and the dataflow layer (typed events +
+// GranuleTracker triplet assembly).
 #include <gtest/gtest.h>
 
 #include "flow/definition.hpp"
 #include "flow/event_bus.hpp"
+#include "flow/events.hpp"
+#include "flow/granule_tracker.hpp"
 #include "flow/monitor.hpp"
 #include "flow/runner.hpp"
 #include "storage/memfs.hpp"
@@ -552,6 +555,256 @@ TEST(Monitor, RejectsBadConfig) {
                std::invalid_argument);
   EXPECT_THROW(FsMonitor(engine, fs, FsMonitorConfig{"*", 1.0}, nullptr),
                std::invalid_argument);
+}
+
+TEST(EventBus, SelfUnsubscribeDuringDispatchIsSafe) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  int count = 0;
+  Subscription sub;
+  sub = bus.subscribe("t", [&](const util::YamlNode&) {
+    ++count;
+    bus.unsubscribe(sub);  // from inside the handler, mid-dispatch
+  });
+  bus.publish("t", util::YamlNode::map());
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  EXPECT_EQ(count, 1);  // the second pending delivery is suppressed
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+}
+
+TEST(EventBus, HandlerUnsubscribingPeerSuppressesPendingDelivery) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  int first = 0;
+  int second = 0;
+  Subscription peer;
+  bus.subscribe("t", [&](const util::YamlNode&) {
+    ++first;
+    bus.unsubscribe(peer);  // removes the next subscriber in this dispatch
+  });
+  peer = bus.subscribe("t", [&](const util::YamlNode&) { ++second; });
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 0);
+}
+
+TEST(EventBus, LateSubscriberDoesNotSeeEarlierPublish) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  int early = 0;
+  int late = 0;
+  bus.subscribe("t", [&](const util::YamlNode&) {
+    ++early;
+    if (early == 1)
+      bus.subscribe("t", [&](const util::YamlNode&) { ++late; });
+  });
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  EXPECT_EQ(early, 1);
+  EXPECT_EQ(late, 0);  // subscribed after publish: event not replayed
+  bus.publish("t", util::YamlNode::map());
+  engine.run();
+  EXPECT_EQ(early, 2);
+  EXPECT_EQ(late, 1);
+}
+
+TEST(Monitor, OverwriteWithNewMtimeRetriggersSamePath) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  int batches = 0;
+  FsMonitor monitor(engine, fs, FsMonitorConfig{"tiles/*.ncl", 1.0},
+                    [&](const auto&) { ++batches; });
+  monitor.start();
+  engine.schedule_at(0.5, [&] { fs.write_text("tiles/a.ncl", "v"); });
+  // Identical content, later mtime: path+mtime bookkeeping must re-trigger.
+  engine.schedule_at(2.5, [&] { fs.write_text("tiles/a.ncl", "v"); });
+  engine.schedule_at(5.0, [&] { monitor.stop(); });
+  engine.run();
+  EXPECT_EQ(batches, 2);
+  // Polls between the writes saw an unchanged mtime and stayed quiet.
+  EXPECT_EQ(monitor.files_seen(), 1u);
+}
+
+TEST(Monitor, StickyDrainKeepsPollingUntilQuiet) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  int files_seen = 0;
+  FsMonitorConfig config{"*.ncl", 1.0};
+  config.sticky = true;
+  FsMonitor monitor(engine, fs, config,
+                    [&](const auto& files) { files_seen += files.size(); });
+  monitor.start();
+  engine.schedule_at(1.5, [&] {
+    fs.write_text("a.ncl", "x");
+    monitor.stop();
+  });
+  // Lands after the drain poll delivered a.ncl; sticky keeps polling because
+  // that drain batch was non-empty, so b.ncl is still picked up.
+  engine.schedule_at(2.0, [&] { fs.write_text("b.ncl", "x"); });
+  engine.run();
+  EXPECT_EQ(files_seen, 2);
+  EXPECT_FALSE(monitor.running());
+}
+
+TEST(Monitor, NonStickyStopsAfterSingleDrainPoll) {
+  sim::SimEngine engine;
+  storage::MemFs fs("defiant", &engine);
+  int files_seen = 0;
+  FsMonitorConfig config{"*.ncl", 1.0};
+  config.sticky = false;
+  FsMonitor monitor(engine, fs, config,
+                    [&](const auto& files) { files_seen += files.size(); });
+  monitor.start();
+  engine.schedule_at(1.5, [&] {
+    fs.write_text("a.ncl", "x");
+    monitor.stop();
+  });
+  engine.schedule_at(2.0, [&] { fs.write_text("b.ncl", "x"); });
+  engine.run();
+  // The drain poll delivers a.ncl but is the last poll: b.ncl is dropped.
+  EXPECT_EQ(files_seen, 1);
+  EXPECT_FALSE(monitor.running());
+}
+
+// -- dataflow events + granule tracker ---------------------------------------
+
+FileEvent make_file_event(modis::ProductKind product, int slot,
+                          double at = 1.0) {
+  FileEvent event;
+  event.id =
+      modis::GranuleId{product, modis::Satellite::kTerra, 2022, 1, slot};
+  event.path = "staging/" + event.id.filename();
+  event.bytes = 1000;
+  event.finished_at = at;
+  return event;
+}
+
+TEST(DataflowEvents, FileEventRoundTripsThroughYaml) {
+  const auto event = make_file_event(modis::ProductKind::kMod06, 95, 12.25);
+  const auto parsed = FileEvent::from_yaml(event.to_yaml());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->id, event.id);
+  EXPECT_EQ(parsed->path, event.path);
+  EXPECT_EQ(parsed->bytes, event.bytes);
+  EXPECT_NEAR(parsed->finished_at, event.finished_at, 1e-6);
+  // Payloads without a parseable granule filename are rejected, not thrown.
+  EXPECT_FALSE(FileEvent::from_yaml(util::YamlNode::map()).has_value());
+}
+
+TEST(DataflowEvents, ReadyGranuleRoundTripsThroughYaml) {
+  ReadyGranule ready;
+  ready.key = GranuleKey{modis::Satellite::kAqua, 2022, 123, 40};
+  ready.mod02_path = "staging/a";
+  ready.mod03_path = "staging/b";
+  ready.mod06_path = "staging/c";
+  ready.first_file_at = 1.5;
+  ready.ready_at = 9.75;
+  const auto parsed = ReadyGranule::from_yaml(ready.to_yaml());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key, ready.key);
+  EXPECT_EQ(parsed->mod02_path, "staging/a");
+  EXPECT_EQ(parsed->mod06_path, "staging/c");
+  EXPECT_NEAR(parsed->ready_at, 9.75, 1e-6);
+  EXPECT_EQ(ready.key.to_string(), "aqua.A2022123.s0040");
+}
+
+TEST(GranuleTracker, EmitsReadyOnceTripletIsWhole) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  GranuleTracker tracker(bus);
+  std::vector<ReadyGranule> ready;
+  tracker.on_ready([&](const ReadyGranule& g) { ready.push_back(g); });
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 5, 1.0));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod06, 5, 2.0));
+  engine.run();
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(tracker.pending(), 1u);
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 5, 3.0));
+  engine.run();
+  ASSERT_EQ(ready.size(), 1u);
+  EXPECT_EQ(ready[0].key.slot, 5);
+  EXPECT_DOUBLE_EQ(ready[0].first_file_at, 1.0);
+  EXPECT_DOUBLE_EQ(ready[0].ready_at, 3.0);
+  EXPECT_FALSE(ready[0].mod03_path.empty());
+  EXPECT_EQ(tracker.pending(), 0u);
+  EXPECT_EQ(tracker.ready_count(), 1u);
+}
+
+TEST(GranuleTracker, AssemblesFromBusEventsAndPublishesObservableYaml) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  GranuleTracker tracker(bus);
+  std::vector<util::YamlNode> raw;
+  bus.subscribe(topics::kGranuleReady,
+                [&](const util::YamlNode& node) { raw.push_back(node); });
+  for (const auto product :
+       {modis::ProductKind::kMod02, modis::ProductKind::kMod03,
+        modis::ProductKind::kMod06})
+    bus.publish(topics::kDownloadFile,
+                make_file_event(product, 7, 4.0).to_yaml());
+  engine.run();
+  EXPECT_EQ(tracker.files_seen(), 3u);
+  ASSERT_EQ(raw.size(), 1u);
+  // Any subscriber can decode the wire payload without the tracker.
+  const auto parsed = ReadyGranule::from_yaml(raw[0]);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->key.slot, 7);
+  EXPECT_DOUBLE_EQ(parsed->ready_at, 4.0);
+}
+
+TEST(GranuleTracker, DuplicateFilesAreIdempotent) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  GranuleTracker tracker(bus);
+  std::size_t ready = 0;
+  tracker.on_ready([&](const ReadyGranule&) { ++ready; });
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 9, 1.0));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 9, 1.5));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 9, 2.0));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod06, 9, 3.0));
+  // A retried overwrite arriving after the triplet completed must not
+  // resurrect the granule.
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 9, 4.0));
+  engine.run();
+  EXPECT_EQ(ready, 1u);
+  EXPECT_EQ(tracker.pending(), 0u);
+}
+
+TEST(GranuleTracker, TracksInterleavedGranulesIndependently) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  GranuleTracker tracker(bus);
+  std::vector<int> ready_slots;
+  tracker.on_ready(
+      [&](const ReadyGranule& g) { ready_slots.push_back(g.key.slot); });
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 1, 1.0));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 2, 1.1));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 2, 1.2));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod06, 2, 1.3));
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 1, 1.4));
+  EXPECT_EQ(tracker.pending(), 1u);
+  ASSERT_EQ(tracker.pending_keys().size(), 1u);
+  EXPECT_EQ(tracker.pending_keys()[0].slot, 1);
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod06, 1, 1.5));
+  engine.run();
+  EXPECT_EQ(ready_slots, (std::vector<int>{2, 1}));
+}
+
+TEST(GranuleTracker, CustomRequiredProductsIgnoreOthers) {
+  sim::SimEngine engine;
+  EventBus bus(engine);
+  GranuleTrackerConfig config;
+  config.required = {modis::ProductKind::kMod02};
+  GranuleTracker tracker(bus, config);
+  std::size_t ready = 0;
+  tracker.on_ready([&](const ReadyGranule&) { ++ready; });
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod03, 3, 1.0));
+  EXPECT_EQ(tracker.pending(), 0u);  // not a required product
+  tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 3, 2.0));
+  engine.run();
+  EXPECT_EQ(ready, 1u);
 }
 
 }  // namespace

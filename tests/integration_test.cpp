@@ -1,9 +1,12 @@
 // End-to-end integration tests of the five-stage EO-ML workflow: ordering
 // invariants, overlap of inference with preprocessing, shipment integrity,
-// elastic mode, materialized-content mode with a real RICC model, and
-// failure handling.
+// elastic mode, materialized-content mode with a real RICC model, failure
+// handling, and the streaming (per-granule readiness) scheduling mode.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "flow/events.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "preprocess/tile_io.hpp"
 #include "util/log.hpp"
@@ -299,6 +302,119 @@ TEST_F(EomlIntegration, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
   EXPECT_EQ(a.total_tiles, b.total_tiles);
   EXPECT_EQ(a.download.total_bytes, b.download.total_bytes);
+}
+
+TEST_F(EomlIntegration, StreamingOverlapsDownloadAndMatchesBarrierOutput) {
+  auto config = small_config();
+  config.max_files = 16;
+  EomlWorkflow barrier_wf(config);
+  const auto barrier = barrier_wf.run();
+  config.scheduling = SchedulingMode::kStreaming;
+  EomlWorkflow streaming_wf(config);
+  const auto streaming = streaming_wf.run();
+
+  EXPECT_EQ(streaming.scheduling, SchedulingMode::kStreaming);
+  // Identical work product in both modes...
+  EXPECT_EQ(streaming.granules, barrier.granules);
+  EXPECT_EQ(streaming.total_tiles, barrier.total_tiles);
+  EXPECT_EQ(streaming.labeled_tiles, barrier.labeled_tiles);
+  EXPECT_EQ(streaming.shipped_files, barrier.shipped_files);
+  EXPECT_EQ(streaming.incomplete_granules, 0u);
+  // ...but preprocessing starts while downloads are still in flight, the
+  // stages genuinely overlap, and the makespan shrinks.
+  EXPECT_LT(streaming.preprocess_span.start, streaming.download_span.end);
+  EXPECT_GT(streaming.download_preprocess_overlap(), 0.0);
+  EXPECT_DOUBLE_EQ(barrier.download_preprocess_overlap(), 0.0);
+  EXPECT_LT(streaming.makespan, barrier.makespan);
+  // Per-granule dwell collapses from "wait for the whole stage" to
+  // "queue + tile".
+  EXPECT_LT(streaming.dwell_p50(), barrier.dwell_p50());
+}
+
+TEST_F(EomlIntegration, GranuleReadyObservableInBothModes) {
+  for (const auto mode :
+       {SchedulingMode::kBarrier, SchedulingMode::kStreaming}) {
+    auto config = small_config();
+    config.scheduling = mode;
+    EomlWorkflow workflow(config);
+    std::vector<flow::ReadyGranule> ready;
+    workflow.events().subscribe(
+        flow::topics::kGranuleReady, [&](const util::YamlNode& node) {
+          const auto parsed = flow::ReadyGranule::from_yaml(node);
+          ASSERT_TRUE(parsed.has_value());
+          ready.push_back(*parsed);
+        });
+    const auto report = workflow.run();
+    // One granule.ready per whole triplet, decodable by any subscriber.
+    EXPECT_EQ(ready.size(), report.granules) << to_string(mode);
+    for (const auto& granule : ready) {
+      EXPECT_GE(granule.ready_at, granule.first_file_at);
+      EXPECT_FALSE(granule.mod02_path.empty());
+      EXPECT_FALSE(granule.mod06_path.empty());
+    }
+    // The dwell metric (ready -> tiles written) is recorded in both modes.
+    EXPECT_EQ(report.granule_dwell.size(), report.granules) << to_string(mode);
+    EXPECT_GE(report.dwell_p95(), report.dwell_p50());
+  }
+}
+
+TEST_F(EomlIntegration, StreamingLifecycleStartsPreprocessBeforeDownloadEnds) {
+  auto config = small_config();
+  config.scheduling = SchedulingMode::kStreaming;
+  EomlWorkflow workflow(config);
+  std::vector<std::string> events;
+  workflow.events().subscribe("workflow", [&](const util::YamlNode& event) {
+    events.push_back(event["stage"].as_string() + "/" +
+                     event["event"].as_string());
+  });
+  workflow.run();
+  const auto pos = [&](const std::string& name) {
+    return std::find(events.begin(), events.end(), name) - events.begin();
+  };
+  EXPECT_LT(pos("preprocess/started"), pos("download/completed"));
+  EXPECT_LT(pos("preprocess/completed"), pos("shipment/completed"));
+  EXPECT_EQ(events.back(), "shipment/completed");
+}
+
+TEST_F(EomlIntegration, StreamingElasticBlocksAlsoComplete) {
+  auto config = small_config();
+  config.scheduling = SchedulingMode::kStreaming;
+  config.elastic = true;
+  config.block.nodes_per_block = 1;
+  config.block.init_blocks = 1;
+  config.block.max_blocks = 4;
+  config.block.idle_timeout = 5.0;
+  EomlWorkflow workflow(config);
+  const auto report = workflow.run();
+  EXPECT_EQ(report.shipped_files, report.granules);
+  EXPECT_GT(report.total_tiles, 0u);
+}
+
+TEST_F(EomlIntegration, StreamingDeterministicAcrossRuns) {
+  auto run_once = [] {
+    auto config = small_config();
+    config.scheduling = SchedulingMode::kStreaming;
+    EomlWorkflow workflow(config);
+    return workflow.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.total_tiles, b.total_tiles);
+}
+
+TEST_F(EomlIntegration, StreamingSingleWorkerMinimalPath) {
+  auto config = small_config();
+  config.scheduling = SchedulingMode::kStreaming;
+  config.max_files = 1;
+  config.download_workers = 1;
+  config.preprocess_nodes = 1;
+  config.workers_per_node = 1;
+  config.shipment_streams = 1;
+  EomlWorkflow workflow(config);
+  const auto report = workflow.run();
+  EXPECT_EQ(report.granules, 1u);
+  EXPECT_EQ(report.shipped_files, 1u);
 }
 
 }  // namespace

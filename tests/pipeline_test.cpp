@@ -94,6 +94,32 @@ TEST(Config, RejectsInvalidValues) {
                util::YamlError);
 }
 
+TEST(Config, SchedulingModeParsing) {
+  // Barrier is the paper-faithful reproduction default.
+  EXPECT_EQ(EomlConfig{}.scheduling, SchedulingMode::kBarrier);
+  auto config =
+      EomlConfig::from_yaml_text("workflow:\n  scheduling: streaming\n");
+  EXPECT_EQ(config.scheduling, SchedulingMode::kStreaming);
+  config = EomlConfig::from_yaml_text("workflow:\n  scheduling: barrier\n");
+  EXPECT_EQ(config.scheduling, SchedulingMode::kBarrier);
+  EXPECT_THROW(EomlConfig::from_yaml_text("workflow:\n  scheduling: eager\n"),
+               util::YamlError);
+  EXPECT_STREQ(to_string(SchedulingMode::kBarrier), "barrier");
+  EXPECT_STREQ(to_string(SchedulingMode::kStreaming), "streaming");
+}
+
+TEST(Config, StreamingRequiresWholeTripletProducts) {
+  EomlConfig config;
+  config.scheduling = SchedulingMode::kStreaming;
+  EXPECT_NO_THROW(config.validate());
+  // granule.ready is defined over whole MOD02/03/06 triplets; a stream
+  // missing a product would never trigger.
+  config.products = {modis::ProductKind::kMod02, modis::ProductKind::kMod03};
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config.scheduling = SchedulingMode::kBarrier;
+  EXPECT_NO_THROW(config.validate());
+}
+
 TEST(Config, MaterializeGeometryValidation) {
   EomlConfig config;
   config.materialize = true;

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "compute/cluster.hpp"
+#include "flow/event_bus.hpp"
+#include "flow/events.hpp"
 #include "storage/faulty_fs.hpp"
 #include "storage/memfs.hpp"
 #include "transfer/download.hpp"
@@ -87,6 +89,33 @@ TEST_F(ResilienceTest, DownloadGivesUpAfterMaxAttempts) {
   EXPECT_TRUE(report.files.empty());
   EXPECT_EQ(report.failed.size(), 10u);
   EXPECT_EQ(report.retries, 10u * 2u);  // 2 retries per file before giving up
+}
+
+TEST_F(ResilienceTest, DownloadGiveUpsPublishFailedEvents) {
+  DownloadRig rig;
+  flow::EventBus bus(rig.engine);
+  std::size_t stored = 0;
+  std::vector<flow::FileEvent> abandoned;
+  bus.subscribe(flow::topics::kDownloadFile,
+                [&](const util::YamlNode&) { ++stored; });
+  bus.subscribe(flow::topics::kDownloadFailed, [&](const util::YamlNode& node) {
+    const auto event = flow::FileEvent::from_yaml(node);
+    ASSERT_TRUE(event.has_value());
+    abandoned.push_back(*event);
+  });
+  auto config = flaky_config(1.0);
+  config.max_attempts = 3;
+  transfer::DownloadService service(rig.engine, rig.archive, rig.wan, rig.fs,
+                                    config);
+  service.set_event_bus(&bus);
+  service.start(nullptr);
+  rig.engine.run();
+  EXPECT_EQ(stored, 0u);
+  ASSERT_EQ(abandoned.size(), 10u);
+  for (const auto& event : abandoned) {
+    EXPECT_TRUE(event.path.empty());  // never landed
+    EXPECT_EQ(event.attempts, 3);
+  }
 }
 
 // ------------------------------------------------------------- node crash

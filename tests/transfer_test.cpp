@@ -4,6 +4,8 @@
 // events, failure paths).
 #include <gtest/gtest.h>
 
+#include "flow/event_bus.hpp"
+#include "flow/events.hpp"
 #include "storage/memfs.hpp"
 #include "transfer/download.hpp"
 #include "transfer/transfer_service.hpp"
@@ -117,6 +119,47 @@ TEST(Download, ActivityPeaksAtWorkerCount) {
   for (const auto& [t, n] : service.activity()) peak = std::max(peak, n);
   EXPECT_EQ(peak, 3);
   EXPECT_EQ(service.activity().back().second, 0);
+}
+
+TEST(Download, PublishesTypedPerFileEventsOnBus) {
+  DownloadFixture fx;
+  flow::EventBus bus(fx.engine);
+  std::vector<flow::FileEvent> events;
+  bus.subscribe(flow::topics::kDownloadFile, [&](const util::YamlNode& node) {
+    const auto event = flow::FileEvent::from_yaml(node);
+    ASSERT_TRUE(event.has_value());
+    events.push_back(*event);
+  });
+  DownloadService service(fx.engine, fx.archive, fx.wan, fx.fs, small_config());
+  service.set_event_bus(&bus);
+  DownloadReport report;
+  service.start([&](const DownloadReport& r) { report = r; });
+  fx.engine.run();
+  ASSERT_EQ(events.size(), report.files.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, report.files[i].id);
+    EXPECT_EQ(events[i].path, report.files[i].path);
+    EXPECT_EQ(events[i].bytes, report.files[i].bytes);
+    EXPECT_NEAR(events[i].finished_at, report.files[i].finished_at, 1e-6);
+  }
+}
+
+TEST(Download, FileObserverSeesEachStoredFile) {
+  DownloadFixture fx;
+  DownloadService service(fx.engine, fx.archive, fx.wan, fx.fs, small_config());
+  std::size_t observed = 0;
+  double last_at = -1.0;
+  service.set_file_observer([&](const DownloadedFile& file) {
+    ++observed;
+    // The observer fires synchronously at store time, in completion order.
+    EXPECT_GE(file.finished_at, last_at);
+    last_at = file.finished_at;
+    EXPECT_TRUE(fx.fs.exists(file.path));
+  });
+  DownloadReport report;
+  service.start([&](const DownloadReport& r) { report = r; });
+  fx.engine.run();
+  EXPECT_EQ(observed, report.files.size());
 }
 
 TEST(Download, RejectsBadConfig) {

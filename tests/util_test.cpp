@@ -57,6 +57,30 @@ TEST(Percentile, RejectsOutOfRange) {
   const std::vector<double> xs{1.0};
   EXPECT_THROW(percentile(xs, -1), std::invalid_argument);
   EXPECT_THROW(percentile(xs, 101), std::invalid_argument);
+  // Out-of-range p is rejected even when the sample is empty.
+  EXPECT_THROW(percentile({}, -1), std::invalid_argument);
+  EXPECT_THROW(percentile({}, 101), std::invalid_argument);
+}
+
+TEST(Percentile, EmptySampleIsZero) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100), 0.0);
+}
+
+TEST(Percentile, SingleSampleIsThatSample) {
+  const std::vector<double> xs{42.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 95), 42.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 42.0);
+}
+
+TEST(Percentile, TwoSamplesInterpolateBetween) {
+  const std::vector<double> xs{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 15.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 20.0);
 }
 
 TEST(Histogram, BinsAndClamps) {

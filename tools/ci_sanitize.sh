@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI sanitizer gate: build the whole tree with ASan+UBSan and run the tier-1
+# test suite under both runtimes. The event-driven dataflow paths (EventBus
+# dispatch, GranuleTracker, streaming EomlWorkflow) are exactly the kind of
+# callback-heavy code where lifetime bugs hide; this catches them before they
+# reach a barrier-mode reproduction run.
+#
+# Usage: tools/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-sanitize"}"
+
+export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:detect_stack_use_after_return=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DMFW_SANITIZE=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
