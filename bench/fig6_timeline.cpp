@@ -10,8 +10,13 @@
 // so the preprocess band slides left under the download plateau and the
 // makespan shrinks by roughly the barrier-mode compute tail.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "util/log.hpp"
 
@@ -19,9 +24,10 @@ using namespace mfw;
 
 namespace {
 
-pipeline::EomlConfig fig6_config(pipeline::SchedulingMode mode) {
+pipeline::EomlConfig fig6_config(pipeline::SchedulingMode mode,
+                                 std::size_t max_files) {
   pipeline::EomlConfig config;
-  config.max_files = 40;
+  config.max_files = max_files;
   config.daytime_only = true;
   config.download_workers = 3;
   config.preprocess_nodes = 4;   // 4 nodes x 8 workers = 32 preprocess workers
@@ -33,15 +39,36 @@ pipeline::EomlConfig fig6_config(pipeline::SchedulingMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  // Optional flags: --trace-out <path> enables the obs layer and writes a
+  // Chrome trace-event JSON covering BOTH runs (each run is its own trace
+  // process, so barrier and streaming land side by side in Perfetto);
+  // --max-files <n> shrinks the catalog slice for quick smoke runs.
+  std::string trace_out;
+  std::size_t max_files = 40;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (arg == "--max-files" && i + 1 < argc) {
+      max_files = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig6_timeline [--trace-out <path>] "
+                   "[--max-files <n>]\n");
+      return 2;
+    }
+  }
+  if (!trace_out.empty()) obs::set_globally_enabled(true);
   benchx::print_header(
       "Fig. 6 — Automation timeline: active workers per stage",
       "Kurihana et al., SC24, Fig. 6 (blue=download, orange=preprocess, "
       "green=inference)");
 
   pipeline::EomlWorkflow workflow(
-      fig6_config(pipeline::SchedulingMode::kBarrier));
+      fig6_config(pipeline::SchedulingMode::kBarrier, max_files));
   const auto report = workflow.run();
 
   std::printf("Full run:\n%s\n", report.timeline.render(140, 96, 18).c_str());
@@ -72,7 +99,7 @@ int main() {
   std::printf(
       "\n=== Streaming variant (per-granule readiness, same config) ===\n");
   pipeline::EomlWorkflow streaming_wf(
-      fig6_config(pipeline::SchedulingMode::kStreaming));
+      fig6_config(pipeline::SchedulingMode::kStreaming, max_files));
   const auto streaming = streaming_wf.run();
   std::printf("Full run:\n%s\n",
               streaming.timeline.render(140, 96, 18).c_str());
@@ -93,5 +120,13 @@ int main() {
   std::printf("Same tiles both modes: %s (%zu vs %zu)\n",
               report.total_tiles == streaming.total_tiles ? "yes" : "NO",
               report.total_tiles, streaming.total_tiles);
+
+  if (!trace_out.empty()) {
+    auto& rec = obs::TraceRecorder::instance();
+    obs::write_file(trace_out, obs::to_chrome_trace_json(rec));
+    std::printf("\nTrace written to %s (%zu spans, %zu instants) — load in "
+                "https://ui.perfetto.dev or chrome://tracing\n",
+                trace_out.c_str(), rec.span_count(), rec.instant_count());
+  }
   return 0;
 }

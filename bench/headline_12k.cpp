@@ -4,15 +4,31 @@
 // yield reaches ~12,000 tiles and run the preprocessing farm at 10 nodes x 8
 // workers. Expected: completion in the mid-40-second range (~270 tiles/s).
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
 
 using namespace mfw;
 
-int main() {
+int main(int argc, char** argv) {
+  // --trace-out <path>: record the end-to-end barrier/streaming comparison
+  // runs (not the isolated-farm iterations) as a Chrome trace-event JSON.
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: headline_12k [--trace-out <path>]\n");
+      return 2;
+    }
+  }
+
   benchx::print_header(
       "Headline — 12,000 tiles on 80 workers across 10 nodes",
       "Kurihana et al., SC24, abstract ('12,000 images in 44 seconds')");
@@ -58,6 +74,7 @@ int main() {
   std::printf(
       "\n=== Streaming variant (end-to-end, 10 nodes x 8 workers) ===\n");
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+  if (!trace_out.empty()) obs::set_globally_enabled(true);
   util::Table cmp({"scheduling", "makespan (s)", "post-download (s)",
                    "dl/pp overlap (s)", "tiles"});
   double barrier_makespan = 0.0;
@@ -90,5 +107,13 @@ int main() {
                   ? 100.0 * (barrier_makespan - streaming_makespan) /
                         barrier_makespan
                   : 0.0);
+
+  if (!trace_out.empty()) {
+    auto& rec = obs::TraceRecorder::instance();
+    obs::write_file(trace_out, obs::to_chrome_trace_json(rec));
+    std::printf("Trace written to %s (%zu spans, %zu instants) — load in "
+                "https://ui.perfetto.dev or chrome://tracing\n",
+                trace_out.c_str(), rec.span_count(), rec.instant_count());
+  }
   return 0;
 }

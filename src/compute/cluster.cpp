@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace mfw::compute {
@@ -151,6 +152,19 @@ void ClusterExecutor::start_on_node(int node_id, PendingTask task) {
   inflight.node = node_id;
   inflight.worker = worker;
   inflight.started_at = engine_.now();
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    const double queue_wait = inflight.started_at - inflight.task.submitted_at;
+    inflight.span = rec.begin_span(
+        label_ + "/node" + std::to_string(node_id) + "/w" +
+            std::to_string(worker),
+        "compute",
+        inflight.task.desc.label.empty() ? "task" : inflight.task.desc.label,
+        {{"queue_wait_s", std::to_string(queue_wait)}});
+    obs::MetricsRegistry::instance().observe(
+        "mfw.compute.queue_wait_seconds", queue_wait, {{"stage", label_}},
+        obs::HistogramSpec{0.0, 60.0, 24});
+    record_node_occupancy(node_id);
+  }
   auto [it, inserted] = in_flight_.emplace(instance, std::move(inflight));
   InFlight& state = it->second;
 
@@ -197,6 +211,17 @@ void ClusterExecutor::complete(std::uint64_t instance) {
   completed_payload_ += state.task.desc.payload;
   record_activity();
   results_.push_back(result);
+  if (state.span.valid()) {
+    obs::TraceRecorder::instance().end_span(
+        state.span, {{"status", "ok"},
+                     {"payload", std::to_string(state.task.desc.payload)}});
+    obs::MetricsRegistry::instance().observe(
+        "mfw.compute.run_seconds", result.service_time(), {{"stage", label_}},
+        obs::HistogramSpec{0.0, 30.0, 30});
+    obs::MetricsRegistry::instance().counter_add("mfw.compute.tasks_total",
+                                                 1.0, {{"stage", label_}});
+    record_node_occupancy(state.node);
+  }
 
   if (draining_.at(state.node) && node->busy() == 0) {
     nodes_.erase(state.node);
@@ -223,6 +248,8 @@ bool ClusterExecutor::fail_node(int node_id) {
     InFlight& st = fit->second;
     engine_.cancel(st.cpu_event);
     it->second->resource().cancel(st.resource_job);
+    obs::TraceRecorder::instance().end_span(st.span,
+                                            {{"status", "requeued"}});
     queue_.push_front(std::move(st.task));
     ++requeued_;
     ++rescued;
@@ -242,6 +269,19 @@ bool ClusterExecutor::fail_node(int node_id) {
 
 void ClusterExecutor::record_activity() {
   activity_.emplace_back(engine_.now(), active_workers());
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled()) {
+    metrics.gauge_set("mfw.compute.busy_workers",
+                      static_cast<double>(active_workers()),
+                      {{"stage", label_}});
+  }
+}
+
+void ClusterExecutor::record_node_occupancy(int node_id) {
+  auto& metrics = obs::MetricsRegistry::instance();
+  if (!metrics.enabled()) return;
+  metrics.gauge_set(
+      "mfw.compute.node_busy_workers", static_cast<double>(node_busy(node_id)),
+      {{"stage", label_}, {"node", std::to_string(node_id)}});
 }
 
 void ClusterExecutor::check_idle() {

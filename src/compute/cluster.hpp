@@ -16,7 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include <string>
+
 #include "compute/task.hpp"
+#include "obs/trace.hpp"
 #include "sim/resource.hpp"
 
 namespace mfw::compute {
@@ -56,6 +59,11 @@ class NodeSim {
 class ClusterExecutor {
  public:
   ClusterExecutor(sim::SimEngine& engine, LawFactory law_factory);
+
+  /// Names this executor's obs tracks and metric labels (e.g. "preprocess",
+  /// "inference"). Purely observational; defaults to "cluster".
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
 
   /// Adds a node with `workers` worker slots; returns its node id.
   int add_node(int workers);
@@ -129,17 +137,21 @@ class ClusterExecutor {
     double started_at = 0.0;
     sim::EventHandle cpu_event{};       // live during the CPU phase
     sim::ResourceJobId resource_job{};  // live during the shared phase
+    obs::SpanId span{};                 // open obs span (invalid when off)
   };
 
   void dispatch();
   void start_on_node(int node_id, PendingTask task);
   void complete(std::uint64_t instance);
   void record_activity();
+  /// Publishes the per-node busy-worker gauge for one node (obs).
+  void record_node_occupancy(int node_id);
   void check_idle();
   void check_all_complete();
 
   sim::SimEngine& engine_;
   LawFactory law_factory_;
+  std::string label_ = "cluster";
   std::map<int, std::unique_ptr<NodeSim>> nodes_;
   std::map<int, bool> draining_;
   int next_node_id_ = 0;

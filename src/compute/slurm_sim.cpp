@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace mfw::compute {
 
 namespace {
 constexpr const char* kComponent = "slurm";
+
+void record_free_nodes_gauge(int free) {
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
+    metrics.gauge_set("mfw.slurm.free_nodes", static_cast<double>(free));
 }
+}  // namespace
 
 SlurmSim::SlurmSim(sim::SimEngine& engine, SlurmSimConfig config)
     : engine_(engine), config_(config), free_(config.total_nodes) {
@@ -27,8 +33,14 @@ SlurmJobId SlurmSim::submit(
     throw std::invalid_argument("SlurmSim: invalid node count request");
   if (!(walltime > 0)) throw std::invalid_argument("SlurmSim: invalid walltime");
   const SlurmJobId id{next_id_++};
-  queue_.push_back(PendingJob{id, nodes, walltime, std::move(on_granted),
-                              std::move(on_expired)});
+  PendingJob pending{id,       nodes, walltime, engine_.now(),
+                     std::move(on_granted), std::move(on_expired), {}};
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    pending.queued_span =
+        rec.begin_span("slurm/job" + std::to_string(id.id), "slurm", "queued",
+                       {{"nodes", std::to_string(nodes)}});
+  }
+  queue_.push_back(std::move(pending));
   try_schedule();
   return id;
 }
@@ -39,15 +51,20 @@ void SlurmSim::release(SlurmJobId job) {
   const auto qit = std::find_if(queue_.begin(), queue_.end(),
                                 [&](const PendingJob& p) { return p.id.id == job.id; });
   if (qit != queue_.end()) {
+    obs::TraceRecorder::instance().end_span(qit->queued_span,
+                                            {{"status", "cancelled"}});
     queue_.erase(qit);
     return;
   }
   const auto rit = running_.find(job.id);
   if (rit == running_.end()) return;
   engine_.cancel(rit->second.expiry);
+  obs::TraceRecorder::instance().end_span(rit->second.alloc_span,
+                                          {{"status", "released"}});
   free_ += static_cast<int>(rit->second.node_ids.size());
   for (int node : rit->second.node_ids) free_node_ids_.push_back(node);
   running_.erase(rit);
+  record_free_nodes_gauge(free_);
   MFW_DEBUG(kComponent, "released job ", job.id, "; free nodes=", free_);
   try_schedule();
 }
@@ -97,13 +114,26 @@ void SlurmSim::grant(PendingJob job) {
   RunningJob running;
   running.node_ids = alloc.node_ids;
   running.on_expired = job.on_expired;
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    rec.end_span(job.queued_span, {{"status", "granted"}});
+    obs::MetricsRegistry::instance().observe(
+        "mfw.slurm.queue_wait_seconds", engine_.now() - job.submitted_at, {},
+        obs::HistogramSpec{0.0, 30.0, 30});
+    running.alloc_span = rec.begin_span(
+        "slurm/job" + std::to_string(job.id.id), "slurm", "allocation",
+        {{"nodes", std::to_string(job.nodes)}});
+    record_free_nodes_gauge(free_);
+  }
   running.expiry = engine_.schedule_after(job.walltime, [this, id = job.id.id] {
     auto it = running_.find(id);
     if (it == running_.end()) return;
     auto on_expired = std::move(it->second.on_expired);
+    obs::TraceRecorder::instance().end_span(it->second.alloc_span,
+                                            {{"status", "expired"}});
     free_ += static_cast<int>(it->second.node_ids.size());
     for (int node : it->second.node_ids) free_node_ids_.push_back(node);
     running_.erase(it);
+    record_free_nodes_gauge(free_);
     MFW_DEBUG(kComponent, "job ", id, " walltime expired");
     try_schedule();
     if (on_expired) on_expired();

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace mfw::compute {
@@ -66,13 +67,16 @@ class SlurmSim {
     SlurmJobId id;
     int nodes;
     double walltime;
+    double submitted_at = 0.0;
     std::function<void(const SlurmAllocation&)> on_granted;
     std::function<void()> on_expired;
+    obs::SpanId queued_span{};  // submit -> grant (invalid when tracing off)
   };
   struct RunningJob {
     std::vector<int> node_ids;
     sim::EventHandle expiry;
     std::function<void()> on_expired;
+    obs::SpanId alloc_span{};  // grant -> release/expiry
   };
 
   void try_schedule();

@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "obs/metrics.hpp"
+
 namespace mfw::flow {
 
 Subscription EventBus::subscribe(const std::string& topic, Handler handler) {
@@ -17,6 +19,9 @@ void EventBus::unsubscribe(Subscription subscription) {
 
 void EventBus::publish(const std::string& topic, util::YamlNode event) {
   ++published_;
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
+    metrics.counter_add("mfw.flow.events_published_total", 1.0,
+                        {{"topic", topic}});
   const auto it = topics_.find(topic);
   if (it == topics_.end()) return;
   // Snapshot subscriber *ids*, not handlers: subscribers added after
@@ -27,7 +32,15 @@ void EventBus::publish(const std::string& topic, util::YamlNode event) {
   ids.reserve(it->second.size());
   for (const auto& [id, handler] : it->second) ids.push_back(id);
   auto payload = std::make_shared<util::YamlNode>(std::move(event));
-  engine_.schedule_after(0.0, [this, topic, ids = std::move(ids), payload] {
+  const double published_at = engine_.now();
+  engine_.schedule_after(0.0, [this, topic, ids = std::move(ids), payload,
+                               published_at] {
+    // Publish -> delivery gap: 0 in pure virtual time unless intervening
+    // same-time events ran first; meaningful for wall-clock-coupled runs.
+    if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
+      metrics.observe("mfw.flow.dispatch_latency_seconds",
+                      engine_.now() - published_at, {{"topic", topic}},
+                      obs::HistogramSpec{0.0, 0.1, 20});
     for (const auto id : ids) {
       const auto tit = topics_.find(topic);
       if (tit == topics_.end()) return;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 
 namespace mfw::flow {
@@ -62,6 +64,16 @@ void GranuleTracker::observe_file(const FileEvent& event) {
   ++ready_;
   MFW_DEBUG(kComponent, "granule ", ready.key.to_string(), " whole after ",
             ready.ready_at - ready.first_file_at, "s");
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    const double assembly = ready.ready_at - ready.first_file_at;
+    rec.instant("flow/granules", "flow", "granule.ready",
+                {{"key", ready.key.to_string()},
+                 {"assembly_s", std::to_string(assembly)}});
+    auto& metrics = obs::MetricsRegistry::instance();
+    metrics.counter_add("mfw.flow.granules_ready_total", 1.0);
+    metrics.observe("mfw.flow.granule_assembly_seconds", assembly, {},
+                    obs::HistogramSpec{0.0, 120.0, 24});
+  }
   bus_.publish(config_.ready_topic, ready.to_yaml());
 }
 

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace mfw::flow {
 
 double RunRecord::total_state_latency() const {
@@ -52,6 +54,25 @@ std::string ProvenanceLog::dump() const {
     }
   }
   return os.str();
+}
+
+void export_to_trace(const ProvenanceLog& log, obs::TraceRecorder& recorder) {
+  if (!recorder.enabled()) return;
+  for (const auto& run : log.runs()) {
+    const std::string track = "flows/run" + std::to_string(run.run_id);
+    obs::Args run_args = {{"status", run.succeeded ? "ok" : "failed"}};
+    if (!run.error.empty()) run_args.emplace_back("error", run.error);
+    recorder.add_span(track, "flow", run.flow_name, run.started_at,
+                      run.finished_at, std::move(run_args));
+    for (const auto& state : run.states) {
+      obs::Args args = {{"kind", state.kind}, {"status", state.status}};
+      if (state.kind == "action")
+        args.emplace_back("orchestration_overhead_s",
+                          std::to_string(state.orchestration_overhead()));
+      recorder.add_span(track, "flow.state", state.state, state.started_at,
+                        state.finished_at, std::move(args));
+    }
+  }
 }
 
 }  // namespace mfw::flow

@@ -7,6 +7,10 @@
 #include <string>
 #include <vector>
 
+namespace mfw::obs {
+class TraceRecorder;
+}
+
 namespace mfw::flow {
 
 struct StateRecord {
@@ -62,5 +66,11 @@ class ProvenanceLog {
  private:
   std::vector<RunRecord> runs_;
 };
+
+/// Bridges runner-level provenance onto the obs timeline: each completed
+/// RunRecord becomes a flow span (track "flows/run<id>") containing one child
+/// span per state, annotated with kind/status and the orchestration overhead.
+/// No-op while the recorder is disabled.
+void export_to_trace(const ProvenanceLog& log, obs::TraceRecorder& recorder);
 
 }  // namespace mfw::flow

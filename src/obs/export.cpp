@@ -1,0 +1,191 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace mfw::obs {
+
+namespace {
+
+constexpr const char* kComponent = "obs";
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_string(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out += '"';
+  append_json_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// Seconds -> trace-event microseconds with fixed sub-microsecond precision
+/// (fixed notation keeps the JSON friendly to lenient parsers).
+std::string micros(double seconds) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string json_args(const Args& args) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : args) {
+    if (!first) out += ",";
+    first = false;
+    out += json_string(key);
+    out += ":";
+    out += json_string(value);
+  }
+  out += "}";
+  return out;
+}
+
+std::string number_text(double value) {
+  char buf[48];
+  if (value == static_cast<double>(static_cast<long long>(value)) &&
+      value > -1e15 && value < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  return buf;
+}
+
+std::string labels_text(const Labels& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"";
+    out += value;
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string to_chrome_trace_json(const TraceRecorder& recorder) {
+  const auto processes = recorder.processes();
+  const auto tracks = recorder.tracks();
+  const auto spans = recorder.spans();
+  const auto instants = recorder.instants();
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& event) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << event;
+  };
+
+  for (const auto& process : processes) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(process.pid) +
+         ",\"name\":\"process_name\",\"args\":{\"name\":" +
+         json_string(process.name) + "}}");
+  }
+  for (const auto& track : tracks) {
+    const auto pid = std::to_string(track.process);
+    const auto tid = std::to_string(track.tid);
+    emit("{\"ph\":\"M\",\"pid\":" + pid + ",\"tid\":" + tid +
+         ",\"name\":\"thread_name\",\"args\":{\"name\":" +
+         json_string(track.name) + "}}");
+  }
+  for (const auto& span : spans) {
+    const TraceTrack& track = tracks.at(span.track);
+    std::string event = "{\"ph\":\"X\",\"pid\":" +
+                        std::to_string(track.process) +
+                        ",\"tid\":" + std::to_string(track.tid) +
+                        ",\"cat\":" + json_string(span.category) +
+                        ",\"name\":" + json_string(span.name) +
+                        ",\"ts\":" + micros(span.start) + ",\"dur\":" +
+                        micros(span.closed() ? span.end - span.start : 0.0);
+    Args args = span.args;
+    if (!span.closed()) args.emplace_back("open", "true");
+    event += ",\"args\":" + json_args(args) + "}";
+    emit(event);
+  }
+  for (const auto& inst : instants) {
+    const TraceTrack& track = tracks.at(inst.track);
+    emit("{\"ph\":\"i\",\"pid\":" + std::to_string(track.process) +
+         ",\"tid\":" + std::to_string(track.tid) + ",\"cat\":" +
+         json_string(inst.category) + ",\"name\":" + json_string(inst.name) +
+         ",\"ts\":" + micros(inst.at) + ",\"s\":\"t\",\"args\":" +
+         json_args(inst.args) + "}");
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::string to_metrics_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "# mfw metrics dump (counters, gauges, distributions)\n";
+  for (const auto& entry : registry.counters()) {
+    os << entry.name << labels_text(entry.labels) << " "
+       << number_text(entry.value) << "\n";
+  }
+  for (const auto& entry : registry.gauges()) {
+    os << entry.name << labels_text(entry.labels) << " "
+       << number_text(entry.value) << "\n";
+  }
+  for (const auto& entry : registry.distributions()) {
+    const auto& stats = entry.dist.stats;
+    os << entry.name << labels_text(entry.labels) << " count="
+       << stats.count() << " mean=" << number_text(stats.mean())
+       << " min=" << number_text(stats.min())
+       << " max=" << number_text(stats.max())
+       << " stddev=" << number_text(stats.stddev()) << "\n";
+    if (entry.dist.histogram) {
+      std::istringstream rows(entry.dist.histogram->render());
+      std::string row;
+      while (std::getline(rows, row)) os << "  " << row << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    MFW_ERROR(kComponent, "cannot write ", path);
+    return false;
+  }
+  out << content;
+  return out.good();
+}
+
+void set_globally_enabled(bool on) {
+  TraceRecorder::instance().set_enabled(on);
+  MetricsRegistry::instance().set_enabled(on);
+}
+
+}  // namespace mfw::obs

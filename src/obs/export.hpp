@@ -1,0 +1,33 @@
+// Exporters for the obs layer:
+//  - Chrome trace-event JSON (the `traceEvents` array format) loadable in
+//    Perfetto (ui.perfetto.dev) and chrome://tracing. Processes map to pid,
+//    tracks to tid (with "process_name"/"thread_name" metadata records),
+//    spans to complete events (ph "X", microsecond ts/dur), instants to
+//    ph "i" with thread scope.
+//  - A flat metrics text dump: one `name{label="v",...} value` line per
+//    counter/gauge series and a count/mean/min/max (+ bucket rows) block per
+//    distribution.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace mfw::obs {
+
+/// Renders the recorder's events as a Chrome trace-event JSON document.
+std::string to_chrome_trace_json(const TraceRecorder& recorder);
+
+/// Renders the registry as flat text (counters, gauges, distributions).
+std::string to_metrics_text(const MetricsRegistry& registry);
+
+/// Writes content to a host-filesystem path. Returns false (and logs an
+/// error) when the file cannot be opened.
+bool write_file(const std::string& path, const std::string& content);
+
+/// Convenience: enables/disables the global TraceRecorder + MetricsRegistry
+/// together (the common switch behind `--trace-out` and `mfwctl trace`).
+void set_globally_enabled(bool on);
+
+}  // namespace mfw::obs

@@ -1,0 +1,103 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace mfw::obs {
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::SeriesKey MetricsRegistry::key_of(std::string_view name,
+                                                   const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  return {std::string(name), std::move(sorted)};
+}
+
+void MetricsRegistry::counter_add(std::string_view name, double delta,
+                                  const Labels& labels) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  counters_[key_of(name, labels)] += delta;
+}
+
+void MetricsRegistry::gauge_set(std::string_view name, double value,
+                                const Labels& labels) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  gauges_[key_of(name, labels)] = value;
+}
+
+void MetricsRegistry::observe(std::string_view name, double value,
+                              const Labels& labels,
+                              std::optional<HistogramSpec> spec) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  Distribution& dist = distributions_[key_of(name, labels)];
+  dist.stats.add(value);
+  if (!dist.histogram && spec)
+    dist.histogram.emplace(spec->lo, spec->hi, spec->bins);
+  if (dist.histogram) dist.histogram->add(value);
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  distributions_.clear();
+}
+
+double MetricsRegistry::counter(std::string_view name,
+                                const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const auto it = counters_.find(key_of(name, labels));
+  return it == counters_.end() ? 0.0 : it->second;
+}
+
+std::optional<double> MetricsRegistry::gauge(std::string_view name,
+                                             const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const auto it = gauges_.find(key_of(name, labels));
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<Distribution> MetricsRegistry::distribution(
+    std::string_view name, const Labels& labels) const {
+  std::lock_guard lock(mu_);
+  const auto it = distributions_.find(key_of(name, labels));
+  if (it == distributions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MetricsRegistry::CounterEntry> MetricsRegistry::counters() const {
+  std::lock_guard lock(mu_);
+  std::vector<CounterEntry> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, value] : counters_)
+    out.push_back(CounterEntry{key.first, key.second, value});
+  return out;
+}
+
+std::vector<MetricsRegistry::GaugeEntry> MetricsRegistry::gauges() const {
+  std::lock_guard lock(mu_);
+  std::vector<GaugeEntry> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, value] : gauges_)
+    out.push_back(GaugeEntry{key.first, key.second, value});
+  return out;
+}
+
+std::vector<MetricsRegistry::DistributionEntry>
+MetricsRegistry::distributions() const {
+  std::lock_guard lock(mu_);
+  std::vector<DistributionEntry> out;
+  out.reserve(distributions_.size());
+  for (const auto& [key, dist] : distributions_)
+    out.push_back(DistributionEntry{key.first, key.second, dist});
+  return out;
+}
+
+}  // namespace mfw::obs

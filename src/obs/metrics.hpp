@@ -1,0 +1,113 @@
+// MetricsRegistry: named counters, gauges, and distribution series with
+// labeled dimensions (facility, stage, node, product, topic).
+//
+// Naming convention: `mfw.<module>.<name>` with unit suffixes `_total`
+// (monotonic counters), `_seconds` / `_bytes` (distributions), bare nouns
+// for gauges — see DESIGN.md §7. A metric series is identified by
+// (name, sorted label set); the same name with different labels forms
+// independent series, like Prometheus.
+//
+// Distributions reuse util::StreamingStats (always) plus util::Histogram
+// (when the observe() call supplies bucket bounds). Like the TraceRecorder,
+// the registry is globally reachable, thread-safe, and free when disabled:
+// call sites guard with enabled() so labels are never materialised on the
+// off path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace mfw::obs {
+
+/// Label dimensions for a metric series, e.g. {{"stage", "preprocess"},
+/// {"node", "3"}}. Order-insensitive: series identity uses the sorted set.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Bucket layout for a distribution's optional util::Histogram.
+struct HistogramSpec {
+  double lo = 0.0;
+  double hi = 1.0;
+  std::size_t bins = 20;
+};
+
+/// One distribution series: streaming moments plus optional fixed buckets.
+struct Distribution {
+  util::StreamingStats stats;
+  std::optional<util::Histogram> histogram;
+};
+
+class MetricsRegistry {
+ public:
+  /// Global registry used by the instrumented modules; direct construction
+  /// is supported for tests.
+  static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Adds `delta` to a monotonic counter series (created on first use).
+  /// No-op when disabled.
+  void counter_add(std::string_view name, double delta,
+                   const Labels& labels = {});
+
+  /// Sets a gauge series to its latest value. No-op when disabled.
+  void gauge_set(std::string_view name, double value,
+                 const Labels& labels = {});
+
+  /// Feeds one sample into a distribution series. The first observation
+  /// carrying a HistogramSpec fixes the series' bucket layout; spec-less
+  /// observations still accumulate StreamingStats. No-op when disabled.
+  void observe(std::string_view name, double value, const Labels& labels = {},
+               std::optional<HistogramSpec> spec = std::nullopt);
+
+  /// Drops every series (between runs).
+  void clear();
+
+  // -- inspection (exporter + tests) ----------------------------------------
+  /// Counter value; 0.0 for unknown series.
+  double counter(std::string_view name, const Labels& labels = {}) const;
+  /// Latest gauge value; nullopt for unknown series.
+  std::optional<double> gauge(std::string_view name,
+                              const Labels& labels = {}) const;
+  /// Copy of a distribution series; nullopt for unknown series.
+  std::optional<Distribution> distribution(std::string_view name,
+                                           const Labels& labels = {}) const;
+
+  struct CounterEntry { std::string name; Labels labels; double value; };
+  struct GaugeEntry { std::string name; Labels labels; double value; };
+  struct DistributionEntry {
+    std::string name;
+    Labels labels;
+    Distribution dist;
+  };
+
+  /// Sorted snapshots (by name, then labels) for the text exporter.
+  std::vector<CounterEntry> counters() const;
+  std::vector<GaugeEntry> gauges() const;
+  std::vector<DistributionEntry> distributions() const;
+
+ private:
+  using SeriesKey = std::pair<std::string, Labels>;
+  static SeriesKey key_of(std::string_view name, const Labels& labels);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::map<SeriesKey, double> counters_;
+  std::map<SeriesKey, double> gauges_;
+  std::map<SeriesKey, Distribution> distributions_;
+};
+
+}  // namespace mfw::obs

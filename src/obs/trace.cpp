@@ -1,0 +1,164 @@
+#include "obs/trace.hpp"
+
+namespace mfw::obs {
+
+namespace {
+/// Fallback time source when no clock is attached; origin at first use so
+/// standalone tools still get small, positive timestamps.
+const sim::Clock& wall_fallback() {
+  static sim::WallClock wall;
+  return wall;
+}
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::set_clock(const sim::Clock* clock) {
+  std::lock_guard lock(mu_);
+  clock_ = clock;
+}
+
+const sim::Clock* TraceRecorder::clock() const {
+  std::lock_guard lock(mu_);
+  return clock_;
+}
+
+double TraceRecorder::now() const {
+  std::lock_guard lock(mu_);
+  return (clock_ ? *clock_ : wall_fallback()).now();
+}
+
+void TraceRecorder::ensure_default_process_locked() {
+  if (!processes_.empty()) return;
+  processes_.push_back(TraceProcess{1, "mfw"});
+  current_pid_ = 1;
+}
+
+std::uint32_t TraceRecorder::begin_process(std::string name) {
+  std::lock_guard lock(mu_);
+  ensure_default_process_locked();
+  const auto pid = static_cast<std::uint32_t>(processes_.size() + 1);
+  processes_.push_back(TraceProcess{pid, std::move(name)});
+  current_pid_ = pid;
+  return pid;
+}
+
+std::uint32_t TraceRecorder::intern_track_locked(std::string_view name) {
+  ensure_default_process_locked();
+  const auto key = std::make_pair(current_pid_, std::string(name));
+  const auto it = track_index_.find(key);
+  if (it != track_index_.end()) return it->second;
+  const auto index = static_cast<std::uint32_t>(tracks_.size());
+  TraceTrack track;
+  track.process = current_pid_;
+  track.tid = index + 1;
+  track.name = key.second;
+  tracks_.push_back(std::move(track));
+  track_index_.emplace(key, index);
+  return index;
+}
+
+SpanId TraceRecorder::begin_span(std::string_view track,
+                                 std::string_view category,
+                                 std::string_view name, Args args) {
+  if (!enabled()) return {};
+  std::lock_guard lock(mu_);
+  TraceSpan span;
+  span.track = intern_track_locked(track);
+  span.category = std::string(category);
+  span.name = std::string(name);
+  span.start = (clock_ ? *clock_ : wall_fallback()).now();
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+  return SpanId{spans_.size()};
+}
+
+void TraceRecorder::end_span(SpanId span, Args args) {
+  if (!span.valid()) return;
+  std::lock_guard lock(mu_);
+  if (span.id > spans_.size()) return;  // stale handle after clear()
+  TraceSpan& record = spans_[span.id - 1];
+  record.end = (clock_ ? *clock_ : wall_fallback()).now();
+  for (auto& arg : args) record.args.push_back(std::move(arg));
+}
+
+void TraceRecorder::add_span(std::string_view track, std::string_view category,
+                             std::string_view name, double start, double end,
+                             Args args) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  TraceSpan span;
+  span.track = intern_track_locked(track);
+  span.category = std::string(category);
+  span.name = std::string(name);
+  span.start = start;
+  span.end = end;
+  span.args = std::move(args);
+  spans_.push_back(std::move(span));
+}
+
+void TraceRecorder::instant(std::string_view track, std::string_view category,
+                            std::string_view name, Args args) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  TraceInstant event;
+  event.track = intern_track_locked(track);
+  event.category = std::string(category);
+  event.name = std::string(name);
+  event.at = (clock_ ? *clock_ : wall_fallback()).now();
+  event.args = std::move(args);
+  instants_.push_back(std::move(event));
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mu_);
+  processes_.clear();
+  current_pid_ = 0;
+  tracks_.clear();
+  track_index_.clear();
+  spans_.clear();
+  instants_.clear();
+}
+
+std::vector<TraceProcess> TraceRecorder::processes() const {
+  std::lock_guard lock(mu_);
+  return processes_;
+}
+
+std::vector<TraceTrack> TraceRecorder::tracks() const {
+  std::lock_guard lock(mu_);
+  return tracks_;
+}
+
+std::vector<TraceSpan> TraceRecorder::spans() const {
+  std::lock_guard lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceInstant> TraceRecorder::instants() const {
+  std::lock_guard lock(mu_);
+  return instants_;
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard lock(mu_);
+  return spans_.size();
+}
+
+std::size_t TraceRecorder::instant_count() const {
+  std::lock_guard lock(mu_);
+  return instants_.size();
+}
+
+std::size_t TraceRecorder::open_span_count() const {
+  std::lock_guard lock(mu_);
+  std::size_t open = 0;
+  for (const auto& span : spans_)
+    if (!span.closed()) ++open;
+  return open;
+}
+
+}  // namespace mfw::obs

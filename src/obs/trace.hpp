@@ -1,0 +1,159 @@
+// TraceRecorder: hierarchical span + instant-event recording for the
+// multi-facility workflow (paper §V-A: "advanced provenance tracking and
+// telemetry tools for real-time workflow insights").
+//
+// Design notes:
+//  - Timestamps come from a pluggable sim::Clock so discrete-event benches
+//    (SimEngine is a Clock) and wall-clock runs trace uniformly; with no
+//    clock attached a process-lifetime WallClock is used.
+//  - Events carry a *track* (a named lane: "download/w0", "preprocess/node3",
+//    "stages/inference") and belong to the current *process* (one per
+//    workflow run), mapping directly onto Chrome trace-event pid/tid so the
+//    export (see obs/export.hpp) loads in Perfetto / chrome://tracing.
+//  - Recording is thread-safe (pool threads and the sim thread may record
+//    concurrently); a single mutex guards the buffers.
+//  - Disabled recording is free: enabled() is one relaxed atomic load, the
+//    begin/end macro-free idiom at call sites is
+//        obs::SpanId span;
+//        if (auto& rec = obs::TraceRecorder::instance(); rec.enabled())
+//          span = rec.begin_span(...);   // strings built only here
+//        ...
+//        obs::TraceRecorder::instance().end_span(span);  // no-op if invalid
+//    so the off path performs no allocation and takes no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace mfw::obs {
+
+/// Key/value annotations attached to spans and instants (rendered as Chrome
+/// trace-event "args").
+using Args = std::vector<std::pair<std::string, std::string>>;
+
+/// Handle for an open span; zero-initialised means "not recording".
+struct SpanId {
+  std::uint64_t id = 0;  // 1-based index into the recorder's span buffer
+  bool valid() const { return id != 0; }
+};
+
+/// A named lane inside a process (Chrome trace-event tid).
+struct TraceTrack {
+  std::uint32_t process = 0;
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+struct TraceProcess {
+  std::uint32_t pid = 0;
+  std::string name;
+};
+
+struct TraceSpan {
+  std::uint32_t track = 0;  // index into tracks()
+  std::string category;
+  std::string name;
+  double start = 0.0;
+  double end = -1.0;  // < start while open
+  Args args;
+
+  bool closed() const { return end >= start; }
+  double duration() const { return closed() ? end - start : 0.0; }
+};
+
+struct TraceInstant {
+  std::uint32_t track = 0;
+  std::string category;
+  std::string name;
+  double at = 0.0;
+  Args args;
+};
+
+class TraceRecorder {
+ public:
+  /// Global recorder used by the instrumented modules. Directly-constructed
+  /// recorders are supported for tests.
+  static TraceRecorder& instance();
+
+  TraceRecorder() = default;
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Master switch. Instrumented call sites must check enabled() before
+  /// building track names / args so the off path stays allocation-free.
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Attaches the time source (e.g. a workflow's SimEngine). nullptr
+  /// restores the internal wall clock. The clock must outlive all recording
+  /// calls made while it is attached.
+  void set_clock(const sim::Clock* clock);
+  const sim::Clock* clock() const;
+
+  /// Current time from the attached clock (wall clock when none attached).
+  double now() const;
+
+  /// Opens a new process scope (one per workflow run); subsequent tracks are
+  /// created inside it. Returns its pid. A default "mfw" process exists
+  /// implicitly.
+  std::uint32_t begin_process(std::string name);
+
+  /// Opens a span on `track` (interned per process by name) stamped at
+  /// now(). Returns an invalid SpanId when disabled.
+  SpanId begin_span(std::string_view track, std::string_view category,
+                    std::string_view name, Args args = {});
+
+  /// Closes a span at now(), appending `args`. Invalid ids are ignored, so
+  /// call sites need no enabled() re-check; spans opened before a disable
+  /// still close correctly.
+  void end_span(SpanId span, Args args = {});
+
+  /// Records a fully-formed span with explicit timestamps (used by post-hoc
+  /// bridges such as flow::export_to_trace). No-op when disabled.
+  void add_span(std::string_view track, std::string_view category,
+                std::string_view name, double start, double end,
+                Args args = {});
+
+  /// Records a point event stamped at now(). No-op when disabled.
+  void instant(std::string_view track, std::string_view category,
+               std::string_view name, Args args = {});
+
+  /// Drops all recorded events, tracks, and processes (between runs).
+  void clear();
+
+  // -- snapshot accessors (exporter + tests); copies under the lock ----------
+  std::vector<TraceProcess> processes() const;
+  std::vector<TraceTrack> tracks() const;
+  std::vector<TraceSpan> spans() const;
+  std::vector<TraceInstant> instants() const;
+  std::size_t span_count() const;
+  std::size_t instant_count() const;
+  /// Spans still open (begin without end) — should be 0 after a clean run.
+  std::size_t open_span_count() const;
+
+ private:
+  std::uint32_t intern_track_locked(std::string_view name);
+  void ensure_default_process_locked();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  const sim::Clock* clock_ = nullptr;  // guarded by mu_
+  std::vector<TraceProcess> processes_;
+  std::uint32_t current_pid_ = 0;
+  std::vector<TraceTrack> tracks_;
+  std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> track_index_;
+  std::vector<TraceSpan> spans_;
+  std::vector<TraceInstant> instants_;
+};
+
+}  // namespace mfw::obs

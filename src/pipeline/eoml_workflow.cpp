@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <string_view>
 
 #include "preprocess/tile_io.hpp"
 #include "util/bytes.hpp"
@@ -149,16 +150,28 @@ EomlWorkflow::EomlWorkflow(EomlConfig config)
       inference_flow_(build_inference_flow()) {
   config_.validate();
   register_actions();
+  preprocess_exec_.set_label("preprocess");
+  inference_exec_.set_label("inference");
   // Inference resources are static: the paper pins one (GPU) worker.
   inference_exec_.add_node(config_.inference_workers);
 }
 
-EomlWorkflow::~EomlWorkflow() = default;
+EomlWorkflow::~EomlWorkflow() {
+  // The recorder must never outlive this engine as its time source.
+  auto& rec = obs::TraceRecorder::instance();
+  if (rec.clock() == &engine_) rec.set_clock(nullptr);
+}
 
 EomlReport EomlWorkflow::run() {
   if (started_) throw std::logic_error("EomlWorkflow::run called twice");
   started_ = true;
   report_.scheduling = config_.scheduling;
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    // One trace process per run: barrier and streaming variants of the same
+    // bench land side by side in Perfetto instead of overlapping.
+    rec.set_clock(&engine_);
+    rec.begin_process(std::string("eoml-") + to_string(config_.scheduling));
+  }
   tracker_.on_ready(
       [this](const flow::ReadyGranule& granule) { on_granule_ready(granule); });
   if (streaming()) {
@@ -191,12 +204,30 @@ EomlReport EomlWorkflow::run() {
     for (const auto& [t, n] : inference_exec_.activity()) series.emplace_back(t, n);
     return series;
   }());
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    // Runner-level provenance joins the obs spans on the same timeline.
+    flow::export_to_trace(provenance_, rec);
+    rec.set_clock(nullptr);
+  }
   return report_;
 }
 
 void EomlWorkflow::publish_stage_event(
     const char* stage, const char* event,
     std::initializer_list<std::pair<const char*, std::string>> fields) {
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
+    // Stage lifecycle -> top-level spans, one track per stage (stages
+    // overlap freely in streaming mode, so they cannot share a lane).
+    if (std::string_view(event) == "started") {
+      stage_spans_[stage] =
+          rec.begin_span(std::string("stages/") + stage, "stage", stage);
+    } else if (std::string_view(event) == "completed") {
+      obs::Args args;
+      for (const auto& [key, value] : fields) args.emplace_back(key, value);
+      rec.end_span(stage_spans_[stage], std::move(args));
+      stage_spans_[stage] = {};
+    }
+  }
   auto payload = util::YamlNode::map();
   payload.set("stage", util::YamlNode::scalar(stage));
   payload.set("event", util::YamlNode::scalar(event));

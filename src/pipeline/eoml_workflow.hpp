@@ -28,9 +28,11 @@
 #pragma once
 
 #include <initializer_list>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "compute/block_provider.hpp"
@@ -42,6 +44,7 @@
 #include "flow/provenance.hpp"
 #include "flow/runner.hpp"
 #include "ml/ricc.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/timeline.hpp"
 #include "storage/lustre_sim.hpp"
@@ -209,6 +212,9 @@ class EomlWorkflow {
   double slurm_request_time_ = -1.0;
   double first_tile_time_ = -1.0;
   double first_flow_time_ = -1.0;
+  /// Open obs stage spans keyed by stage name (all invalid while the global
+  /// TraceRecorder is disabled).
+  std::map<std::string, obs::SpanId> stage_spans_;
 
   // -- streaming dataflow state ----------------------------------------------
   /// ready_at per granule (fed by granule.ready in both modes; powers the

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "flow/events.hpp"
+#include "obs/metrics.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -12,6 +13,9 @@ namespace mfw::transfer {
 
 namespace {
 constexpr const char* kComponent = "download";
+/// Per-file download durations dominated by the WAN window (Fig. 3: tens of
+/// seconds to a few minutes at 3 workers).
+constexpr obs::HistogramSpec kFileSecondsSpec{0.0, 120.0, 24};
 }
 
 double DownloadReport::aggregate_bps() const {
@@ -120,7 +124,31 @@ void DownloadService::worker_loop(int worker) {
     return;
   }
   const modis::CatalogEntry entry = tasks_[next_task_++];
+  begin_file_span(worker, entry);
   attempt_download(worker, entry, 1, engine_.now());
+}
+
+void DownloadService::begin_file_span(int worker,
+                                      const modis::CatalogEntry& entry) {
+  auto& rec = obs::TraceRecorder::instance();
+  if (!rec.enabled()) return;
+  if (worker_spans_.size() <= static_cast<std::size_t>(worker))
+    worker_spans_.resize(worker + 1);
+  worker_spans_[worker] = rec.begin_span(
+      "download/w" + std::to_string(worker), "download", entry.id.filename(),
+      {{"bytes", std::to_string(entry.size_bytes)},
+       {"product",
+        modis::product_short_name(entry.id.product, entry.id.satellite)}});
+}
+
+void DownloadService::end_file_span(int worker, const char* status,
+                                    int attempt) {
+  if (worker_spans_.size() <= static_cast<std::size_t>(worker)) return;
+  obs::SpanId& span = worker_spans_[worker];
+  if (!span.valid()) return;
+  obs::TraceRecorder::instance().end_span(
+      span, {{"status", status}, {"attempts", std::to_string(attempt)}});
+  span = {};
 }
 
 void DownloadService::attempt_download(int worker,
@@ -144,6 +172,15 @@ void DownloadService::attempt_download(int worker,
                attempt, " attempts");
       engine_.schedule_after(wasted, [this, worker, entry, attempt] {
         report_.failed.push_back(entry.id);
+        end_file_span(worker, "failed", attempt);
+        if (auto& metrics = obs::MetricsRegistry::instance();
+            metrics.enabled()) {
+          metrics.counter_add("mfw.download.failed_total", 1.0,
+                              {{"stage", "download"}});
+          obs::TraceRecorder::instance().instant(
+              "download/w" + std::to_string(worker), "download",
+              "download.failed", {{"file", entry.id.filename()}});
+        }
         if (bus_) {
           flow::FileEvent event;
           event.id = entry.id;
@@ -157,6 +194,8 @@ void DownloadService::attempt_download(int worker,
       return;
     }
     ++report_.retries;
+    obs::MetricsRegistry::instance().counter_add("mfw.download.retries_total",
+                                                 1.0);
     const double backoff = config_.retry_backoff * attempt;
     MFW_DEBUG(kComponent, "transient failure on ", entry.id.filename(),
               " (attempt ", attempt, "); retrying in ", backoff, "s");
@@ -173,6 +212,7 @@ void DownloadService::attempt_download(int worker,
                         [this, worker, entry, attempt,
                          first_started_at](double /*flow_bps*/) {
                           store_file(entry, first_started_at, attempt);
+                          end_file_span(worker, "ok", attempt);
                           worker_loop(worker);
                         });
       });
@@ -204,6 +244,17 @@ void DownloadService::store_file(const modis::CatalogEntry& entry,
   report_.files.push_back(std::move(done));
 
   const DownloadedFile& stored = report_.files.back();
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled()) {
+    const obs::Labels product_label = {
+        {"product",
+         modis::product_short_name(entry.id.product, entry.id.satellite)}};
+    metrics.counter_add("mfw.download.bytes_total",
+                        static_cast<double>(entry.size_bytes), product_label);
+    metrics.counter_add("mfw.download.files_total", 1.0, product_label);
+    metrics.observe("mfw.download.file_seconds",
+                    stored.finished_at - stored.started_at, {},
+                    kFileSecondsSpec);
+  }
   if (file_observer_) file_observer_(stored);
   if (bus_) {
     flow::FileEvent event;

@@ -22,6 +22,7 @@
 
 #include "flow/event_bus.hpp"
 #include "modis/catalog.hpp"
+#include "obs/trace.hpp"
 #include "sim/link.hpp"
 #include "storage/filesystem.hpp"
 #include "util/rng.hpp"
@@ -153,6 +154,11 @@ class DownloadService {
   void store_file(const modis::CatalogEntry& entry, double first_started_at,
                   int attempt);
   void record_activity();
+  /// Opens the per-file obs span on the worker's track (no-op when tracing
+  /// is disabled).
+  void begin_file_span(int worker, const modis::CatalogEntry& entry);
+  /// Closes the worker's open file span, stamping outcome + attempt count.
+  void end_file_span(int worker, const char* status, int attempt);
 
   sim::SimEngine& engine_;
   const modis::ArchiveService& archive_;
@@ -171,6 +177,8 @@ class DownloadService {
   std::vector<std::pair<double, int>> activity_;
   flow::EventBus* bus_ = nullptr;
   FileObserver file_observer_;
+  /// Open per-file obs span per worker (all invalid while tracing is off).
+  std::vector<obs::SpanId> worker_spans_;
 };
 
 }  // namespace mfw::transfer

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 namespace mfw::util {
@@ -20,16 +21,12 @@ Logger& Logger::instance() {
   return logger;
 }
 
-Logger::Logger() = default;
+Logger::Logger() : start_(std::chrono::steady_clock::now()) {}
 
-void Logger::set_level(LogLevel level) {
-  std::lock_guard lock(mu_);
-  level_ = level;
-}
-
-LogLevel Logger::level() const {
-  std::lock_guard lock(mu_);
-  return level_;
+double Logger::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
 }
 
 void Logger::set_sink(Sink sink) {
@@ -39,17 +36,19 @@ void Logger::set_sink(Sink sink) {
 
 void Logger::log(LogLevel level, std::string_view component,
                  std::string_view message) {
+  if (!enabled(level)) return;
   std::string line;
   line.reserve(component.size() + message.size() + 16);
   line.append("[").append(to_string(level)).append("] ");
   line.append(component).append(": ").append(message);
 
   std::lock_guard lock(mu_);
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
   if (sink_) {
     sink_(level, line);
   } else {
-    std::fprintf(stderr, "%s\n", line.c_str());
+    // The default sink adds elapsed wall time so interleaved bench output
+    // can be read as a coarse timeline without a trace viewer.
+    std::fprintf(stderr, "[+%9.3fs] %s\n", elapsed_seconds(), line.c_str());
   }
 }
 

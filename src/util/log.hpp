@@ -3,10 +3,13 @@
 // Design notes:
 //  - A single global logger keeps the API ergonomic for library + bench code.
 //  - Sinks are pluggable so tests can capture output.
-//  - Log calls are thread-safe (a mutex guards sink dispatch); formatting
-//    happens outside the lock.
+//  - The level is an atomic, so the common "is this level enabled?" check in
+//    MFW_LOG never takes a lock; a mutex guards only sink dispatch, and
+//    formatting happens outside the lock.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -27,12 +30,20 @@ class Logger {
 
   static Logger& instance();
 
-  /// Minimum level that will be emitted. Defaults to kInfo.
-  void set_level(LogLevel level);
-  LogLevel level() const;
+  /// Minimum level that will be emitted. Defaults to kInfo. Lock-free.
+  void set_level(LogLevel level) {
+    level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= level_.load(std::memory_order_relaxed);
+  }
 
   /// Replaces the output sink. Pass nullptr to restore the default
-  /// (stderr with a "[LEVEL] component: message" prefix).
+  /// (stderr with a "[+elapsed] [LEVEL] component: message" prefix, where
+  /// elapsed is wall time since logger construction).
   void set_sink(Sink sink);
 
   void log(LogLevel level, std::string_view component, std::string_view message);
@@ -40,9 +51,13 @@ class Logger {
  private:
   Logger();
 
+  /// Seconds of wall time since the logger singleton was constructed.
+  double elapsed_seconds() const;
+
   mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kInfo;
+  std::atomic<int> level_{static_cast<int>(LogLevel::kInfo)};
   Sink sink_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 namespace detail {
@@ -63,8 +78,7 @@ std::string concat(Args&&... args) {
 #define MFW_LOG(mfw_level_, component, ...)                            \
   do {                                                                 \
     auto& mfw_logger_ = ::mfw::util::Logger::instance();               \
-    if (static_cast<int>(mfw_level_) >=                                \
-        static_cast<int>(mfw_logger_.level()))                         \
+    if (mfw_logger_.enabled(mfw_level_))                               \
       mfw_logger_.log(mfw_level_, component,                           \
                       ::mfw::util::detail::concat(__VA_ARGS__));       \
   } while (0)

@@ -9,7 +9,9 @@
 #include "flow/events.hpp"
 #include "flow/granule_tracker.hpp"
 #include "flow/monitor.hpp"
+#include "flow/provenance.hpp"
 #include "flow/runner.hpp"
+#include "obs/trace.hpp"
 #include "storage/memfs.hpp"
 
 namespace mfw::flow {
@@ -805,6 +807,82 @@ TEST(GranuleTracker, CustomRequiredProductsIgnoreOthers) {
   tracker.observe_file(make_file_event(modis::ProductKind::kMod02, 3, 2.0));
   engine.run();
   EXPECT_EQ(ready, 1u);
+}
+
+namespace {
+RunRecord make_run(std::uint64_t id, bool ok) {
+  RunRecord run;
+  run.run_id = id;
+  run.flow_name = "aicca-inference";
+  run.started_at = 1.0;
+  run.finished_at = 4.0;
+  run.succeeded = ok;
+  if (!ok) run.error = "action 'infer' failed";
+  // Action state with 0.05 s orchestration overhead, then a pass state.
+  run.states.push_back(
+      {"infer", "action", 1.0, 1.05, 2.0, ok ? "ok" : "failed"});
+  run.states.push_back({"move", "pass", 2.0, 0.0, 4.0, "ok"});
+  return run;
+}
+}  // namespace
+
+TEST(Provenance, DumpRendersRunsAndStates) {
+  ProvenanceLog log;
+  log.record(make_run(7, true));
+  log.record(make_run(8, false));
+  const auto text = log.dump();
+  EXPECT_NE(text.find("run: 7"), std::string::npos);
+  EXPECT_NE(text.find("run: 8"), std::string::npos);
+  EXPECT_NE(text.find("flow: aicca-inference"), std::string::npos);
+  EXPECT_NE(text.find("status: ok"), std::string::npos);
+  EXPECT_NE(text.find("status: failed"), std::string::npos);
+  EXPECT_NE(text.find("error: action 'infer' failed"), std::string::npos);
+  EXPECT_NE(text.find("{name: infer, kind: action"), std::string::npos);
+  EXPECT_NE(text.find("{name: move, kind: pass"), std::string::npos);
+}
+
+TEST(Provenance, MeanActionOverheadAveragesActionStatesOnly) {
+  ProvenanceLog log;
+  EXPECT_DOUBLE_EQ(log.mean_action_overhead(), 0.0);
+  log.record(make_run(1, true));
+  auto second = make_run(2, true);
+  second.states[0].action_started_at = 1.15;  // 0.15 s overhead
+  log.record(second);
+  // Two action states (0.05 and 0.15); the pass states must not dilute.
+  EXPECT_NEAR(log.mean_action_overhead(), 0.10, 1e-12);
+}
+
+TEST(Provenance, ExportToTraceProducesFlowSpans) {
+  ProvenanceLog log;
+  log.record(make_run(7, true));
+
+  obs::TraceRecorder disabled;
+  export_to_trace(log, disabled);
+  EXPECT_EQ(disabled.span_count(), 0u);
+
+  obs::TraceRecorder rec;
+  rec.set_enabled(true);
+  export_to_trace(log, rec);
+  const auto spans = rec.spans();
+  ASSERT_EQ(spans.size(), 3u);  // run + 2 states
+  EXPECT_EQ(spans[0].category, "flow");
+  EXPECT_EQ(spans[0].name, "aicca-inference");
+  EXPECT_DOUBLE_EQ(spans[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end, 4.0);
+  EXPECT_EQ(spans[1].category, "flow.state");
+  EXPECT_EQ(spans[1].name, "infer");
+  // State spans share the run's track and nest inside the run span.
+  EXPECT_EQ(spans[1].track, spans[0].track);
+  EXPECT_GE(spans[1].start, spans[0].start);
+  EXPECT_LE(spans[1].end, spans[0].end);
+  const auto tracks = rec.tracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0].name, "flows/run7");
+  // The action state carries its orchestration overhead as an arg.
+  bool overhead_seen = false;
+  for (const auto& [key, value] : spans[1].args)
+    if (key == "orchestration_overhead_s") overhead_seen = true;
+  EXPECT_TRUE(overhead_seen);
 }
 
 }  // namespace

@@ -342,5 +342,34 @@ TEST(Logger, SinkReceivesFormattedLine) {
   EXPECT_EQ(lines[0], "[INFO] test: hello 42");
 }
 
+TEST(Logger, LevelChecksAreLockFreeAndOrdered) {
+  auto& logger = Logger::instance();
+  logger.set_level(LogLevel::kWarn);
+  EXPECT_EQ(logger.level(), LogLevel::kWarn);
+  EXPECT_FALSE(logger.enabled(LogLevel::kDebug));
+  EXPECT_FALSE(logger.enabled(LogLevel::kInfo));
+  EXPECT_TRUE(logger.enabled(LogLevel::kWarn));
+  EXPECT_TRUE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kOff);
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));
+  logger.set_level(LogLevel::kInfo);
+}
+
+TEST(Logger, LevelFiltersEvenWithSinkInstalled) {
+  auto& logger = Logger::instance();
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&](LogLevel, const std::string& line) { lines.push_back(line); });
+  logger.set_level(LogLevel::kError);
+  // Below-threshold calls must not reach the sink even when invoked
+  // directly (bypassing the macro's early-out).
+  logger.log(LogLevel::kInfo, "test", "filtered");
+  logger.log(LogLevel::kError, "test", "kept");
+  logger.set_sink(nullptr);
+  logger.set_level(LogLevel::kInfo);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[ERROR] test: kept");
+}
+
 }  // namespace
 }  // namespace mfw::util

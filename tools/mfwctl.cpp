@@ -9,6 +9,10 @@
 //       and run it on a named facility profile (olcf | nersc | alcf).
 //   mfwctl facilities
 //       Show the built-in facility profiles.
+//   mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]
+//       Run the workflow with the obs layer enabled and export a Chrome
+//       trace-event JSON (load in Perfetto / chrome://tracing) plus an
+//       optional flat metrics dump.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -17,6 +21,9 @@
 #include <vector>
 
 #include "federation/orchestrator.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -30,6 +37,7 @@ int usage() {
                "usage:\n"
                "  mfwctl run <config.yaml> [--timeline] [--csv <path>] [--quiet]\n"
                "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
+               "  mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]\n"
                "  mfwctl registry\n"
                "  mfwctl facilities\n");
   return 2;
@@ -91,7 +99,9 @@ int main(int argc, char** argv) {
     std::size_t seen = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i].rfind("--", 0) == 0) {
-        if (args[i] == "--csv" || args[i] == "--facility") ++i;  // skip value
+        if (args[i] == "--csv" || args[i] == "--facility" ||
+            args[i] == "--out" || args[i] == "--metrics")
+          ++i;  // skip value
         continue;
       }
       if (seen++ == index) return args[i];
@@ -124,6 +134,31 @@ int main(int argc, char** argv) {
       return run_config(std::move(config), has_flag("--timeline"),
                         flag_value("--csv"));
     }
+    if (command == "trace") {
+      const auto path = positional(0);
+      if (path.empty()) return usage();
+      auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      const auto out = [&] {
+        auto v = flag_value("--out");
+        return v.empty() ? std::string("trace.json") : v;
+      }();
+      obs::set_globally_enabled(true);
+      pipeline::EomlWorkflow workflow(std::move(config));
+      const auto report = workflow.run();
+      std::printf("%s\n", report.summary().c_str());
+      obs::write_file(out,
+                      obs::to_chrome_trace_json(obs::TraceRecorder::instance()));
+      std::printf("trace written to %s (%zu spans, %zu instants) — load in "
+                  "https://ui.perfetto.dev or chrome://tracing\n",
+                  out.c_str(), obs::TraceRecorder::instance().span_count(),
+                  obs::TraceRecorder::instance().instant_count());
+      if (const auto metrics = flag_value("--metrics"); !metrics.empty()) {
+        obs::write_file(
+            metrics, obs::to_metrics_text(obs::MetricsRegistry::instance()));
+        std::printf("metrics written to %s\n", metrics.c_str());
+      }
+      return 0;
+    }
     if (command == "registry") {
       federation::PipelineRegistry registry;
       registry.publish_builtin();
@@ -149,5 +184,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+  std::fprintf(stderr, "error: unknown command '%s'\n", command.c_str());
   return usage();
 }
