@@ -24,11 +24,10 @@ namespace {
 std::vector<float> encode_all(ml::RiccModel& model,
                               const std::vector<ml::Tensor>& tiles) {
   const auto d = static_cast<std::size_t>(model.config().latent_dim);
+  const std::vector<ml::Tensor> zs = model.encode_batch(tiles);
   std::vector<float> out(tiles.size() * d);
-  for (std::size_t i = 0; i < tiles.size(); ++i) {
-    const ml::Tensor z = model.encode(tiles[i]);
-    std::memcpy(out.data() + i * d, z.data(), d * sizeof(float));
-  }
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    std::memcpy(out.data() + i * d, zs[i].data(), d * sizeof(float));
   return out;
 }
 

@@ -80,9 +80,10 @@ int main() {
   std::vector<std::string> canvas(static_cast<std::size_t>(grid_rows),
                                   std::string(static_cast<std::size_t>(grid_cols), '.'));
   std::map<int, int> class_counts;
+  const std::vector<ml::Tensor> latents = model.encode_batch(tiles);
   for (std::size_t i = 0; i < result.tiles.size(); ++i) {
     const auto& tile = result.tiles[i];
-    const int label = model.predict(tiles[i]);
+    const int label = ml::nearest_centroid(model.centroids(), latents[i].span());
     ++class_counts[label];
     canvas[static_cast<std::size_t>(tile.origin_row / options.tile_size)]
           [static_cast<std::size_t>(tile.origin_col / options.tile_size)] =

@@ -1,0 +1,133 @@
+// Google-benchmark micro benchmarks for the fast-ML substrate: blocked
+// sgemm, im2col+GEMM vs naive convolution, batched RICC encode across pool
+// sizes, and cached-NN vs full-rescan Ward clustering. `tools/bench_kernels.sh`
+// runs this binary and snapshots the numbers into BENCH_kernels.json.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "ml/cluster.hpp"
+#include "ml/kernels.hpp"
+#include "ml/layers.hpp"
+#include "ml/ricc.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace mfw;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+// The shape an im2col'd 3x3 conv over an 8ch 32x32 tile produces:
+// [8][72] x [72][1024].
+void BM_Sgemm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  const auto a = random_vec(m * k, 1);
+  const auto b = random_vec(k * n, 2);
+  std::vector<float> c(m * n);
+  for (auto _ : state) {
+    ml::kernels::sgemm(m, n, k, a.data(), b.data(), c.data(), false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * m * n * k) *
+                          state.iterations());
+}
+BENCHMARK(BM_Sgemm)->Args({8, 72, 1024})->Args({64, 64, 64})->Args({128, 128, 128});
+
+void conv2d_forward(benchmark::State& state, bool naive) {
+  ml::kernels::set_use_naive(naive);
+  util::Rng rng(5);
+  ml::Conv2d conv(8, 8, 3, 1, 1, rng);
+  ml::Tensor input({8, 32, 32});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) benchmark::DoNotOptimize(conv.forward(input));
+  ml::kernels::set_use_naive(false);
+}
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  conv2d_forward(state, true);
+}
+void BM_Conv2dForwardGemm(benchmark::State& state) {
+  conv2d_forward(state, false);
+}
+BENCHMARK(BM_Conv2dForwardNaive);
+BENCHMARK(BM_Conv2dForwardGemm);
+
+void conv2d_backward(benchmark::State& state, bool naive) {
+  ml::kernels::set_use_naive(naive);
+  util::Rng rng(5);
+  ml::Conv2d conv(8, 8, 3, 1, 1, rng);
+  ml::Tensor input({8, 32, 32});
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(rng.uniform());
+  const ml::Tensor out = conv.forward(input);
+  ml::Tensor grad(out.shape());
+  for (std::size_t i = 0; i < grad.size(); ++i)
+    grad[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) benchmark::DoNotOptimize(conv.backward(grad));
+  ml::kernels::set_use_naive(false);
+}
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  conv2d_backward(state, true);
+}
+void BM_Conv2dBackwardGemm(benchmark::State& state) {
+  conv2d_backward(state, false);
+}
+BENCHMARK(BM_Conv2dBackwardNaive);
+BENCHMARK(BM_Conv2dBackwardGemm);
+
+void BM_RiccEncodeBatch(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ml::RiccConfig config;
+  config.tile_size = 32;
+  config.channels = 6;
+  config.base_channels = 8;
+  config.conv_blocks = 3;
+  config.latent_dim = 32;
+  ml::RiccModel model(config);
+  util::Rng rng(1);
+  std::vector<ml::Tensor> tiles;
+  for (int t = 0; t < 16; ++t) {
+    ml::Tensor tile({6, 32, 32});
+    for (std::size_t i = 0; i < tile.size(); ++i)
+      tile[i] = static_cast<float>(rng.uniform());
+    tiles.push_back(std::move(tile));
+  }
+  if (threads == 0) {
+    for (auto _ : state)
+      benchmark::DoNotOptimize(model.encode_batch(tiles, nullptr));
+  } else {
+    util::ThreadPool pool(threads);
+    for (auto _ : state)
+      benchmark::DoNotOptimize(model.encode_batch(tiles, &pool));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(tiles.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_RiccEncodeBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void ward(benchmark::State& state, bool naive) {
+  ml::kernels::set_use_naive(naive);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto data = random_vec(n * 8, 3);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ml::agglomerative_ward(data, n, 8, 42));
+  ml::kernels::set_use_naive(false);
+}
+void BM_WardNaive(benchmark::State& state) { ward(state, true); }
+void BM_WardCachedNN(benchmark::State& state) { ward(state, false); }
+BENCHMARK(BM_WardNaive)->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WardCachedNN)->Arg(512)->Arg(2048)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,45 +6,85 @@
 #include <stdexcept>
 
 #include "preprocess/tile_io.hpp"
+#include "storage/ncl.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mfw::analysis {
 
+namespace {
+
+struct ParsedFile {
+  std::vector<TileRecord> records;
+  bool skipped = false;
+};
+
+ParsedFile parse_tile_file(const std::vector<std::byte>& bytes) {
+  const auto file = storage::NclFile::deserialize(bytes);
+  ParsedFile parsed;
+  if (!file.has_var("tiles") || !file.has_var("label")) {
+    parsed.skipped = true;
+    return parsed;
+  }
+  const auto granule_attr = file.attrs().find("granule");
+  modis::GranuleId granule;
+  if (granule_attr != file.attrs().end()) {
+    if (const auto id = modis::parse_granule_filename(granule_attr->second))
+      granule = *id;
+  }
+  const auto labels = file.var("label").as_i32();
+  const auto lat = file.var("latitude").as_f32();
+  const auto lon = file.var("longitude").as_f32();
+  const auto cf = file.var("cloud_fraction").as_f32();
+  const auto cot = file.var("cloud_optical_thickness").as_f32();
+  const auto ctp = file.var("cloud_top_pressure").as_f32();
+  const auto cwp = file.var("cloud_water_path").as_f32();
+  parsed.records.reserve(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    TileRecord record;
+    record.granule = granule;
+    record.label = labels[i];
+    record.latitude = lat[i];
+    record.longitude = lon[i];
+    record.cloud_fraction = cf[i];
+    record.optical_thickness = cot[i];
+    record.cloud_top_pressure = ctp[i];
+    record.water_path = cwp[i];
+    parsed.records.push_back(record);
+  }
+  return parsed;
+}
+
+}  // namespace
+
 AiccaArchive AiccaArchive::load(storage::FileSystem& fs,
-                                const std::string& pattern) {
+                                const std::string& pattern,
+                                util::ThreadPool* pool) {
   AiccaArchive archive;
-  for (const auto& info : fs.list(pattern)) {
-    const auto file = preprocess::read_tile_file(fs, info.path);
-    ++archive.files_;
-    if (!file.has_var("tiles") || !file.has_var("label")) {
+  const auto infos = fs.list(pattern);
+  // Byte reads stay sequential — FileSystem implementations need not be
+  // thread-safe — but deserialization and record extraction are pure CPU
+  // work on private buffers, so those fan out per file.
+  std::vector<std::vector<std::byte>> bytes;
+  bytes.reserve(infos.size());
+  for (const auto& info : infos) bytes.push_back(fs.read_file(info.path));
+  std::vector<ParsedFile> parsed(bytes.size());
+  if (pool != nullptr && bytes.size() > 1) {
+    util::parallel_for(*pool, bytes.size(),
+                       [&](std::size_t i) { parsed[i] = parse_tile_file(bytes[i]); });
+  } else {
+    for (std::size_t i = 0; i < bytes.size(); ++i)
+      parsed[i] = parse_tile_file(bytes[i]);
+  }
+  // Concatenate in file order so the archive is independent of scheduling.
+  archive.files_ = parsed.size();
+  for (auto& p : parsed) {
+    if (p.skipped) {
       ++archive.skipped_;
       continue;
     }
-    const auto granule_attr = file.attrs().find("granule");
-    modis::GranuleId granule;
-    if (granule_attr != file.attrs().end()) {
-      if (const auto parsed = modis::parse_granule_filename(granule_attr->second))
-        granule = *parsed;
-    }
-    const auto labels = file.var("label").as_i32();
-    const auto lat = file.var("latitude").as_f32();
-    const auto lon = file.var("longitude").as_f32();
-    const auto cf = file.var("cloud_fraction").as_f32();
-    const auto cot = file.var("cloud_optical_thickness").as_f32();
-    const auto ctp = file.var("cloud_top_pressure").as_f32();
-    const auto cwp = file.var("cloud_water_path").as_f32();
-    for (std::size_t i = 0; i < labels.size(); ++i) {
-      TileRecord record;
-      record.granule = granule;
-      record.label = labels[i];
-      record.latitude = lat[i];
-      record.longitude = lon[i];
-      record.cloud_fraction = cf[i];
-      record.optical_thickness = cot[i];
-      record.cloud_top_pressure = ctp[i];
-      record.water_path = cwp[i];
-      archive.records_.push_back(record);
-    }
+    archive.records_.insert(archive.records_.end(), p.records.begin(),
+                            p.records.end());
   }
   return archive;
 }

@@ -17,6 +17,10 @@
 #include "modis/catalog.hpp"
 #include "storage/filesystem.hpp"
 
+namespace mfw::util {
+class ThreadPool;
+}
+
 namespace mfw::analysis {
 
 /// One labelled ocean-cloud tile flattened out of a tile file.
@@ -46,8 +50,12 @@ class AiccaArchive {
  public:
   /// Loads every *labelled, pixel-bearing* tile file matching `pattern`
   /// from `fs`. Manifest-only files (timing-mode output) carry no per-tile
-  /// variables and are counted in `skipped_manifests` instead.
-  static AiccaArchive load(storage::FileSystem& fs, const std::string& pattern);
+  /// variables and are counted in `skipped_manifests` instead. With a pool,
+  /// byte reads stay sequential (FileSystem implementations need not be
+  /// thread-safe) but container parsing fans out per file; records keep
+  /// file order either way.
+  static AiccaArchive load(storage::FileSystem& fs, const std::string& pattern,
+                           util::ThreadPool* pool = nullptr);
 
   std::size_t tile_count() const { return records_.size(); }
   std::size_t file_count() const { return files_; }

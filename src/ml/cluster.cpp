@@ -6,6 +6,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "ml/kernels.hpp"
+#include "util/thread_pool.hpp"
+
 namespace mfw::ml {
 
 namespace {
@@ -40,18 +43,27 @@ Tensor centroids_from_labels(std::span<const float> data, std::size_t n,
 }  // namespace
 
 ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
-                                 std::size_t d, int k) {
+                                 std::size_t d, int k,
+                                 util::ThreadPool* pool) {
   check_inputs(data, n, d, k);
   // Ward distances held as squared merge costs in a full n x n matrix.
   // dist(i, j) = (|i||j| / (|i|+|j|)) * ||mu_i - mu_j||^2; for singletons
   // that is ||x_i - x_j||^2 / 2. Updates use the Lance-Williams recurrence.
   std::vector<double> dist(n * n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const double d2 = squared_distance(data.subspan(i * d, d),
-                                         data.subspan(j * d, d));
-      dist[i * n + j] = dist[j * n + i] = d2 / 2.0;
+  const auto fill_rows = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d2 = squared_distance(data.subspan(i * d, d),
+                                           data.subspan(j * d, d));
+        // Row i owns (i, j) and column i of rows j > i: disjoint across i.
+        dist[i * n + j] = dist[j * n + i] = d2 / 2.0;
+      }
     }
+  };
+  if (pool != nullptr && n > 1) {
+    util::parallel_for(*pool, n, /*chunk=*/16, fill_rows);
+  } else {
+    fill_rows(0, n);
   }
   std::vector<std::size_t> size(n, 1);
   std::vector<bool> active(n, true);
@@ -65,11 +77,21 @@ ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
   std::vector<Merge> merges;
   merges.reserve(n - 1);
 
-  // Nearest-neighbour chain: amortized O(n^2).
+  // Nearest-neighbour chain: amortized O(n^2). Per-cluster cached NN —
+  // Ward linkage is reducible, so d(a∪b, j) >= min(d(a,j), d(b,j)) >=
+  // nn_d[j]: a merge can only invalidate caches that pointed AT one of the
+  // merged clusters, never create a closer neighbour elsewhere. Recomputes
+  // scan in the same ascending index order as the original full rescan, so
+  // the merge sequence is identical (up to exact FP ties).
+  const bool cache_nn = !kernels::use_naive();
+  std::vector<std::size_t> nn_of(n, 0);
+  std::vector<double> nn_d(n, 0.0);
+  std::vector<char> nn_valid(n, 0);
   std::vector<std::size_t> chain;
   chain.reserve(n);
   std::size_t n_active = n;
   auto nearest = [&](std::size_t c) {
+    if (cache_nn && nn_valid[c]) return std::make_pair(nn_of[c], nn_d[c]);
     double best = std::numeric_limits<double>::infinity();
     std::size_t best_j = c;
     for (std::size_t j = 0; j < n; ++j) {
@@ -78,6 +100,11 @@ ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
         best = dist[c * n + j];
         best_j = j;
       }
+    }
+    if (cache_nn) {
+      nn_of[c] = best_j;
+      nn_d[c] = best;
+      nn_valid[c] = 1;
     }
     return std::make_pair(best_j, best);
   };
@@ -101,9 +128,14 @@ ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
         const std::size_t a = top;
         const std::size_t b = nn;
         merges.push_back(Merge{a, b, cost});
-        // Lance-Williams Ward update for all other active clusters.
+        // Lance-Williams Ward update for all other active clusters. The
+        // loop already walks a's whole row in ascending order, so the merged
+        // cluster's new nearest neighbour falls out for free — same scan
+        // order and strict-< tie-break as the full rescan in nearest().
         const double na = static_cast<double>(size[a]);
         const double nb = static_cast<double>(size[b]);
+        double a_best = std::numeric_limits<double>::infinity();
+        std::size_t a_best_j = a;
         for (std::size_t j = 0; j < n; ++j) {
           if (!active[j] || j == a || j == b) continue;
           const double nj = static_cast<double>(size[j]);
@@ -113,11 +145,26 @@ ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
                                   nj * dist[a * n + b]) /
                                  total;
           dist[a * n + j] = dist[j * n + a] = updated;
+          if (updated < a_best) {
+            a_best = updated;
+            a_best_j = j;
+          }
         }
         active[b] = false;
         merged_into[b] = a;
         size[a] += size[b];
         --n_active;
+        if (cache_nn) {
+          // a's cache comes from the update pass above; any cache pointing
+          // at a or b is stale. Everyone else keeps theirs (reducibility).
+          nn_of[a] = a_best_j;
+          nn_d[a] = a_best;
+          nn_valid[a] = n_active > 1 ? 1 : 0;
+          for (std::size_t j = 0; j < n; ++j) {
+            if (j != a && nn_valid[j] && (nn_of[j] == a || nn_of[j] == b))
+              nn_valid[j] = 0;
+          }
+        }
         break;
       }
       chain.push_back(nn);
@@ -156,6 +203,11 @@ ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
   }
   result.centroids = centroids_from_labels(data, n, d, result.labels, k);
   return result;
+}
+
+ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
+                                 std::size_t d, int k) {
+  return agglomerative_ward(data, n, d, k, nullptr);
 }
 
 ClusterResult kmeans(std::span<const float> data, std::size_t n, std::size_t d,

@@ -15,6 +15,10 @@
 
 #include "ml/tensor.hpp"
 
+namespace mfw::util {
+class ThreadPool;
+}
+
 namespace mfw::ml {
 
 struct ClusterResult {
@@ -26,6 +30,20 @@ struct ClusterResult {
 
 /// Ward-linkage agglomerative clustering of n rows of dimension d, cut at k
 /// clusters. `data` is row-major n*d. Requires 1 <= k <= n.
+///
+/// The chain walk keeps a per-cluster cached nearest neighbour: Ward linkage
+/// is reducible (a merged cluster is never closer to a bystander than the
+/// nearer of its parts was), so a cache entry only goes stale when its target
+/// was one of the two merged clusters. That drops the rescan work from O(n)
+/// per chain step to O(n) per *merge* in the common case. Set
+/// MFW_ML_NAIVE_KERNELS (or kernels::set_use_naive) to force the original
+/// full-rescan path for equivalence testing.
+///
+/// If `pool` is non-null the initial O(n^2 d) distance-matrix fill is
+/// parallelised across it; the merge sequence is identical either way.
+ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
+                                 std::size_t d, int k,
+                                 util::ThreadPool* pool);
 ClusterResult agglomerative_ward(std::span<const float> data, std::size_t n,
                                  std::size_t d, int k);
 

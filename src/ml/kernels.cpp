@@ -1,0 +1,136 @@
+#include "ml/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace mfw::ml::kernels {
+
+namespace {
+std::atomic<bool>& naive_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("MFW_ML_NAIVE_KERNELS");
+    return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+
+// One C row tile + one B row tile fit comfortably in a 32 KiB L1 with room
+// for the streamed A scalars.
+constexpr std::size_t kNBlock = 1024;
+}  // namespace
+
+bool use_naive() { return naive_flag().load(std::memory_order_relaxed); }
+void set_use_naive(bool on) {
+  naive_flag().store(on, std::memory_order_relaxed);
+}
+
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+           const float* b, float* c, bool accumulate) {
+  for (std::size_t n0 = 0; n0 < n; n0 += kNBlock) {
+    const std::size_t nw = std::min(kNBlock, n - n0);
+    for (std::size_t i = 0; i < m; ++i) {
+      float* __restrict crow = c + i * n + n0;
+      if (!accumulate) std::memset(crow, 0, nw * sizeof(float));
+      const float* arow = a + i * k;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        const float* __restrict brow = b + p * n + n0;
+        for (std::size_t j = 0; j < nw; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+void transpose(std::size_t rows, std::size_t cols, const float* in,
+               float* out) {
+  // Simple tiled transpose; both matrices here are small enough (K x N of a
+  // single convolution) that 32x32 tiles keep each pass in L1.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t r0 = 0; r0 < rows; r0 += kTile) {
+    const std::size_t r1 = std::min(rows, r0 + kTile);
+    for (std::size_t c0 = 0; c0 < cols; c0 += kTile) {
+      const std::size_t c1 = std::min(cols, c0 + kTile);
+      for (std::size_t r = r0; r < r1; ++r)
+        for (std::size_t c = c0; c < c1; ++c) out[c * rows + r] = in[r * cols + c];
+    }
+  }
+}
+
+std::size_t im2col_rows(int channels, int kernel) {
+  return static_cast<std::size_t>(channels) * kernel * kernel;
+}
+
+int conv_out_dim(int in_dim, int kernel, int stride, int pad) {
+  return (in_dim + 2 * pad - kernel) / stride + 1;
+}
+
+void im2col(const float* input, int channels, int in_h, int in_w, int kernel,
+            int stride, int pad, float* col) {
+  const int out_h = conv_out_dim(in_h, kernel, stride, pad);
+  const int out_w = conv_out_dim(in_w, kernel, stride, pad);
+  const std::size_t out_n = static_cast<std::size_t>(out_h) * out_w;
+  float* row = col;
+  for (int c = 0; c < channels; ++c) {
+    const float* plane = input + static_cast<std::size_t>(c) * in_h * in_w;
+    for (int kh = 0; kh < kernel; ++kh) {
+      for (int kw = 0; kw < kernel; ++kw, row += out_n) {
+        for (int oh = 0; oh < out_h; ++oh) {
+          const int ih = oh * stride - pad + kh;
+          float* dst = row + static_cast<std::size_t>(oh) * out_w;
+          if (ih < 0 || ih >= in_h) {
+            std::memset(dst, 0, static_cast<std::size_t>(out_w) * sizeof(float));
+            continue;
+          }
+          const float* src = plane + static_cast<std::size_t>(ih) * in_w;
+          const int iw0 = -pad + kw;
+          if (stride == 1) {
+            // Contiguous middle segment with zero fringes.
+            const int lead = std::clamp(-iw0, 0, out_w);
+            const int tail_start = std::clamp(in_w - iw0, 0, out_w);
+            for (int ow = 0; ow < lead; ++ow) dst[ow] = 0.0f;
+            if (tail_start > lead)
+              std::memcpy(dst + lead, src + iw0 + lead,
+                          static_cast<std::size_t>(tail_start - lead) *
+                              sizeof(float));
+            for (int ow = tail_start; ow < out_w; ++ow) dst[ow] = 0.0f;
+          } else {
+            for (int ow = 0; ow < out_w; ++ow) {
+              const int iw = iw0 + ow * stride;
+              dst[ow] = (iw < 0 || iw >= in_w) ? 0.0f : src[iw];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* col, int channels, int in_h, int in_w, int kernel,
+            int stride, int pad, float* grad_input) {
+  const int out_h = conv_out_dim(in_h, kernel, stride, pad);
+  const int out_w = conv_out_dim(in_w, kernel, stride, pad);
+  const std::size_t out_n = static_cast<std::size_t>(out_h) * out_w;
+  const float* row = col;
+  for (int c = 0; c < channels; ++c) {
+    float* plane = grad_input + static_cast<std::size_t>(c) * in_h * in_w;
+    for (int kh = 0; kh < kernel; ++kh) {
+      for (int kw = 0; kw < kernel; ++kw, row += out_n) {
+        for (int oh = 0; oh < out_h; ++oh) {
+          const int ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= in_h) continue;
+          const float* src = row + static_cast<std::size_t>(oh) * out_w;
+          float* dst = plane + static_cast<std::size_t>(ih) * in_w;
+          for (int ow = 0; ow < out_w; ++ow) {
+            const int iw = ow * stride - pad + kw;
+            if (iw < 0 || iw >= in_w) continue;
+            dst[iw] += src[ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mfw::ml::kernels

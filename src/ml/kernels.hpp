@@ -1,0 +1,60 @@
+// Cache-friendly compute kernels for the ML substrate.
+//
+// The RICC hot paths (Conv2d forward/backward, and through them encode /
+// train / predict) lower onto three primitives kept deliberately small:
+//
+//   - sgemm: row-major single-precision C = A*B (optionally C += A*B),
+//     blocked over the N dimension so one C row tile and one B row tile stay
+//     in L1, with a K-ascending scalar accumulation per output element. The
+//     inner loop is a contiguous saxpy the compiler vectorizes; because K
+//     stays ascending per element, the gemm accumulates each output in the
+//     same order as the naive convolution loops it replaces.
+//   - im2col / col2im: unfold a [C][H][W] image into the [C*k*k][out_h*out_w]
+//     patch matrix (zero-padded, any stride) and the transposed scatter-add
+//     for the gradient. Row r = (c, kh, kw) of the patch matrix is contiguous
+//     in output position, so the gemm streams it.
+//   - transpose: out[j][i] = in[i][j], used to express the backward gemms
+//     (dW = dY * col^T, dcol = W^T * dY) as the one vector-friendly nn form.
+//
+// The naive 7-deep loop nest is retained inside Conv2d behind this module's
+// runtime flag (env MFW_ML_NAIVE_KERNELS=1, or set_use_naive() from tests)
+// so equivalence tests can compare both paths in one binary.
+#pragma once
+
+#include <cstddef>
+
+namespace mfw::ml::kernels {
+
+/// True when the naive (pre-GEMM) kernel paths should be used. Initialised
+/// once from the MFW_ML_NAIVE_KERNELS environment variable (any value other
+/// than empty/"0" enables it); tests override via set_use_naive().
+bool use_naive();
+void set_use_naive(bool on);
+
+/// Row-major C[m][n] = A[m][k] * B[k][n] (accumulate=false) or
+/// C[m][n] += A[m][k] * B[k][n] (accumulate=true). Per output element the
+/// K products are accumulated in ascending-k order.
+void sgemm(std::size_t m, std::size_t n, std::size_t k, const float* a,
+           const float* b, float* c, bool accumulate);
+
+/// out[j][i] = in[i][j] for in[rows][cols].
+void transpose(std::size_t rows, std::size_t cols, const float* in, float* out);
+
+/// Patch-matrix geometry for a [channels][*][*] image under a square
+/// `kernel` with `stride` and symmetric zero `pad`.
+std::size_t im2col_rows(int channels, int kernel);
+int conv_out_dim(int in_dim, int kernel, int stride, int pad);
+
+/// Unfolds input [channels][in_h][in_w] into col[channels*kernel*kernel]
+/// [out_h*out_w]: col[(c*kernel+kh)*kernel+kw][oh*out_w+ow] =
+/// input[c][oh*stride-pad+kh][ow*stride-pad+kw], zero outside the image.
+void im2col(const float* input, int channels, int in_h, int in_w, int kernel,
+            int stride, int pad, float* col);
+
+/// Transposed scatter-add of im2col: accumulates col back into
+/// grad_input[channels][in_h][in_w] (which must be pre-zeroed or carry the
+/// values to accumulate onto). Out-of-image taps are dropped.
+void col2im(const float* col, int channels, int in_h, int in_w, int kernel,
+            int stride, int pad, float* grad_input);
+
+}  // namespace mfw::ml::kernels

@@ -1,7 +1,10 @@
 #include "ml/layers.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
+
+#include "ml/kernels.hpp"
 
 namespace mfw::ml {
 
@@ -51,6 +54,32 @@ Tensor Conv2d::forward(const Tensor& input) {
   const int out_w = out_width(in_w);
   if (out_h <= 0 || out_w <= 0)
     throw std::invalid_argument("Conv2d: output would be empty");
+  if (kernels::use_naive()) {
+    col_.clear();
+    return forward_naive(input, out_h, out_w);
+  }
+  // GEMM path: out[oc][oh*ow] = W[oc][ic*k*k] * col[ic*k*k][oh*ow] + bias.
+  // The weight tensor's [out][in][k][k] layout *is* the [M][K] gemm operand.
+  const std::size_t patch = kernels::im2col_rows(in_channels_, kernel_);
+  const std::size_t out_n = static_cast<std::size_t>(out_h) * out_w;
+  col_.resize(patch * out_n);
+  kernels::im2col(input.data(), in_channels_, in_h, in_w, kernel_, stride_,
+                  pad_, col_.data());
+  Tensor out({out_channels_, out_h, out_w});
+  float* odata = out.data();
+  for (int oc = 0; oc < out_channels_; ++oc) {
+    const float b = bias_.value[static_cast<std::size_t>(oc)];
+    float* orow = odata + static_cast<std::size_t>(oc) * out_n;
+    for (std::size_t i = 0; i < out_n; ++i) orow[i] = b;
+  }
+  kernels::sgemm(static_cast<std::size_t>(out_channels_), out_n, patch,
+                 weight_.value.data(), col_.data(), odata, /*accumulate=*/true);
+  return out;
+}
+
+Tensor Conv2d::forward_naive(const Tensor& input, int out_h, int out_w) const {
+  const int in_h = input.dim(1);
+  const int in_w = input.dim(2);
   Tensor out({out_channels_, out_h, out_w});
   const float* wdata = weight_.value.data();
   for (int oc = 0; oc < out_channels_; ++oc) {
@@ -85,6 +114,46 @@ Tensor Conv2d::forward(const Tensor& input) {
 
 Tensor Conv2d::backward(const Tensor& grad_output) {
   expect_rank(grad_output, 3, "Conv2d::backward");
+  if (kernels::use_naive()) return backward_naive(grad_output);
+  const int in_h = input_.dim(1);
+  const int in_w = input_.dim(2);
+  const int out_h = grad_output.dim(1);
+  const int out_w = grad_output.dim(2);
+  const std::size_t patch = kernels::im2col_rows(in_channels_, kernel_);
+  const std::size_t out_n = static_cast<std::size_t>(out_h) * out_w;
+  const auto m = static_cast<std::size_t>(out_channels_);
+  if (col_.size() != patch * out_n) {
+    // forward ran on the naive path (flag flipped mid-step); rebuild.
+    col_.resize(patch * out_n);
+    kernels::im2col(input_.data(), in_channels_, in_h, in_w, kernel_, stride_,
+                    pad_, col_.data());
+  }
+  const float* g = grad_output.data();
+  // Bias grad: row sums of dY.
+  for (std::size_t oc = 0; oc < m; ++oc) {
+    float acc = 0.0f;
+    const float* grow = g + oc * out_n;
+    for (std::size_t i = 0; i < out_n; ++i) acc += grow[i];
+    bias_.grad[oc] += acc;
+  }
+  // Weight grad: dW[oc][p] += sum_n dY[oc][n] * col[p][n]  — expressed as the
+  // nn gemm dY[M][N] * colT[N][K] so the inner loop stays contiguous.
+  std::vector<float> scratch(std::max(out_n * patch, patch * m));
+  kernels::transpose(patch, out_n, col_.data(), scratch.data());
+  kernels::sgemm(m, patch, out_n, g, scratch.data(), weight_.grad.data(),
+                 /*accumulate=*/true);
+  // Input grad: dcol[p][n] = sum_oc W[oc][p] * dY[oc][n], then scatter-add.
+  kernels::transpose(m, patch, weight_.value.data(), scratch.data());
+  std::vector<float> dcol(patch * out_n);
+  kernels::sgemm(patch, out_n, m, scratch.data(), g, dcol.data(),
+                 /*accumulate=*/false);
+  Tensor grad_in(input_.shape());
+  kernels::col2im(dcol.data(), in_channels_, in_h, in_w, kernel_, stride_,
+                  pad_, grad_in.data());
+  return grad_in;
+}
+
+Tensor Conv2d::backward_naive(const Tensor& grad_output) {
   const int in_h = input_.dim(1);
   const int in_w = input_.dim(2);
   const int out_h = grad_output.dim(1);
@@ -331,6 +400,18 @@ std::vector<Param*> Sequential::params() {
     for (Param* p : layer->params()) out.push_back(p);
   }
   return out;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& layer : layers_) copy->add(layer->clone());
+  return copy;
+}
+
+Sequential Sequential::clone_net() const {
+  Sequential copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
 }
 
 std::size_t Sequential::param_count() {

@@ -31,6 +31,10 @@ class Layer {
   virtual Tensor backward(const Tensor& grad_output) = 0;
   virtual std::vector<Param*> params() { return {}; }
   virtual std::string name() const = 0;
+  /// Deep copy (weights, grads, and hyperparameters; caches come along but
+  /// are irrelevant to the next forward). Each data-parallel worker runs its
+  /// own replica because forward/backward mutate the layer caches.
+  virtual std::unique_ptr<Layer> clone() const = 0;
 };
 
 /// 2-D convolution over [C][H][W] with square kernel, stride, and symmetric
@@ -44,15 +48,22 @@ class Conv2d final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "conv2d"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
 
   int out_height(int in_height) const;
   int out_width(int in_width) const;
 
  private:
+  Tensor forward_naive(const Tensor& input, int out_h, int out_w) const;
+  Tensor backward_naive(const Tensor& grad_output);
+
   int in_channels_, out_channels_, kernel_, stride_, pad_;
   Param weight_;  // [out][in][k][k]
   Param bias_;    // [out]
-  Tensor input_;  // cached for backward
+  Tensor input_;             // cached for backward
+  std::vector<float> col_;   // cached im2col of input_ (GEMM path)
 };
 
 /// Fully connected layer over flat input.
@@ -64,6 +75,9 @@ class Dense final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override { return {&weight_, &bias_}; }
   std::string name() const override { return "dense"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
 
  private:
   int in_features_, out_features_;
@@ -77,6 +91,9 @@ class ReLU final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "relu"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
 
  private:
   Tensor input_;
@@ -88,6 +105,9 @@ class LeakyReLU final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "leaky_relu"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<LeakyReLU>(*this);
+  }
 
  private:
   float slope_;
@@ -99,6 +119,9 @@ class Sigmoid final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "sigmoid"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Sigmoid>(*this);
+  }
 
  private:
   Tensor output_;
@@ -110,6 +133,9 @@ class MaxPool2x2 final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "maxpool2x2"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2x2>(*this);
+  }
 
  private:
   std::vector<int> shape_;
@@ -122,6 +148,9 @@ class UpsampleNearest2x final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "upsample2x"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<UpsampleNearest2x>(*this);
+  }
 
  private:
   std::vector<int> in_shape_;
@@ -133,6 +162,9 @@ class Flatten final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "flatten"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
 
  private:
   std::vector<int> in_shape_;
@@ -145,6 +177,9 @@ class Reshape final : public Layer {
   Tensor forward(const Tensor& input) override;
   Tensor backward(const Tensor& grad_output) override;
   std::string name() const override { return "reshape"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Reshape>(*this);
+  }
 
  private:
   std::vector<int> target_;
@@ -166,6 +201,9 @@ class Sequential final : public Layer {
   Tensor backward(const Tensor& grad_output) override;
   std::vector<Param*> params() override;
   std::string name() const override { return "sequential"; }
+  std::unique_ptr<Layer> clone() const override;
+  /// Typed deep copy — the replica a data-parallel worker owns.
+  Sequential clone_net() const;
 
   std::size_t layer_count() const { return layers_.size(); }
   /// Total scalar parameter count.

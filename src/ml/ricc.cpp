@@ -1,12 +1,16 @@
 #include "ml/ricc.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
 
 #include "ml/loss.hpp"
 #include "ml/optim.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mfw::ml {
 
@@ -76,7 +80,40 @@ RiccModel::RiccModel(const RiccConfig& config) : config_(config) {
   }
 }
 
-Tensor RiccModel::encode(const Tensor& tile) { return encoder_.forward(tile); }
+Tensor RiccModel::encode(const Tensor& tile) {
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
+    metrics.counter_add("mfw.ml.encode_tiles_total", 1.0);
+  return encoder_.forward(tile);
+}
+
+std::vector<Tensor> RiccModel::encode_batch(std::span<const Tensor> tiles,
+                                            util::ThreadPool* pool) {
+  std::vector<Tensor> out(tiles.size());
+  obs::SpanId span;
+  if (auto& rec = obs::TraceRecorder::instance(); rec.enabled())
+    span = rec.begin_span("ml/encode", "ml", "ml.encode",
+                          {{"tiles", std::to_string(tiles.size())}});
+  if (pool == nullptr || tiles.size() < 2) {
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+      out[i] = encoder_.forward(tiles[i]);
+  } else {
+    // One replica per dispatched chunk; every tile writes only its own slot,
+    // so the output is bitwise independent of the thread count.
+    const std::size_t chunk = std::max<std::size_t>(
+        1, (tiles.size() + pool->thread_count()) / (pool->thread_count() + 1));
+    util::parallel_for(*pool, tiles.size(), chunk,
+                       [&](std::size_t begin, std::size_t end) {
+                         Sequential replica = encoder_.clone_net();
+                         for (std::size_t i = begin; i < end; ++i)
+                           out[i] = replica.forward(tiles[i]);
+                       });
+  }
+  if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
+    metrics.counter_add("mfw.ml.encode_tiles_total",
+                        static_cast<double>(tiles.size()));
+  obs::TraceRecorder::instance().end_span(span);
+  return out;
+}
 
 Tensor RiccModel::reconstruct(const Tensor& tile) {
   return decoder_.forward(encoder_.forward(tile));
@@ -174,7 +211,52 @@ RiccTrainReport train_autoencoder(RiccModel& model,
   std::vector<std::size_t> order(tiles.size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Parallel path: each mini-batch is cut into fixed kGradChunk-sample
+  // chunks regardless of thread count, each chunk runs forward/backward on
+  // its own model replica, and chunk gradients/losses are reduced in chunk
+  // index order — so the result is a function of the data only, not of how
+  // chunks land on threads.
+  constexpr std::size_t kGradChunk = 4;
+  struct ChunkOut {
+    std::vector<Tensor> grads;  // one per param, in `params` order
+    double recon = 0.0;
+    double inv = 0.0;
+  };
+  auto run_chunk = [&](std::span<const std::size_t> sample_ids, ChunkOut& out) {
+    Sequential enc = model.encoder().clone_net();
+    Sequential dec = model.decoder().clone_net();
+    auto rep_params = enc.params();
+    for (Param* p : dec.params()) rep_params.push_back(p);
+    for (Param* p : rep_params) {
+      float* g = p->grad.data();
+      std::fill(g, g + p->grad.span().size(), 0.0f);
+    }
+    for (const std::size_t sample : sample_ids) {
+      const Tensor& x = tiles[sample];
+      const Tensor z = enc.forward(x);
+      const Tensor y = dec.forward(z);
+      const LossGrad rec = mse_loss(y, x);
+      out.recon += rec.loss;
+      const Tensor grad_z = dec.backward(rec.grad);
+      enc.backward(grad_z);
+      for (int r = 1; r <= options.rotations; ++r) {
+        const Tensor zr = enc.forward(rotate90(x, r));
+        const LossGrad inv = latent_consistency_loss(zr, z);
+        out.inv += inv.loss;
+        Tensor scaled = inv.grad;
+        scaled *= options.lambda_invariance;
+        enc.backward(scaled);
+      }
+    }
+    out.grads.reserve(rep_params.size());
+    for (Param* p : rep_params) out.grads.push_back(std::move(p->grad));
+  };
+
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    obs::SpanId epoch_span;
+    if (auto& rec = obs::TraceRecorder::instance(); rec.enabled())
+      epoch_span = rec.begin_span("ml/train", "ml", "ml.train.epoch",
+                                  {{"epoch", std::to_string(epoch)}});
     // Fisher-Yates shuffle for stochasticity.
     for (std::size_t i = order.size(); i > 1; --i) {
       const auto j = static_cast<std::size_t>(
@@ -183,29 +265,61 @@ RiccTrainReport train_autoencoder(RiccModel& model,
     }
     double recon_sum = 0.0;
     double inv_sum = 0.0;
-    std::size_t in_batch = 0;
-    for (std::size_t idx = 0; idx < order.size(); ++idx) {
-      const Tensor& x = tiles[order[idx]];
-      // Reconstruction pass.
-      const Tensor z = model.encoder().forward(x);
-      const Tensor y = model.decoder().forward(z);
-      const LossGrad rec = mse_loss(y, x);
-      recon_sum += rec.loss;
-      const Tensor grad_z = model.decoder().backward(rec.grad);
-      model.encoder().backward(grad_z);
-      // Rotation-consistency passes (stop-gradient on z).
-      for (int r = 1; r <= options.rotations; ++r) {
-        const Tensor zr = model.encoder().forward(rotate90(x, r));
-        const LossGrad inv = latent_consistency_loss(zr, z);
-        inv_sum += inv.loss;
-        Tensor scaled = inv.grad;
-        scaled *= options.lambda_invariance;
-        model.encoder().backward(scaled);
+    if (options.pool == nullptr) {
+      // Sample-sequential path: the original (seed) numerics, exactly.
+      std::size_t in_batch = 0;
+      for (std::size_t idx = 0; idx < order.size(); ++idx) {
+        const Tensor& x = tiles[order[idx]];
+        // Reconstruction pass.
+        const Tensor z = model.encoder().forward(x);
+        const Tensor y = model.decoder().forward(z);
+        const LossGrad rec = mse_loss(y, x);
+        recon_sum += rec.loss;
+        const Tensor grad_z = model.decoder().backward(rec.grad);
+        model.encoder().backward(grad_z);
+        // Rotation-consistency passes (stop-gradient on z).
+        for (int r = 1; r <= options.rotations; ++r) {
+          const Tensor zr = model.encoder().forward(rotate90(x, r));
+          const LossGrad inv = latent_consistency_loss(zr, z);
+          inv_sum += inv.loss;
+          Tensor scaled = inv.grad;
+          scaled *= options.lambda_invariance;
+          model.encoder().backward(scaled);
+        }
+        if (++in_batch == static_cast<std::size_t>(options.batch_size) ||
+            idx + 1 == order.size()) {
+          optimizer.step(in_batch);
+          in_batch = 0;
+        }
       }
-      if (++in_batch == static_cast<std::size_t>(options.batch_size) ||
-          idx + 1 == order.size()) {
-        optimizer.step(in_batch);
-        in_batch = 0;
+    } else {
+      for (std::size_t b0 = 0; b0 < order.size();
+           b0 += static_cast<std::size_t>(options.batch_size)) {
+        const std::size_t b1 =
+            std::min(order.size(),
+                     b0 + static_cast<std::size_t>(options.batch_size));
+        const std::size_t batch_n = b1 - b0;
+        const std::size_t chunks = (batch_n + kGradChunk - 1) / kGradChunk;
+        std::vector<ChunkOut> outs(chunks);
+        util::parallel_for(
+            *options.pool, batch_n, kGradChunk,
+            [&](std::size_t begin, std::size_t end) {
+              run_chunk(std::span<const std::size_t>(order)
+                            .subspan(b0 + begin, end - begin),
+                        outs[begin / kGradChunk]);
+            });
+        // Ordered reduction into the live model's grad accumulators.
+        for (const ChunkOut& out : outs) {
+          recon_sum += out.recon;
+          inv_sum += out.inv;
+          for (std::size_t pi = 0; pi < params.size(); ++pi) {
+            float* dst = params[pi]->grad.data();
+            const float* src = out.grads[pi].data();
+            const std::size_t sz = params[pi]->grad.span().size();
+            for (std::size_t e = 0; e < sz; ++e) dst[e] += src[e];
+          }
+        }
+        optimizer.step(batch_n);
       }
     }
     const auto n = static_cast<double>(tiles.size());
@@ -214,23 +328,26 @@ RiccTrainReport train_autoencoder(RiccModel& model,
         options.rotations ? inv_sum / (n * options.rotations) : 0.0));
     MFW_DEBUG(kComponent, "epoch ", epoch, " recon=", recon_sum / n,
               " inv=", inv_sum / n);
+    obs::TraceRecorder::instance().end_span(
+        epoch_span, {{"recon_loss", std::to_string(recon_sum / n)},
+                     {"inv_loss", std::to_string(inv_sum / n)}});
   }
   report.final_loss = report.epoch_reconstruction_loss.back();
   report.invariance_score_after = rotation_invariance_score(model, tiles);
   return report;
 }
 
-ClusterResult fit_centroids(RiccModel& model, std::span<const Tensor> tiles) {
+ClusterResult fit_centroids(RiccModel& model, std::span<const Tensor> tiles,
+                            util::ThreadPool* pool) {
   if (tiles.size() < static_cast<std::size_t>(model.config().num_classes))
     throw std::invalid_argument("fit_centroids needs >= num_classes tiles");
   const auto d = static_cast<std::size_t>(model.config().latent_dim);
+  const std::vector<Tensor> zs = model.encode_batch(tiles, pool);
   std::vector<float> latents(tiles.size() * d);
-  for (std::size_t i = 0; i < tiles.size(); ++i) {
-    const Tensor z = model.encode(tiles[i]);
-    std::memcpy(latents.data() + i * d, z.data(), d * sizeof(float));
-  }
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    std::memcpy(latents.data() + i * d, zs[i].data(), d * sizeof(float));
   ClusterResult result = agglomerative_ward(latents, tiles.size(), d,
-                                            model.config().num_classes);
+                                            model.config().num_classes, pool);
   model.set_centroids(result.centroids);
   return result;
 }
@@ -269,13 +386,12 @@ double rotation_invariance_score(RiccModel& model,
 RiccTrainReport train_ricc(RiccModel& model, std::span<const Tensor> tiles,
                            const RiccTrainOptions& options) {
   RiccTrainReport report = train_autoencoder(model, tiles, options);
-  const ClusterResult clusters = fit_centroids(model, tiles);
+  const ClusterResult clusters = fit_centroids(model, tiles, options.pool);
   const auto d = static_cast<std::size_t>(model.config().latent_dim);
+  const std::vector<Tensor> zs = model.encode_batch(tiles, options.pool);
   std::vector<float> latents(tiles.size() * d);
-  for (std::size_t i = 0; i < tiles.size(); ++i) {
-    const Tensor z = model.encode(tiles[i]);
-    std::memcpy(latents.data() + i * d, z.data(), d * sizeof(float));
-  }
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    std::memcpy(latents.data() + i * d, zs[i].data(), d * sizeof(float));
   report.silhouette = silhouette(latents, tiles.size(), d, clusters.labels,
                                  clusters.k);
   return report;

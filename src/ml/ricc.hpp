@@ -52,6 +52,13 @@ class RiccModel {
 
   /// Encodes a [channels][tile][tile] tile to a [latent_dim] vector.
   Tensor encode(const Tensor& tile);
+  /// Encodes many tiles. With a pool, tiles are fanned out in fixed-size
+  /// chunks, each run on its own encoder replica (layer caches make an
+  /// instance non-reentrant); every tile's latent is independent and lands
+  /// in its own slot, so the result is bitwise identical at any thread
+  /// count, including the sequential pool == nullptr path.
+  std::vector<Tensor> encode_batch(std::span<const Tensor> tiles,
+                                   util::ThreadPool* pool = nullptr);
   /// Full autoencoder pass (for reconstruction-quality evaluation).
   Tensor reconstruct(const Tensor& tile);
 
@@ -82,6 +89,13 @@ struct RiccTrainOptions {
   float lambda_invariance = 0.5f;
   /// Rotations per sample used for the consistency term (0 disables it).
   int rotations = 3;
+  /// Optional data-parallel substrate. nullptr trains sample-sequentially
+  /// (the original numerics). With a pool, each mini-batch is split into
+  /// fixed 4-sample chunks run on cloned model replicas and the gradients
+  /// are reduced in chunk index order — results are reproducible at any
+  /// thread count (but differ from the sequential path in FP summation
+  /// order).
+  util::ThreadPool* pool = nullptr;
 };
 
 struct RiccTrainReport {
@@ -100,7 +114,9 @@ RiccTrainReport train_autoencoder(RiccModel& model,
 
 /// Stage 2 of the AICCA workflow: encode all tiles, run Ward clustering,
 /// and install the resulting centroids. Returns the clustering result.
-ClusterResult fit_centroids(RiccModel& model, std::span<const Tensor> tiles);
+/// A pool parallelises the encode fan-out and the Ward distance fill.
+ClusterResult fit_centroids(RiccModel& model, std::span<const Tensor> tiles,
+                            util::ThreadPool* pool = nullptr);
 
 /// Mean latent displacement under rotation, normalized by the mean pairwise
 /// latent distance (0 = perfectly invariant, ~1 = rotation moves a tile as

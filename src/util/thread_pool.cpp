@@ -1,5 +1,10 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 
 namespace mfw::util {
@@ -29,6 +34,92 @@ void ThreadPool::worker_loop() {
   while (auto task = queue_.pop()) {
     (*task)();
   }
+}
+
+namespace {
+// Dispatch state shared between the caller and its helper tasks. Held via
+// shared_ptr so a helper that the pool dequeues *after* the call returned
+// (possible when the caller finished every chunk itself) finds no work,
+// exits, and releases its reference — no dangling state, and no deadlock
+// when parallel_for is invoked from inside a pool task whose helpers can
+// never be scheduled.
+struct ParallelForState {
+  std::function<void(std::size_t, std::size_t)> fn;
+  std::size_t n = 0;
+  std::size_t chunk = 0;
+  std::size_t chunks = 0;
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t next = 0;       // next chunk index to claim
+  std::size_t in_flight = 0;  // chunks claimed but not yet finished
+  std::exception_ptr error;
+
+  // Claims and runs chunks until none are left (or a chunk threw).
+  void run() {
+    for (;;) {
+      std::size_t c;
+      {
+        std::lock_guard lock(mu);
+        if (next >= chunks || error) break;
+        c = next++;
+        ++in_flight;
+      }
+      const std::size_t begin = c * chunk;
+      const std::size_t end = std::min(n, begin + chunk);
+      try {
+        fn(begin, end);
+      } catch (...) {
+        std::lock_guard lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(mu);
+        --in_flight;
+      }
+      done_cv.notify_all();
+    }
+  }
+};
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (chunk == 0) throw std::invalid_argument("parallel_for: chunk must be > 0");
+  const std::size_t chunks = (n + chunk - 1) / chunk;
+  if (chunks == 1) {
+    fn(0, n);
+    return;
+  }
+
+  auto st = std::make_shared<ParallelForState>();
+  st->fn = fn;
+  st->n = n;
+  st->chunk = chunk;
+  st->chunks = chunks;
+
+  const std::size_t helpers = std::min(pool.thread_count(), chunks - 1);
+  for (std::size_t t = 0; t < helpers; ++t) {
+    if (!pool.submit([st] { st->run(); })) break;  // pool shut down
+  }
+
+  st->run();  // the calling thread is worker #0
+
+  // All chunks are claimed once st->run() returned; wait for the ones other
+  // threads still hold. Unscheduled helper tasks find nothing to claim.
+  std::unique_lock lock(st->mu);
+  st->done_cv.wait(lock, [&] { return st->in_flight == 0; });
+  if (st->error) std::rethrow_exception(st->error);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  const std::size_t ways = 4 * (pool.thread_count() + 1);
+  const std::size_t chunk = std::max<std::size_t>(1, (n + ways - 1) / ways);
+  parallel_for(pool, n, chunk,
+               [&fn](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) fn(i);
+               });
 }
 
 }  // namespace mfw::util

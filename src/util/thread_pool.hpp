@@ -38,4 +38,20 @@ class ThreadPool {
   std::vector<std::thread> workers_;
 };
 
+/// Runs fn(begin, end) over [0, n) in fixed chunks of `chunk` indices,
+/// fanning chunks out across `pool` while the calling thread works too (so a
+/// 1-thread pool, or one whose workers are busy, still makes progress).
+/// Blocks until every chunk has run. Chunk boundaries depend only on (n,
+/// chunk) — never on the pool's thread count — so callers that reduce
+/// per-chunk results in chunk index order get results that are reproducible
+/// at any thread count. If fn throws, remaining undispatched chunks are
+/// skipped and the first exception is rethrown on the caller.
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t chunk,
+                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// Per-index convenience: runs fn(i) for i in [0, n) with an automatically
+/// chosen chunk size (~4 chunks per pool thread for load balance).
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
 }  // namespace mfw::util

@@ -1,0 +1,239 @@
+// Equivalence and determinism tests for the fast ML substrate: GEMM vs
+// naive convolution (forward + backward), bitwise-reproducible batched
+// encode and data-parallel training across pool sizes, and cached-NN Ward
+// clustering against the full-rescan path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/cluster.hpp"
+#include "ml/kernels.hpp"
+#include "ml/layers.hpp"
+#include "ml/ricc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mfw::ml {
+namespace {
+
+// GEMM and naive conv accumulate in the same k-order, but FMA contraction
+// and ±0.0 padding terms allow tiny drift; compare with a relative bound.
+void expect_close(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float tol = 1e-4f * std::max(1.0f, std::abs(a[i]));
+    ASSERT_NEAR(a[i], b[i], tol) << what << " element " << i;
+  }
+}
+
+Tensor random_tensor(std::vector<int> shape, std::uint64_t seed) {
+  Tensor t(std::move(shape));
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = static_cast<float>(rng.normal());
+  return t;
+}
+
+struct NaiveGuard {
+  ~NaiveGuard() { kernels::set_use_naive(false); }
+};
+
+TEST(ConvKernels, GemmMatchesNaiveAcrossShapes) {
+  NaiveGuard guard;
+  const int in_c = 3, out_c = 4, in_h = 9, in_w = 11;
+  for (int kernel : {1, 3, 5}) {
+    for (int stride : {1, 2}) {
+      for (int pad : {0, 1, 2}) {
+        if (in_h + 2 * pad < kernel) continue;
+        util::Rng rng_a(42), rng_b(42);
+        Conv2d naive(in_c, out_c, kernel, stride, pad, rng_a);
+        Conv2d gemm(in_c, out_c, kernel, stride, pad, rng_b);
+        const Tensor x = random_tensor({in_c, in_h, in_w}, 7);
+
+        kernels::set_use_naive(true);
+        const Tensor y_naive = naive.forward(x);
+        kernels::set_use_naive(false);
+        const Tensor y_gemm = gemm.forward(x);
+        SCOPED_TRACE("kernel=" + std::to_string(kernel) +
+                     " stride=" + std::to_string(stride) +
+                     " pad=" + std::to_string(pad));
+        expect_close(y_naive, y_gemm, "forward");
+
+        const Tensor gy = random_tensor(y_naive.shape(), 13);
+        kernels::set_use_naive(true);
+        const Tensor gx_naive = naive.backward(gy);
+        kernels::set_use_naive(false);
+        const Tensor gx_gemm = gemm.backward(gy);
+        expect_close(gx_naive, gx_gemm, "grad_input");
+
+        const auto pa = naive.params();
+        const auto pb = gemm.params();
+        ASSERT_EQ(pa.size(), pb.size());
+        for (std::size_t p = 0; p < pa.size(); ++p)
+          expect_close(pa[p]->grad, pb[p]->grad, pa[p]->name.c_str());
+      }
+    }
+  }
+}
+
+TEST(ConvKernels, SgemmSmallCase) {
+  // 2x3 * 3x2 against hand-computed values, both accumulate modes.
+  const float a[] = {1, 2, 3, 4, 5, 6};
+  const float b[] = {7, 8, 9, 10, 11, 12};
+  float c[] = {1, 1, 1, 1};
+  kernels::sgemm(2, 2, 3, a, b, c, false);
+  EXPECT_FLOAT_EQ(c[0], 58);
+  EXPECT_FLOAT_EQ(c[1], 64);
+  EXPECT_FLOAT_EQ(c[2], 139);
+  EXPECT_FLOAT_EQ(c[3], 154);
+  kernels::sgemm(2, 2, 3, a, b, c, true);
+  EXPECT_FLOAT_EQ(c[0], 116);
+  EXPECT_FLOAT_EQ(c[3], 308);
+}
+
+RiccConfig tiny_config() {
+  RiccConfig config;
+  config.tile_size = 8;
+  config.channels = 2;
+  config.base_channels = 4;
+  config.conv_blocks = 2;
+  config.latent_dim = 6;
+  config.num_classes = 4;
+  config.seed = 11;
+  return config;
+}
+
+std::vector<Tensor> random_tiles(const RiccConfig& config, std::size_t n,
+                                 std::uint64_t seed) {
+  std::vector<Tensor> tiles;
+  tiles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    tiles.push_back(random_tensor(
+        {config.channels, config.tile_size, config.tile_size}, seed + i));
+  return tiles;
+}
+
+TEST(EncodeBatch, BitwiseIdenticalAcrossPoolSizes) {
+  RiccModel model(tiny_config());
+  const auto tiles = random_tiles(model.config(), 13, 100);
+  const auto sequential = model.encode_batch(tiles, nullptr);
+  ASSERT_EQ(sequential.size(), tiles.size());
+  for (std::size_t threads : {1u, 3u}) {
+    util::ThreadPool pool(threads);
+    const auto pooled = model.encode_batch(tiles, &pool);
+    ASSERT_EQ(pooled.size(), tiles.size());
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      ASSERT_EQ(pooled[i].shape(), sequential[i].shape());
+      for (std::size_t e = 0; e < pooled[i].size(); ++e)
+        ASSERT_EQ(pooled[i][e], sequential[i][e])
+            << "threads=" << threads << " tile=" << i << " elem=" << e;
+    }
+  }
+  // And both agree with the single-tile entry point.
+  const Tensor one = model.encode(tiles[0]);
+  for (std::size_t e = 0; e < one.size(); ++e)
+    ASSERT_EQ(one[e], sequential[0][e]);
+}
+
+TEST(ParallelTraining, DeterministicAcrossThreadCounts) {
+  const auto config = tiny_config();
+  const auto tiles = random_tiles(config, 12, 500);
+  RiccTrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 8;
+  options.rotations = 1;
+
+  auto train_with = [&](std::size_t threads) {
+    RiccModel model(config);
+    util::ThreadPool pool(threads);
+    options.pool = &pool;
+    train_autoencoder(model, tiles, options);
+    std::vector<float> weights;
+    for (Param* p : model.encoder().params())
+      weights.insert(weights.end(), p->value.data(),
+                     p->value.data() + p->value.size());
+    for (Param* p : model.decoder().params())
+      weights.insert(weights.end(), p->value.data(),
+                     p->value.data() + p->value.size());
+    return weights;
+  };
+
+  const auto w1 = train_with(1);
+  const auto w3 = train_with(3);
+  ASSERT_EQ(w1.size(), w3.size());
+  for (std::size_t i = 0; i < w1.size(); ++i)
+    ASSERT_EQ(w1[i], w3[i]) << "weight " << i;
+}
+
+TEST(ObsIntegration, EncodeEmitsSpanAndTileCounter) {
+  auto& rec = obs::TraceRecorder::instance();
+  auto& metrics = obs::MetricsRegistry::instance();
+  rec.clear();
+  metrics.clear();
+  rec.set_enabled(true);
+  metrics.set_enabled(true);
+
+  RiccModel model(tiny_config());
+  const auto tiles = random_tiles(model.config(), 3, 900);
+  model.encode_batch(tiles, nullptr);
+  model.encode(tiles[0]);
+
+  rec.set_enabled(false);
+  metrics.set_enabled(false);
+  EXPECT_DOUBLE_EQ(metrics.counter("mfw.ml.encode_tiles_total"), 4.0);
+  bool saw_encode_span = false;
+  for (const auto& span : rec.spans())
+    if (span.name == "ml.encode" && span.closed()) saw_encode_span = true;
+  EXPECT_TRUE(saw_encode_span);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+  rec.clear();
+  metrics.clear();
+}
+
+TEST(ObsIntegration, TrainingEmitsEpochSpans) {
+  auto& rec = obs::TraceRecorder::instance();
+  rec.clear();
+  rec.set_enabled(true);
+
+  RiccModel model(tiny_config());
+  const auto tiles = random_tiles(model.config(), 6, 950);
+  RiccTrainOptions options;
+  options.epochs = 2;
+  options.batch_size = 4;
+  options.rotations = 0;
+  train_autoencoder(model, tiles, options);
+
+  rec.set_enabled(false);
+  std::size_t epoch_spans = 0;
+  for (const auto& span : rec.spans())
+    if (span.name == "ml.train.epoch" && span.closed()) ++epoch_spans;
+  EXPECT_EQ(epoch_spans, 2u);
+  rec.clear();
+}
+
+TEST(WardCachedNN, MatchesFullRescan) {
+  NaiveGuard guard;
+  const std::size_t n = 200, d = 5;
+  util::Rng rng(3);
+  std::vector<float> data(n * d);
+  for (auto& v : data) v = static_cast<float>(rng.normal());
+
+  kernels::set_use_naive(true);
+  const ClusterResult naive = agglomerative_ward(data, n, d, 7);
+  kernels::set_use_naive(false);
+  const ClusterResult cached = agglomerative_ward(data, n, d, 7);
+  ASSERT_EQ(naive.labels, cached.labels);
+  for (std::size_t i = 0; i < naive.centroids.size(); ++i)
+    ASSERT_EQ(naive.centroids[i], cached.centroids[i]);
+
+  // The parallel distance fill changes nothing about the merge sequence.
+  util::ThreadPool pool(3);
+  const ClusterResult pooled = agglomerative_ward(data, n, d, 7, &pool);
+  ASSERT_EQ(naive.labels, pooled.labels);
+}
+
+}  // namespace
+}  // namespace mfw::ml

@@ -269,6 +269,67 @@ TEST(ThreadPool, SubmitAfterShutdownFails) {
   EXPECT_FALSE(pool.submit([] {}));
 }
 
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ChunkedOverloadSeesContiguousRanges) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  parallel_for(pool, 103, 10, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    EXPECT_LE(end, 103u);
+    EXPECT_EQ(begin % 10, 0u);  // boundaries depend only on (n, chunk)
+    total += end - begin;
+  });
+  EXPECT_EQ(total.load(), 103u);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, OneThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  parallel_for(pool, 57, 4, [&](std::size_t begin, std::size_t end) {
+    counter += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(counter.load(), 57);
+}
+
+TEST(ParallelFor, WorksAfterPoolShutdown) {
+  ThreadPool pool(2);
+  pool.shutdown();  // submit() now fails; the caller runs every chunk itself
+  std::atomic<int> counter{0};
+  parallel_for(pool, 20, 3, [&](std::size_t begin, std::size_t end) {
+    counter += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(pool, 100, 1,
+                   [&](std::size_t begin, std::size_t) {
+                     if (begin == 42) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, RejectsZeroChunk) {
+  ThreadPool pool(1);
+  EXPECT_THROW(parallel_for(pool, 5, 0, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+}
+
 TEST(Table, RendersAlignedAndCsv) {
   Table t({"a", "longer"});
   t.add_row({"1", "2"});

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the fast-ML-substrate micro benchmarks (bench/micro_kernels) and
+# snapshots the numbers into BENCH_kernels.json at the repo root, so kernel
+# regressions show up as a diff. google-benchmark's own --benchmark_format=json
+# is the payload; we just pin the output location and repetition settings.
+#
+# Usage: tools/bench_kernels.sh [build-dir] [out-json]
+#        (defaults: build, BENCH_kernels.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+out_json="${2:-"${repo_root}/BENCH_kernels.json"}"
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_kernels
+
+"${build_dir}/bench/micro_kernels" \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${out_json}" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+echo "wrote ${out_json}"

@@ -5,11 +5,17 @@
 # callback-heavy code where lifetime bugs hide; this catches them before they
 # reach a barrier-mode reproduction run.
 #
-# Usage: tools/ci_sanitize.sh [build-dir]   (default: build-sanitize)
+# A second ThreadSanitizer build (TSan cannot coexist with ASan) covers the
+# thread-pool data-parallel ML paths: parallel_for, encode_batch replicas,
+# and the chunked gradient reduction.
+#
+# Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
+#        (defaults: build-sanitize, build-tsan)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build-sanitize"}"
+tsan_dir="${2:-"${repo_root}/build-tsan"}"
 
 export ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1:detect_stack_use_after_return=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
@@ -18,3 +24,12 @@ cmake -B "${build_dir}" -S "${repo_root}" -DMFW_SANITIZE=ON \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${build_dir}" -j "$(nproc)"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+
+cmake -B "${tsan_dir}" -S "${repo_root}" -DMFW_TSAN=ON \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${tsan_dir}" -j "$(nproc)" --target \
+      ml_test ml_tensor_test ml_train_test ml_cluster_test ml_continual_test \
+      util_test
+ctest --test-dir "${tsan_dir}" -R '^(ml_|util_)' --output-on-failure
