@@ -9,29 +9,36 @@
 
 namespace mfw::benchx {
 
-std::vector<FileWorkload> daytime_files(std::size_t count, int start_day,
-                                        std::uint64_t seed) {
-  modis::GranuleGenerator generator(seed);
-  std::vector<FileWorkload> files;
-  files.reserve(count);
-  for (int day = start_day; files.size() < count && day <= 366; ++day) {
-    for (int slot = 0; slot < modis::kSlotsPerDay && files.size() < count;
-         ++slot) {
-      modis::GranuleSpec spec;
-      spec.day_of_year = day;
-      spec.slot = slot;
-      spec.geometry = modis::kFullGeometry;
-      spec.world_seed = seed;
-      const auto stats = modis::estimate_granule_stats(generator, spec);
-      if (!stats.daytime || stats.selected_tiles == 0) continue;
+DaytimeFileSource::DaytimeFileSource(int start_day, std::uint64_t seed)
+    : generator_(seed), seed_(seed), day_(start_day) {}
+
+const std::vector<FileWorkload>& DaytimeFileSource::take(std::size_t count) {
+  while (files_.size() < count && day_ <= 366) {
+    modis::GranuleSpec spec;
+    spec.day_of_year = day_;
+    spec.slot = slot_;
+    spec.geometry = modis::kFullGeometry;
+    spec.world_seed = seed_;
+    const auto stats = modis::estimate_granule_stats(generator_, spec);
+    if (stats.daytime && stats.selected_tiles > 0) {
       FileWorkload file;
       file.id = modis::GranuleId{modis::ProductKind::kMod02,
-                                 modis::Satellite::kTerra, 2022, day, slot};
+                                 modis::Satellite::kTerra, 2022, day_, slot_};
       file.tiles = stats.selected_tiles;
-      files.push_back(file);
+      files_.push_back(file);
+    }
+    if (++slot_ >= modis::kSlotsPerDay) {
+      slot_ = 0;
+      ++day_;
     }
   }
-  return files;
+  return files_;
+}
+
+std::vector<FileWorkload> daytime_files(std::size_t count, int start_day,
+                                        std::uint64_t seed) {
+  DaytimeFileSource source(start_day, seed);
+  return source.take(count);
 }
 
 FarmResult run_preprocess_farm(int nodes, int workers_per_node,

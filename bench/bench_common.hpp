@@ -23,6 +23,28 @@ struct FileWorkload {
 std::vector<FileWorkload> daytime_files(std::size_t count, int start_day = 1,
                                         std::uint64_t seed = 2022);
 
+/// Incremental variant of daytime_files: take(n) returns the same list
+/// daytime_files(n, start_day, seed) would, but repeated calls with growing
+/// n resume the day/slot scan where the previous call stopped instead of
+/// re-estimating the whole prefix (the granule statistics are pure functions
+/// of (seed, day, slot), so resuming is exact). Grow-until-N loops go from
+/// quadratic to linear in the final list length.
+class DaytimeFileSource {
+ public:
+  explicit DaytimeFileSource(int start_day = 1, std::uint64_t seed = 2022);
+
+  /// Extends the list to (up to) `count` files and returns it; the reference
+  /// stays valid until the next call. Never shrinks.
+  const std::vector<FileWorkload>& take(std::size_t count);
+
+ private:
+  modis::GranuleGenerator generator_;
+  std::uint64_t seed_;
+  int day_;
+  int slot_ = 0;
+  std::vector<FileWorkload> files_;
+};
+
 struct FarmResult {
   double makespan = 0.0;     // seconds (virtual) to process all files
   double tiles = 0.0;        // total tiles produced

@@ -36,17 +36,20 @@ int main(int argc, char** argv) {
   util::Table table({"iteration", "files", "tiles", "time (s)", "tiles/s"});
   std::vector<double> times;
   for (int iteration = 0; iteration < 5; ++iteration) {
-    // Grow the file list until the tile total reaches 12,000.
-    std::vector<benchx::FileWorkload> files;
+    // Grow the file list until the tile total reaches 12,000; the source
+    // extends the existing prefix in place, so each +8 step only estimates
+    // the newly scanned granules.
+    benchx::DaytimeFileSource source(1 + iteration);
     std::size_t request = 96;
     long tiles = 0;
+    std::size_t counted = 0;
     while (true) {
-      files = benchx::daytime_files(request, 1 + iteration);
-      tiles = 0;
-      for (const auto& f : files) tiles += f.tiles;
-      if (tiles >= 12000 || files.size() < request) break;
+      const auto& grown = source.take(request);
+      for (; counted < grown.size(); ++counted) tiles += grown[counted].tiles;
+      if (tiles >= 12000 || grown.size() < request) break;
       request += 8;
     }
+    std::vector<benchx::FileWorkload> files = source.take(request);
     // Trim overshoot from the tail.
     while (!files.empty() && tiles - files.back().tiles >= 12000) {
       tiles -= files.back().tiles;

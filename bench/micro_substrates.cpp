@@ -9,6 +9,7 @@
 #include "modis/catalog.hpp"
 #include "preprocess/tiler.hpp"
 #include "sim/engine.hpp"
+#include "sim/link.hpp"
 #include "sim/resource.hpp"
 #include "storage/ncl.hpp"
 #include "util/crc32.hpp"
@@ -30,7 +31,7 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events) *
                           state.iterations());
 }
-BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_SharedResourceChurn(benchmark::State& state) {
   const auto jobs = static_cast<std::size_t>(state.range(0));
@@ -45,7 +46,27 @@ void BM_SharedResourceChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(jobs) * state.iterations());
 }
-BENCHMARK(BM_SharedResourceChurn)->Arg(64)->Arg(512);
+BENCHMARK(BM_SharedResourceChurn)->Arg(64)->Arg(512)->Arg(100000);
+
+void BM_FlowLinkChurn(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::SimEngine engine;
+    sim::FlowLink link(engine, "wan", 23.5 * 1024 * 1024);
+    util::Rng rng(7);
+    for (std::size_t i = 0; i < flows; ++i) {
+      // Mixed regime: some flows sit below the fair share (capped), the rest
+      // split the trunk — both sides of the water-filling partition churn.
+      const double cap = rng.uniform(0.5, 12.0) * 1024 * 1024;
+      link.start_flow(rng.uniform(1.0, 64.0) * 1024 * 1024, cap, [](double) {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(link.active_flows());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(flows) *
+                          state.iterations());
+}
+BENCHMARK(BM_FlowLinkChurn)->Arg(64)->Arg(512)->Arg(100000);
 
 void BM_TaskFarm(benchmark::State& state) {
   const int tasks = static_cast<int>(state.range(0));

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/log.hpp"
+#include "util/strings.hpp"
 
 namespace mfw::flow {
 
@@ -43,11 +44,34 @@ void FsMonitor::poll() {
   if (!running_) return;
   ++polls_;
   std::vector<storage::FileInfo> fresh;
-  for (const auto& info : fs_.list(config_.pattern)) {
-    const auto it = seen_.find(info.path);
-    if (it == seen_.end() || it->second != info.mtime) {
-      seen_[info.path] = info.mtime;
-      fresh.push_back(info);
+  if (fs_.supports_journal()) {
+    // Incremental path: replay the writes recorded since the last poll,
+    // keeping only the latest entry per path (a path rewritten twice between
+    // polls triggers once, as in a full scan) and dropping paths that were
+    // removed again before we looked. The std::map keeps the batch
+    // path-sorted, matching list() order.
+    std::vector<storage::FileInfo> entries;
+    cursor_ = fs_.journal_since(cursor_, entries);
+    std::map<std::string, storage::FileInfo> latest;
+    for (auto& info : entries) {
+      if (!util::glob_match(config_.pattern, info.path)) continue;
+      latest[info.path] = std::move(info);
+    }
+    for (auto& [path, info] : latest) {
+      if (!fs_.exists(path)) continue;
+      const auto it = seen_.find(path);
+      if (it == seen_.end() || it->second != info.mtime) {
+        seen_[path] = info.mtime;
+        fresh.push_back(std::move(info));
+      }
+    }
+  } else {
+    for (const auto& info : fs_.list(config_.pattern)) {
+      const auto it = seen_.find(info.path);
+      if (it == seen_.end() || it->second != info.mtime) {
+        seen_[info.path] = info.mtime;
+        fresh.push_back(info);
+      }
     }
   }
   if (!fresh.empty()) {

@@ -106,6 +106,8 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
     config.tiler.min_cloud_fraction = pp["min_cloud_fraction"].as_double_or(
         config.tiler.min_cloud_fraction);
     config.slurm_latency = pp["slurm_latency"].as_double_or(config.slurm_latency);
+    config.preprocess_walltime =
+        pp["walltime"].as_double_or(config.preprocess_walltime);
   }
 
   const auto& mon = root["monitor"];
@@ -114,6 +116,8 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
         mon["poll_interval"].as_double_or(config.poll_interval);
     config.flow_action_overhead =
         mon["action_overhead"].as_double_or(config.flow_action_overhead);
+    config.retain_provenance =
+        mon["retain_provenance"].as_bool_or(config.retain_provenance);
   }
 
   const auto& inf = root["inference"];
@@ -190,6 +194,8 @@ void EomlConfig::validate() const {
     throw std::invalid_argument("config: link capacities must be > 0");
   if (!(poll_interval > 0))
     throw std::invalid_argument("config: poll_interval must be > 0");
+  if (!(preprocess_walltime > 0))
+    throw std::invalid_argument("config: preprocess_walltime must be > 0");
   if (span.first_day < 1 || span.last_day < span.first_day || span.last_day > 366)
     throw std::invalid_argument("config: invalid day span");
   if (materialize &&

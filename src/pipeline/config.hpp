@@ -66,6 +66,10 @@ struct EomlConfig {
   preprocess::TilerOptions tiler{};
   preprocess::PreprocessCostModel preprocess_cost{};
   double slurm_latency = 1.5;
+  /// Walltime requested for the static preprocess allocation. The default
+  /// covers the paper's single-week runs; archive-scale campaigns must raise
+  /// it or the allocation expires mid-run.
+  double preprocess_walltime = 7 * 24 * 3600.0;
 
   // -- facility characteristics (defaults: OLCF ACE Defiant) ------------------
   /// Total nodes in the facility's batch partition.
@@ -78,6 +82,10 @@ struct EomlConfig {
   // -- monitor & trigger -----------------------------------------------------
   double poll_interval = 1.0;
   double flow_action_overhead = 0.05;
+  /// Keep per-flow-run provenance records in the final report. Disable for
+  /// archive-scale campaigns where the O(runs) record list dominates memory
+  /// and only the aggregate report matters.
+  bool retain_provenance = true;
 
   // -- inference stage -------------------------------------------------------
   int inference_workers = 1;

@@ -145,7 +145,7 @@ EomlWorkflow::EomlWorkflow(EomlConfig config)
                             std::make_unique<sim::SaturatingExpLaw>(r, tau));
                       }),
       shipper_(engine_, facility_link_),
-      runner_(engine_, &provenance_,
+      runner_(engine_, config_.retain_provenance ? &provenance_ : nullptr,
               flow::FlowRunnerConfig{config_.flow_action_overhead, 1'000'000}),
       inference_flow_(build_inference_flow()) {
   config_.validate();
@@ -318,7 +318,7 @@ void EomlWorkflow::request_preprocess_nodes(std::function<void()> on_nodes) {
     if (on_nodes) on_nodes();
   } else {
     preprocess_job_ = slurm_.submit(
-        config_.preprocess_nodes, /*walltime=*/7 * 24 * 3600.0,
+        config_.preprocess_nodes, config_.preprocess_walltime,
         [this, on_nodes = std::move(on_nodes)](
             const compute::SlurmAllocation& alloc) {
           report_.slurm_allocation_latency = engine_.now() - slurm_request_time_;

@@ -3,29 +3,93 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/substrate.hpp"
+
 namespace mfw::sim {
+
+namespace {
+// Below this heap size compaction is not worth the pass; also keeps the
+// dead-fraction trigger from thrashing on tiny queues.
+constexpr std::size_t kMinCompactSize = 64;
+}  // namespace
+
+SimEngine::SimEngine() : naive_(substrate::use_naive()) {}
+
+void SimEngine::heap_push(QueueEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void SimEngine::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  heap_.pop_back();
+}
 
 EventHandle SimEngine::schedule_at(double t, Callback fn) {
   const double when = std::max(t, now_);
-  const std::uint64_t id = next_id_++;
-  queue_.push(QueueEntry{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return EventHandle{id};
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.live = true;
+  ++live_;
+  heap_push(QueueEntry{when, next_seq_++, slot, s.gen});
+  return EventHandle{static_cast<std::uint64_t>(slot) + 1, s.gen};
 }
 
 EventHandle SimEngine::schedule_after(double dt, Callback fn) {
   return schedule_at(now_ + std::max(dt, 0.0), std::move(fn));
 }
 
+SimEngine::Callback SimEngine::take(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  Callback fn = std::move(s.fn);
+  s.fn = nullptr;
+  s.live = false;
+  ++s.gen;  // invalidates every outstanding handle to this slot
+  --live_;
+  free_.push_back(slot);
+  return fn;
+}
+
 void SimEngine::cancel(EventHandle handle) {
-  if (handle.valid()) callbacks_.erase(handle.id);
+  if (!handle.valid()) return;
+  const std::uint64_t index = handle.id - 1;
+  if (index >= slots_.size()) return;
+  Slot& s = slots_[index];
+  if (!s.live || s.gen != handle.gen) return;  // fired/cancelled/reused
+  take(static_cast<std::uint32_t>(index));
+  ++dead_;  // the heap entry outlives the event until popped or compacted
+  maybe_compact();
+}
+
+void SimEngine::maybe_compact() {
+  // Naive-substrate mode reproduces the original engine: cancelled entries
+  // linger until their timestamps surface.
+  if (naive_) return;
+  if (heap_.size() < kMinCompactSize || dead_ * 2 <= heap_.size()) return;
+  std::erase_if(heap_, [this](const QueueEntry& e) {
+    const Slot& s = slots_[e.slot];
+    return !s.live || s.gen != e.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  dead_ = 0;
+  ++compactions_;
 }
 
 bool SimEngine::pop_next(QueueEntry& out) {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    if (callbacks_.find(entry.id) == callbacks_.end()) {
-      queue_.pop();  // cancelled; skip lazily
+  while (!heap_.empty()) {
+    const QueueEntry& entry = heap_.front();
+    const Slot& s = slots_[entry.slot];
+    if (!s.live || s.gen != entry.gen) {
+      heap_pop();  // cancelled; skip lazily
+      if (dead_ > 0) --dead_;
       continue;
     }
     out = entry;
@@ -37,11 +101,11 @@ bool SimEngine::pop_next(QueueEntry& out) {
 bool SimEngine::step() {
   QueueEntry entry;
   if (!pop_next(entry)) return false;
-  queue_.pop();
-  auto node = callbacks_.extract(entry.id);
+  heap_pop();
+  Callback fn = take(entry.slot);
   now_ = entry.time;
   ++processed_;
-  node.mapped()();
+  fn();
   return true;
 }
 
@@ -55,12 +119,12 @@ std::size_t SimEngine::run_until(double t) {
   std::size_t n = 0;
   QueueEntry entry;
   while (pop_next(entry) && entry.time <= t) {
-    queue_.pop();
-    auto node = callbacks_.extract(entry.id);
+    heap_pop();
+    Callback fn = take(entry.slot);
     now_ = entry.time;
     ++processed_;
     ++n;
-    node.mapped()();
+    fn();
   }
   now_ = std::max(now_, t);
   return n;

@@ -6,8 +6,27 @@
 // node's shared substrate (filesystem + memory bandwidth) as a resource that
 // serves all active tasks at an aggregate rate R(n) given by a pluggable
 // ContentionLaw, divided evenly among the n active tasks (processor
-// sharing). Completion times are re-derived whenever occupancy changes —
-// standard PS simulation.
+// sharing).
+//
+// Two implementations share this interface (selected at construction via
+// sim::substrate::use_naive(), env MFW_SIM_NAIVE_SUBSTRATE):
+//   naive — remaining demand stored per job; every occupancy change walks
+//           all n jobs (advance) and rescans for the minimum (reschedule):
+//           O(n) per event, O(n^2) per drained batch. Kept as the oracle.
+//   fast  — virtual-service-time transformation (DESIGN.md §9): track the
+//           cumulative per-job service credit S(t); a job with demand d
+//           submitted at credit S finishes when the credit reaches S + d.
+//           An ordered set on finish credit gives O(log n) submit/cancel and
+//           O(1) advance; completions pop from the front.
+//
+// The fast implementation keeps the naive per-job arithmetic while occupancy
+// stays below a small cutover (bounded, so still O(1) per event) and switches
+// to the virtual-time structures when occupancy reaches it, reverting when
+// the resource drains. The credit rebases to 0 at the switch, so conversion
+// is exact; below the cutover the fast path is bit-for-bit identical to the
+// naive oracle (reassociating the credit sums is not), which keeps every
+// calibrated workflow run reproducible while the 1e5-job regime gets the
+// O(log n) structures.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +34,8 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "sim/engine.hpp"
 
@@ -93,7 +114,7 @@ class SharedResource {
   /// Cancels an in-flight job (its callback never fires). No-op when done.
   void cancel(ResourceJobId id);
 
-  std::size_t active() const { return jobs_.size(); }
+  std::size_t active() const { return jobs_.size() + by_finish_.size(); }
   const ContentionLaw& law() const { return *law_; }
 
   /// Number of jobs completed so far (for telemetry).
@@ -104,20 +125,42 @@ class SharedResource {
     double remaining;
     std::function<void()> on_complete;
   };
+  /// Ordered on (finish credit, id): the front is always the next completion,
+  /// and equal-credit ties resolve to the lowest id (matching the naive
+  /// implementation's id-ordered scan).
+  using FinishKey = std::pair<double, std::uint64_t>;
 
-  /// Applies service delivered since last_update_ to all jobs.
+  /// Applies service delivered since last_update_ (exact regime: walks all
+  /// jobs; virtual regime: bumps the credit accumulator).
   void advance();
   /// Schedules (or re-schedules) the completion event of the soonest job.
   void reschedule();
   void on_event();
+  double per_job_rate(std::size_t active) const;
+  /// Moves every resident job from the exact per-job representation into the
+  /// virtual-time structures (credit rebased to 0, so residuals are exact).
+  void convert_to_virtual();
 
   SimEngine& engine_;
   std::unique_ptr<ContentionLaw> law_;
-  std::map<std::uint64_t, Job> jobs_;
+  const bool naive_;
+  /// True while the virtual-time structures are authoritative; always false
+  /// in naive mode and in the fast path's small-occupancy exact regime.
+  bool virtual_mode_ = false;
   std::uint64_t next_id_ = 1;
   double last_update_ = 0.0;
   std::size_t completed_jobs_ = 0;
   EventHandle pending_event_{};
+
+  // -- exact (per-job residual) state ----------------------------------------
+  std::map<std::uint64_t, Job> jobs_;
+
+  // -- virtual-service-time state --------------------------------------------
+  /// Cumulative per-job service since the virtual regime was entered (the
+  /// drain rebases it to 0, bounding cancellation error at large times).
+  double credit_ = 0.0;
+  std::map<FinishKey, std::function<void()>> by_finish_;
+  std::unordered_map<std::uint64_t, double> finish_of_;  // id -> finish credit
 };
 
 }  // namespace mfw::sim

@@ -1,0 +1,23 @@
+#include "sim/substrate.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mfw::sim::substrate {
+
+namespace {
+std::atomic<bool>& naive_flag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("MFW_SIM_NAIVE_SUBSTRATE");
+    return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  }();
+  return flag;
+}
+}  // namespace
+
+bool use_naive() { return naive_flag().load(std::memory_order_relaxed); }
+void set_use_naive(bool on) {
+  naive_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace mfw::sim::substrate

@@ -1,0 +1,23 @@
+// Runtime switch between the fast simulation substrates and the original
+// (naive) reference implementations.
+//
+// The fast paths — slab/heap event engine with queue compaction, the
+// virtual-service-time SharedResource, and the incremental water-filling
+// FlowLink — replace O(n) per-event state walks with O(log n) structures
+// (see DESIGN.md §9 "Substrate complexity"). The originals are kept verbatim
+// as an equivalence oracle: set MFW_SIM_NAIVE_SUBSTRATE=1 (or call
+// set_use_naive) to run every SimEngine/SharedResource/FlowLink constructed
+// afterwards on the reference algorithms. Mirrors MFW_ML_NAIVE_KERNELS.
+//
+// The flag is sampled at construction, so a naive and a fast instance can
+// coexist in one process (the equivalence tests rely on this).
+#pragma once
+
+namespace mfw::sim::substrate {
+
+/// True when new substrate instances should use the naive reference
+/// implementations (env MFW_SIM_NAIVE_SUBSTRATE, overridable at runtime).
+bool use_naive();
+void set_use_naive(bool on);
+
+}  // namespace mfw::sim::substrate

@@ -51,6 +51,28 @@ class FileSystem {
 
   virtual std::string name() const = 0;
 
+  // -- Write journal ---------------------------------------------------------
+  // Backends that record every create/replace/rename-target can hand pollers
+  // an O(new entries) delta instead of an O(all files) list() scan — the
+  // difference between a feasible and an infeasible year-long campaign for
+  // the flow monitor. Entries are ordered, never reordered, and survive until
+  // the filesystem dies; a cursor of 0 replays the filesystem's whole life.
+
+  /// Opaque monotone position in the write journal.
+  using JournalCursor = std::uint64_t;
+
+  /// True when this filesystem records a write journal.
+  virtual bool supports_journal() const { return false; }
+
+  /// Appends every entry recorded after `cursor` to `out` (in write order;
+  /// a path may appear multiple times, latest entry last) and returns the
+  /// cursor at the journal's end. No-op on backends without a journal.
+  virtual JournalCursor journal_since(JournalCursor cursor,
+                                      std::vector<FileInfo>& out) const {
+    (void)out;
+    return cursor;
+  }
+
   // -- Convenience helpers ---------------------------------------------------
   void write_text(std::string_view path, std::string_view text);
   std::string read_text(std::string_view path) const;

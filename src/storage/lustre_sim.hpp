@@ -38,6 +38,12 @@ class LustreSimFs final : public FileSystem {
   void rename(std::string_view from, std::string_view to) override;
   std::string name() const override;
 
+  bool supports_journal() const override { return inner_.supports_journal(); }
+  JournalCursor journal_since(JournalCursor cursor,
+                              std::vector<FileInfo>& out) const override {
+    return inner_.journal_since(cursor, out);
+  }
+
   double aggregate_bandwidth() const { return aggregate_bandwidth_; }
 
   std::uint64_t bytes_written() const { return bytes_written_; }

@@ -39,6 +39,7 @@ void MemFs::write_file(std::string_view path, std::span<const std::byte> data) {
     entry.data.assign(data.begin(), data.end());
     entry.mtime = stamp();
     info = FileInfo{std::string(path), entry.data.size(), entry.mtime};
+    journal_.push_back(info);
   }
   for (const auto& cb : write_callbacks_) cb(info);
 }
@@ -87,7 +88,18 @@ void MemFs::rename(std::string_view from, std::string_view to) {
     throw std::runtime_error(name_ + ": no such file: " + std::string(from));
   auto node = files_.extract(it);
   node.key() = std::string(to);
+  const double mtime = node.mapped().mtime;
+  const std::uint64_t size = node.mapped().data.size();
   files_.insert_or_assign(std::string(to), std::move(node.mapped()));
+  journal_.push_back(FileInfo{std::string(to), size, mtime});
+}
+
+FileSystem::JournalCursor MemFs::journal_since(JournalCursor cursor,
+                                               std::vector<FileInfo>& out) const {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = cursor; i < journal_.size(); ++i)
+    out.push_back(journal_[i]);
+  return journal_.size();
 }
 
 void MemFs::on_write(std::function<void(const FileInfo&)> callback) {

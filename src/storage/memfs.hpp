@@ -27,6 +27,10 @@ class MemFs final : public FileSystem {
   void rename(std::string_view from, std::string_view to) override;
   std::string name() const override { return name_; }
 
+  bool supports_journal() const override { return true; }
+  JournalCursor journal_since(JournalCursor cursor,
+                              std::vector<FileInfo>& out) const override;
+
   /// Registers a callback invoked (outside the internal lock) after each file
   /// create/replace. Used by event-driven tests; the production monitor polls.
   void on_write(std::function<void(const FileInfo&)> callback);
@@ -44,6 +48,7 @@ class MemFs final : public FileSystem {
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> files_;
   double counter_ = 0.0;
+  std::vector<FileInfo> journal_;  // every create/replace/rename-target
   std::vector<std::function<void(const FileInfo&)>> write_callbacks_;
 };
 

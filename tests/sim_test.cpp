@@ -1,16 +1,35 @@
 // Unit tests for the discrete-event engine, contention laws, the
-// processor-sharing SharedResource, and the water-filling FlowLink.
+// processor-sharing SharedResource, and the water-filling FlowLink — plus
+// randomized equivalence checks of the fast substrates against the naive
+// reference implementations (DESIGN.md §9).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/clock.hpp"
 #include "sim/engine.hpp"
 #include "sim/link.hpp"
 #include "sim/resource.hpp"
+#include "sim/substrate.hpp"
+#include "util/rng.hpp"
 
 namespace mfw::sim {
 namespace {
+
+/// Forces the substrate flag for the lifetime of a test, restoring the
+/// ambient value (which MFW_SIM_NAIVE_SUBSTRATE may have set) afterwards.
+class SubstrateGuard {
+ public:
+  explicit SubstrateGuard(bool naive) : prev_(substrate::use_naive()) {
+    substrate::set_use_naive(naive);
+  }
+  ~SubstrateGuard() { substrate::set_use_naive(prev_); }
+ private:
+  bool prev_;
+};
 
 TEST(SimEngine, ExecutesInTimeOrder) {
   SimEngine engine;
@@ -277,6 +296,193 @@ TEST(FlowLink, ManyStaggeredFlowsAllComplete) {
   }
   engine.run();
   EXPECT_EQ(completed, 100);
+}
+
+// -- slab engine internals ---------------------------------------------------
+
+TEST(SimEngine, FifoPreservedAcrossCompaction) {
+  // Cancel enough events to trigger heap compaction while a batch of
+  // simultaneous events is still pending; compaction must not perturb the
+  // (time, seq) FIFO order of the survivors.
+  SubstrateGuard guard(false);
+  SimEngine engine;
+  std::vector<EventHandle> doomed;
+  for (int i = 0; i < 150; ++i)
+    doomed.push_back(engine.schedule_at(1.0, [] { FAIL(); }));
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    engine.schedule_at(2.0, [&, i] { order.push_back(i); });
+  for (const auto& h : doomed) engine.cancel(h);
+  EXPECT_GT(engine.compactions(), 0u);
+  engine.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(engine.dead_entries(), 0u);
+}
+
+TEST(SimEngine, DoubleCancelAndStaleHandleAreNoOps) {
+  SubstrateGuard guard(false);
+  SimEngine engine;
+  bool a_fired = false, b_fired = false;
+  const auto ha = engine.schedule_at(1.0, [&] { a_fired = true; });
+  engine.cancel(ha);
+  engine.cancel(ha);  // double cancel: no-op
+  // The cancelled slot is recycled; the stale handle carries the old
+  // generation and must not be able to cancel the slot's new tenant.
+  const auto hb = engine.schedule_at(1.0, [&] { b_fired = true; });
+  EXPECT_EQ(ha.id, hb.id);   // slot actually reused (free-list LIFO)
+  EXPECT_NE(ha.gen, hb.gen); // ...under a new generation
+  engine.cancel(ha);
+  engine.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(SimEngine, StaleHandleAfterFireIsNoOp) {
+  SubstrateGuard guard(false);
+  SimEngine engine;
+  int fired = 0;
+  const auto ha = engine.schedule_at(0.5, [&] { ++fired; });
+  engine.run_until(1.0);
+  EXPECT_EQ(fired, 1);
+  const auto hb = engine.schedule_at(2.0, [&] { ++fired; });
+  engine.cancel(ha);  // fired long ago; must not touch hb's reused slot
+  engine.run();
+  EXPECT_EQ(fired, 2);
+  (void)hb;
+}
+
+TEST(SimEngine, DeadEntriesStayBoundedUnderCancelStorm) {
+  // Cancel-heavy stress: two of every three events are cancelled before they
+  // fire. Lazy cancellation plus compaction must keep the dead fraction of
+  // the heap bounded (dead <= live once the heap is past the minimum
+  // compaction size) instead of letting cancelled entries accumulate.
+  SubstrateGuard guard(false);
+  SimEngine engine;
+  util::Rng rng(17);
+  for (int round = 0; round < 4; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 5000; ++i)
+      handles.push_back(engine.schedule_at(rng.uniform(0.0, 1e6), [] {}));
+    for (std::size_t i = 0; i < handles.size(); ++i)
+      if (i % 3 != 0) engine.cancel(handles[i]);
+    EXPECT_LE(engine.dead_entries(), engine.pending() + 64);
+  }
+  EXPECT_GT(engine.compactions(), 0u);
+  engine.run();
+  EXPECT_EQ(engine.dead_entries(), 0u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+// -- fast vs naive equivalence ----------------------------------------------
+// The fast substrates must be behaviourally indistinguishable from the naive
+// oracles: identical completion order, timestamps equal to ~1e-9 relative.
+// Occupancy is pushed past the virtual cutover (64) so the virtual-time
+// regime — not just the exact small-occupancy regime — is exercised.
+
+struct Completion {
+  int index;
+  double time;
+  double bps;  // FlowLink only
+};
+
+std::vector<Completion> run_resource_scenario(bool naive) {
+  SubstrateGuard guard(naive);
+  SimEngine engine;
+  SharedResource res(engine, std::make_unique<SaturatingExpLaw>(38.5, 3.1));
+  util::Rng rng(23);
+  constexpr int kJobs = 200;
+  std::vector<Completion> done;
+  std::vector<ResourceJobId> ids(kJobs);
+  for (int i = 0; i < kJobs; ++i) {
+    const double demand = rng.uniform(0.5, 20.0);
+    engine.schedule_at(i * 0.05, [&, i, demand] {
+      ids[static_cast<std::size_t>(i)] =
+          res.submit(demand, [&, i] { done.push_back({i, engine.now(), 0.0}); });
+    });
+    if (i % 9 == 0) {
+      // Some cancels land after the job already completed — both substrates
+      // must treat those as no-ops.
+      engine.schedule_at(i * 0.05 + 0.7, [&, i] {
+        res.cancel(ids[static_cast<std::size_t>(i)]);
+      });
+    }
+  }
+  engine.run();
+  EXPECT_EQ(res.active(), 0u);
+  return done;
+}
+
+std::vector<Completion> run_link_scenario(bool naive) {
+  SubstrateGuard guard(naive);
+  SimEngine engine;
+  FlowLink link(engine, "wan", 23.5 * 1024 * 1024);
+  util::Rng rng(29);
+  constexpr int kFlows = 200;
+  std::vector<Completion> done;
+  std::vector<FlowId> ids(kFlows);
+  for (int i = 0; i < kFlows; ++i) {
+    const double bytes = rng.uniform(0.2, 8.0) * 1024 * 1024;
+    const double cap = rng.uniform(0.3, 6.0) * 1024 * 1024;
+    engine.schedule_at(i * 0.01, [&, i, bytes, cap] {
+      ids[static_cast<std::size_t>(i)] = link.start_flow(
+          bytes, cap, [&, i](double bps) { done.push_back({i, engine.now(), bps}); });
+    });
+    if (i % 11 == 0) {
+      engine.schedule_at(i * 0.01 + 0.05, [&, i] {
+        link.cancel(ids[static_cast<std::size_t>(i)]);
+      });
+    }
+  }
+  engine.run();
+  EXPECT_EQ(link.active_flows(), 0u);
+  return done;
+}
+
+void expect_equivalent(const std::vector<Completion>& fast,
+                       const std::vector<Completion>& naive,
+                       double bps_rel_tol) {
+  ASSERT_EQ(fast.size(), naive.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].index, naive[i].index) << "completion order at " << i;
+    const double time_tol = 1e-9 * std::max(1.0, std::abs(naive[i].time));
+    EXPECT_NEAR(fast[i].time, naive[i].time, time_tol) << "at " << i;
+    if (bps_rel_tol > 0) {
+      EXPECT_NEAR(fast[i].bps, naive[i].bps,
+                  bps_rel_tol * std::max(1.0, std::abs(naive[i].bps)))
+          << "at " << i;
+    }
+  }
+}
+
+TEST(SubstrateEquivalence, SharedResourceMatchesNaiveOracle) {
+  const auto fast = run_resource_scenario(false);
+  const auto naive = run_resource_scenario(true);
+  ASSERT_GT(fast.size(), 150u);  // cancels remove a few of the 200
+  expect_equivalent(fast, naive, 0.0);
+}
+
+TEST(SubstrateEquivalence, FlowLinkMatchesNaiveOracle) {
+  const auto fast = run_link_scenario(false);
+  const auto naive = run_link_scenario(true);
+  ASSERT_GT(fast.size(), 150u);
+  expect_equivalent(fast, naive, 1e-6);
+}
+
+TEST(SubstrateEquivalence, EngineProcessesSameEventCount) {
+  // The engine itself is exact in both modes; sanity-check the counters.
+  for (const bool naive : {false, true}) {
+    SubstrateGuard guard(naive);
+    SimEngine engine;
+    util::Rng rng(31);
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 1000; ++i)
+      handles.push_back(engine.schedule_at(rng.uniform(0.0, 100.0), [] {}));
+    for (std::size_t i = 0; i < handles.size(); i += 2)
+      engine.cancel(handles[i]);
+    EXPECT_EQ(engine.run(), 500u);
+    EXPECT_EQ(engine.processed(), 500u);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the archive-scale simulation benchmark (bench/archive_campaign) and
+# snapshots the numbers into BENCH_sim.json at the repo root, so substrate
+# regressions show up as a diff: a year-long streaming campaign (~105k
+# granules), substrate scaling to 10^6 jobs/flows, and the fast-vs-naive
+# churn speedups (DESIGN.md §9).
+#
+# Usage: tools/bench_sim.sh [build-dir] [out-json] [extra archive_campaign args]
+#        (defaults: build, BENCH_sim.json; pass --quick for a CI-sized run)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+out_json="${2:-"${repo_root}/BENCH_sim.json"}"
+shift $(( $# > 2 ? 2 : $# ))
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)" --target archive_campaign
+
+"${build_dir}/bench/archive_campaign" --out "${out_json}" "$@"
+
+echo "wrote ${out_json}"

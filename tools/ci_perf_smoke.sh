@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI perf smoke gate, the companion to tools/ci_sanitize.sh (sanitizers catch
+# lifetime bugs; this catches determinism drift and complexity regressions in
+# the simulation substrate). Three checks on a Release build:
+#
+#   1. fig6_timeline still reports the recorded barrier/streaming makespans
+#      (519.53 s / 493.01 s) — the fast substrates are required to be
+#      bit-for-bit identical to the naive oracles on every paper run, so any
+#      drift here means the equivalence contract broke.
+#   2. A trimmed archive_campaign (--quick) still clears the substrate
+#      speedup floors vs the naive oracle: >= 10x on SharedResource churn,
+#      >= 5x on FlowLink churn. A regression to O(n)-per-event behaviour
+#      fails this immediately.
+#   3. The substrate micro benchmarks run (a crash/assert gate; numbers are
+#      tracked by tools/bench_sim.sh, not thresholded here).
+#
+# Usage: tools/ci_perf_smoke.sh [build-dir]   (default: build-perf)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-perf"}"
+
+expected_barrier="519.53"
+expected_streaming="493.01"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+      fig6_timeline archive_campaign micro_substrates
+
+# -- 1. determinism: fig6 makespans ------------------------------------------
+fig6_line="$("${build_dir}/bench/fig6_timeline" | grep '^Makespan:')"
+echo "${fig6_line}"
+if [[ "${fig6_line}" != *"barrier ${expected_barrier}s"* ]] ||
+   [[ "${fig6_line}" != *"streaming ${expected_streaming}s"* ]]; then
+  echo "FAIL: fig6 makespans drifted from recorded" \
+       "barrier ${expected_barrier}s / streaming ${expected_streaming}s" >&2
+  exit 1
+fi
+echo "OK: fig6 makespans match recorded values"
+
+# -- 2. substrate speedup floors ---------------------------------------------
+smoke_json="${build_dir}/BENCH_sim_smoke.json"
+"${build_dir}/bench/archive_campaign" --quick --out "${smoke_json}"
+
+speedup_of() {  # speedup_of <resource|link|engine> <json>
+  grep -o "\"${1}\": {\"fast\".*" "${2}" | grep -o '"speedup": [0-9.]*' |
+    head -1 | awk '{print $2}'
+}
+resource_speedup="$(speedup_of resource "${smoke_json}")"
+link_speedup="$(speedup_of link "${smoke_json}")"
+echo "resource churn speedup: ${resource_speedup}x (floor 10x)"
+echo "link churn speedup:     ${link_speedup}x (floor 5x)"
+awk -v r="${resource_speedup}" -v l="${link_speedup}" \
+    'BEGIN { exit !(r >= 10.0 && l >= 5.0) }' || {
+  echo "FAIL: substrate churn speedup below floor" >&2
+  exit 1
+}
+echo "OK: substrate speedups clear the floors"
+
+# -- 3. micro benchmarks run clean -------------------------------------------
+"${build_dir}/bench/micro_substrates" \
+  --benchmark_filter='BM_(EngineScheduleRun|SharedResourceChurn|FlowLinkChurn)' \
+  --benchmark_min_time=0.05
+
+echo "perf smoke: all gates passed"

@@ -9,6 +9,10 @@
 # thread-pool data-parallel ML paths: parallel_for, encode_batch replicas,
 # and the chunked gradient reduction.
 #
+# After the sanitizer suites pass, the perf smoke gate
+# (tools/ci_perf_smoke.sh) runs on a Release build to catch determinism
+# drift and substrate complexity regressions; skip it with MFW_SKIP_PERF=1.
+#
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
 set -euo pipefail
@@ -33,3 +37,7 @@ cmake --build "${tsan_dir}" -j "$(nproc)" --target \
       ml_test ml_tensor_test ml_train_test ml_cluster_test ml_continual_test \
       util_test
 ctest --test-dir "${tsan_dir}" -R '^(ml_|util_)' --output-on-failure
+
+if [[ "${MFW_SKIP_PERF:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_perf_smoke.sh"
+fi
