@@ -10,7 +10,14 @@
 //
 // Emits a JSON report (see tools/bench_sim.sh -> BENCH_sim.json).
 //
+// With --report-out <path> the campaign runs with the obs layer in bounded
+// mode: RetentionMode::kStatsOnly keeps a small sample of spans while a
+// SpanRollup sink folds every closed span into per-day windowed rollups, so
+// telemetry memory is O(windows), not O(events). The rollup report plus the
+// recorder's observed/retained/dropped counters land at <path>.
+//
 // Usage: archive_campaign [--days N] [--quick] [--out <path>]
+//                         [--report-out <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -19,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "sim/engine.hpp"
 #include "sim/link.hpp"
@@ -196,6 +206,7 @@ int main(int argc, char** argv) {
   int days = 365;
   bool quick = false;
   std::string out;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--days") && i + 1 < argc) {
       days = std::atoi(argv[++i]);
@@ -203,9 +214,12 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
       out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--report-out") && i + 1 < argc) {
+      report_out = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: archive_campaign [--days N] [--quick] [--out <path>]\n");
+                   "usage: archive_campaign [--days N] [--quick] [--out <path>] "
+                   "[--report-out <path>]\n");
       return 2;
     }
   }
@@ -215,6 +229,20 @@ int main(int argc, char** argv) {
     return 2;
   }
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+
+  // Bounded telemetry: stats-only retention (a 1-in-64 span sample, capped)
+  // plus per-day rollups. The recorder is restored to its defaults afterwards
+  // so the churn sections below run untraced.
+  std::unique_ptr<obs::SpanRollup> rollup;
+  if (!report_out.empty()) {
+    auto& rec = obs::TraceRecorder::instance();
+    rec.clear();
+    rec.set_retention({obs::RetentionMode::kStatsOnly, 64, 4096});
+    rollup = std::make_unique<obs::SpanRollup>(
+        obs::RollupConfig{86400.0, 366});
+    rec.set_span_sink(rollup.get());
+    obs::set_globally_enabled(true);
+  }
 
   std::printf("=== Archive campaign: %d day(s), streaming, all granules ===\n",
               days);
@@ -226,6 +254,34 @@ int main(int argc, char** argv) {
       campaign.granules, campaign.tiles, campaign.shipped_files,
       campaign.makespan, campaign.makespan / 86400.0, campaign.events,
       campaign.compactions, campaign.wall_s);
+
+  std::string obs_json;
+  if (rollup) {
+    auto& rec = obs::TraceRecorder::instance();
+    obs::set_globally_enabled(false);
+    const std::size_t observed = rec.observed_span_count();
+    const std::size_t retained = rec.span_count();
+    const std::size_t dropped = rec.dropped_span_count();
+    const std::size_t dropped_instants = rec.dropped_instant_count();
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"observed_spans\": %zu, \"retained_spans\": %zu, "
+                  "\"dropped_spans\": %zu, \"dropped_instants\": %zu}",
+                  observed, retained, dropped, dropped_instants);
+    obs_json = buf;
+    obs::write_file(report_out, "{\n  \"recorder\": " + obs_json +
+                                    ",\n  \"rollup\": " + rollup->to_json() +
+                                    "\n}\n");
+    std::printf(
+        "\nBounded telemetry: %zu spans observed, %zu retained "
+        "(sample), %zu dropped; rollup holds %zu series\n%s",
+        observed, retained, dropped, rollup->series_names().size(),
+        rollup->summary().c_str());
+    std::printf("Rollup report written to %s\n", report_out.c_str());
+    rec.set_span_sink(nullptr);
+    rec.set_retention({});
+    rec.clear();
+  }
 
   // -- scaling (fast substrate) ----------------------------------------------
   const std::vector<std::size_t> sizes =
@@ -285,6 +341,7 @@ int main(int argc, char** argv) {
         campaign.events, campaign.compactions);
     json += buf;
   }
+  if (!obs_json.empty()) json += "  \"obs\": " + obs_json + ",\n";
   json += "  \"scaling\": " + scaling_json + ",\n";
   json += "  \"churn_vs_naive\": {\n";
   json += "    \"resource\": " + comparison_json(res_cmp) + ",\n";

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "obs/analyze.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -45,23 +46,29 @@ int main(int argc, char** argv) {
   // Optional flags: --trace-out <path> enables the obs layer and writes a
   // Chrome trace-event JSON covering BOTH runs (each run is its own trace
   // process, so barrier and streaming land side by side in Perfetto);
+  // --report-out <path> also enables tracing and writes the trace-analysis
+  // report (critical path, stragglers, utilization) as JSON;
   // --max-files <n> shrinks the catalog slice for quick smoke runs.
   std::string trace_out;
+  std::string report_out;
   std::size_t max_files = 40;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--report-out" && i + 1 < argc) {
+      report_out = argv[++i];
     } else if (arg == "--max-files" && i + 1 < argc) {
       max_files = static_cast<std::size_t>(std::atol(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: fig6_timeline [--trace-out <path>] "
-                   "[--max-files <n>]\n");
+                   "[--report-out <path>] [--max-files <n>]\n");
       return 2;
     }
   }
-  if (!trace_out.empty()) obs::set_globally_enabled(true);
+  if (!trace_out.empty() || !report_out.empty())
+    obs::set_globally_enabled(true);
   benchx::print_header(
       "Fig. 6 — Automation timeline: active workers per stage",
       "Kurihana et al., SC24, Fig. 6 (blue=download, orange=preprocess, "
@@ -127,6 +134,17 @@ int main(int argc, char** argv) {
     std::printf("\nTrace written to %s (%zu spans, %zu instants) — load in "
                 "https://ui.perfetto.dev or chrome://tracing\n",
                 trace_out.c_str(), rec.span_count(), rec.instant_count());
+  }
+  if (!report_out.empty()) {
+    const auto analysis = obs::analyze_trace(obs::TraceRecorder::instance());
+    obs::write_file(report_out, analysis.to_json());
+    std::printf("\nTrace-analysis report written to %s\n", report_out.c_str());
+    for (const auto& process : analysis.processes)
+      std::printf("  %s: dominant stage %s, critical path %.1f s "
+                  "(%.1f%% coverage)\n",
+                  process.process.c_str(), process.dominant_stage.c_str(),
+                  process.critical_path.length,
+                  100.0 * process.critical_path.coverage);
   }
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "obs/analyze.hpp"
 #include "obs/export.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
@@ -18,13 +19,19 @@ using namespace mfw;
 int main(int argc, char** argv) {
   // --trace-out <path>: record the end-to-end barrier/streaming comparison
   // runs (not the isolated-farm iterations) as a Chrome trace-event JSON.
+  // --report-out <path>: write the trace-analysis report for those runs.
   std::string trace_out;
+  std::string report_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (arg == "--report-out" && i + 1 < argc) {
+      report_out = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: headline_12k [--trace-out <path>]\n");
+      std::fprintf(stderr,
+                   "usage: headline_12k [--trace-out <path>] "
+                   "[--report-out <path>]\n");
       return 2;
     }
   }
@@ -77,7 +84,8 @@ int main(int argc, char** argv) {
   std::printf(
       "\n=== Streaming variant (end-to-end, 10 nodes x 8 workers) ===\n");
   util::Logger::instance().set_level(util::LogLevel::kWarn);
-  if (!trace_out.empty()) obs::set_globally_enabled(true);
+  if (!trace_out.empty() || !report_out.empty())
+    obs::set_globally_enabled(true);
   util::Table cmp({"scheduling", "makespan (s)", "post-download (s)",
                    "dl/pp overlap (s)", "tiles"});
   double barrier_makespan = 0.0;
@@ -117,6 +125,17 @@ int main(int argc, char** argv) {
     std::printf("Trace written to %s (%zu spans, %zu instants) — load in "
                 "https://ui.perfetto.dev or chrome://tracing\n",
                 trace_out.c_str(), rec.span_count(), rec.instant_count());
+  }
+  if (!report_out.empty()) {
+    const auto analysis = obs::analyze_trace(obs::TraceRecorder::instance());
+    obs::write_file(report_out, analysis.to_json());
+    std::printf("Trace-analysis report written to %s\n", report_out.c_str());
+    for (const auto& process : analysis.processes)
+      std::printf("  %s: dominant stage %s, critical path %.1f s "
+                  "(%.1f%% coverage)\n",
+                  process.process.c_str(), process.dominant_stage.c_str(),
+                  process.critical_path.length,
+                  100.0 * process.critical_path.coverage);
   }
   return 0;
 }

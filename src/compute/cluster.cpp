@@ -154,12 +154,15 @@ void ClusterExecutor::start_on_node(int node_id, PendingTask task) {
   inflight.started_at = engine_.now();
   if (auto& rec = obs::TraceRecorder::instance(); rec.enabled()) {
     const double queue_wait = inflight.started_at - inflight.task.submitted_at;
+    obs::Args span_args = {{"queue_wait_s", std::to_string(queue_wait)}};
+    for (const auto& extra : inflight.task.desc.trace_args)
+      span_args.push_back(extra);
     inflight.span = rec.begin_span(
         label_ + "/node" + std::to_string(node_id) + "/w" +
             std::to_string(worker),
         "compute",
         inflight.task.desc.label.empty() ? "task" : inflight.task.desc.label,
-        {{"queue_wait_s", std::to_string(queue_wait)}});
+        std::move(span_args));
     obs::MetricsRegistry::instance().observe(
         "mfw.compute.queue_wait_seconds", queue_wait, {{"stage", label_}},
         obs::HistogramSpec{0.0, 60.0, 24});

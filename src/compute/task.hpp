@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mfw::compute {
 
@@ -22,6 +24,9 @@ struct SimTaskDesc {
   double payload = 0.0;
   /// Optional label for tracing.
   std::string label;
+  /// Extra key/value annotations copied onto the task's trace span (e.g. the
+  /// "granule" identity the analyzer uses to stitch the per-granule DAG).
+  std::vector<std::pair<std::string, std::string>> trace_args;
 };
 
 struct SimTaskResult {

@@ -61,6 +61,8 @@ void export_to_trace(const ProvenanceLog& log, obs::TraceRecorder& recorder) {
   for (const auto& run : log.runs()) {
     const std::string track = "flows/run" + std::to_string(run.run_id);
     obs::Args run_args = {{"status", run.succeeded ? "ok" : "failed"}};
+    if (!run.subject.empty()) run_args.emplace_back("subject", run.subject);
+    if (!run.granule.empty()) run_args.emplace_back("granule", run.granule);
     if (!run.error.empty()) run_args.emplace_back("error", run.error);
     recorder.add_span(track, "flow", run.flow_name, run.started_at,
                       run.finished_at, std::move(run_args));

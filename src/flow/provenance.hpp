@@ -33,6 +33,11 @@ struct StateRecord {
 struct RunRecord {
   std::uint64_t run_id = 0;
   std::string flow_name;
+  /// What the run operated on (e.g. the tile file path) and the granule
+  /// identity it descends from — threaded onto the trace bridge so the
+  /// analyzer can stitch the per-granule download->preprocess->inference DAG.
+  std::string subject;
+  std::string granule;
   double started_at = 0.0;
   double finished_at = 0.0;
   bool succeeded = false;

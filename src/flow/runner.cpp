@@ -90,7 +90,7 @@ const ActionSchema* FlowRunner::schema(std::string_view name) const {
 
 std::uint64_t FlowRunner::start(const FlowDefinition& definition,
                                 util::YamlNode initial_context,
-                                RunCallback on_finish) {
+                                RunCallback on_finish, RunTags tags) {
   definition.validate();
   // Every action referenced must exist before the run starts.
   for (const auto& state : definition.states()) {
@@ -107,6 +107,8 @@ std::uint64_t FlowRunner::start(const FlowDefinition& definition,
                                           : util::YamlNode::map();
   run->record.run_id = id;
   run->record.flow_name = definition.name();
+  run->record.subject = std::move(tags.subject);
+  run->record.granule = std::move(tags.granule);
   run->record.started_at = engine_.now();
   run->on_finish = std::move(on_finish);
   const std::string start_state = run->definition.start_at();

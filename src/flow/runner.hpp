@@ -68,11 +68,18 @@ class FlowRunner {
   using RunCallback =
       std::function<void(const RunRecord&, const util::YamlNode& context)>;
 
+  /// Optional provenance identity for a run (copied onto its RunRecord and,
+  /// via flow::export_to_trace, onto the run's trace span).
+  struct RunTags {
+    std::string subject;  // e.g. the tile path the flow operates on
+    std::string granule;  // canonical granule key ("terra.A2022001.s0095")
+  };
+
   /// Starts a run; returns its id. The definition is copied. `on_finish`
   /// fires in virtual time at termination (succeed or fail).
   std::uint64_t start(const FlowDefinition& definition,
                       util::YamlNode initial_context = util::YamlNode::map(),
-                      RunCallback on_finish = nullptr);
+                      RunCallback on_finish = nullptr, RunTags tags = {});
 
   std::size_t active_runs() const { return runs_.size(); }
   const FlowRunnerConfig& config() const { return config_; }

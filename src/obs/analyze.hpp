@@ -1,0 +1,149 @@
+// Trace-analysis engine (DESIGN.md §10): turns a recorded span tree into the
+// diagnoses the paper reads off telemetry by hand — the critical path through
+// the per-granule download -> preprocess -> inference dataflow DAG, per-stage
+// and per-node utilization, queue-wait vs service-time breakdowns, and a
+// configurable straggler detector with cause attribution (WAN retry/slowness
+// vs queue wait vs input size vs node contention).
+//
+// The analyzer is convention-driven: it consumes only TraceRecorder snapshots
+// and recognises the track/category/arg naming used by the instrumented
+// modules (stages/<stage> stage spans, <stage>/node<i>/w<j> compute spans
+// with queue_wait_s, download/w<k> download spans with attempts, flows/run<n>
+// provenance bridges, granule.ready instants, and the "granule" identity arg
+// threaded through every stage). It has no dependency on pipeline/flow types,
+// so it works on synthetic traces in tests and on any future workflow that
+// follows the same conventions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace mfw::obs {
+
+struct AnalyzeOptions {
+  /// Straggler threshold: flag tasks with duration > straggler_k * median of
+  /// their group (per-stage compute groups, downloads, flow states).
+  double straggler_k = 3.0;
+  /// Groups smaller than this are not scanned (medians too noisy).
+  std::size_t min_group = 8;
+  /// Attribution: queue wait >= queue_share * duration => "queue-wait".
+  double queue_share = 0.5;
+  /// Payload > payload_factor * group median payload => "input-size".
+  double payload_factor = 1.5;
+  /// Bins per utilization timeline.
+  std::size_t utilization_bins = 48;
+  /// Flagged stragglers listed per group (the rest are only counted).
+  std::size_t max_flagged = 16;
+};
+
+/// Per-stage aggregate: the stage span window, task counts, busy time over
+/// distinct worker lanes, and duration/queue-wait quantiles.
+struct StageStat {
+  std::string stage;
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t tasks = 0;
+  std::size_t workers = 0;  // distinct worker lanes seen
+  double busy_s = 0.0;
+  double utilization = 0.0;  // busy_s / (duration * workers)
+  double p50 = 0.0, p99 = 0.0, max = 0.0;              // task service time
+  double queue_p50 = 0.0, queue_p99 = 0.0, queue_max = 0.0;
+
+  double duration() const { return end > start ? end - start : 0.0; }
+};
+
+struct NodeStat {
+  std::string stage;
+  std::string node;  // "node0", or the worker lane itself when un-nested
+  std::size_t workers = 0;
+  std::size_t tasks = 0;
+  double busy_s = 0.0;
+  double utilization = 0.0;  // busy_s / (stage duration * workers)
+};
+
+/// One tile of the critical path. Segments are contiguous and cover
+/// [process start, process end]; `kind` says what the makespan was spent on
+/// at that moment (a task, or a named wait between tasks).
+struct PathSegment {
+  std::string kind;     // e.g. "download", "queue-wait", "monitor-wait"
+  std::string detail;   // span name or wait cause
+  std::string granule;  // granule identity when known
+  double start = 0.0;
+  double end = 0.0;
+
+  double duration() const { return end - start; }
+};
+
+struct CriticalPath {
+  double makespan = 0.0;
+  double length = 0.0;    // sum of segment durations
+  double coverage = 0.0;  // length / makespan (≈1 when the walk tiles fully)
+  std::string dominant_stage;  // stage with the largest on-path time
+  std::vector<PathSegment> segments;  // in time order
+  std::vector<std::pair<std::string, double>> by_stage;  // stage -> seconds
+};
+
+struct Straggler {
+  std::string group;
+  std::string name;
+  std::string track;
+  std::string granule;
+  std::string attribution;  // wan-retry | wan-slow | queue-wait | input-size
+                            // | node-contention | orchestration | unattributed
+  double duration = 0.0;
+  double ratio = 0.0;  // duration / group median
+  double queue_wait = 0.0;
+};
+
+struct StragglerGroup {
+  std::string group;  // "download", "preprocess", "inference", "flow:<state>"
+  std::size_t count = 0;        // tasks scanned
+  double median = 0.0;          // group median duration
+  std::size_t flagged_count = 0;
+  std::vector<Straggler> flagged;  // top offenders, capped at max_flagged
+};
+
+/// Binned busy-worker timeline for one stage: busy[i] is the average number
+/// of busy workers in bin [t0 + i*bin_s, t0 + (i+1)*bin_s).
+struct UtilizationTimeline {
+  std::string stage;
+  double t0 = 0.0;
+  double bin_s = 0.0;
+  std::vector<double> busy;
+};
+
+struct ProcessReport {
+  std::string process;
+  double start = 0.0;
+  double end = 0.0;
+  std::string dominant_stage;  // longest stage span (the rendered timeline's
+                               // makespan-dominant stage)
+  std::vector<StageStat> stages;
+  std::vector<NodeStat> nodes;
+  std::vector<UtilizationTimeline> timelines;
+  CriticalPath critical_path;
+  std::vector<StragglerGroup> stragglers;
+  std::size_t spans = 0;
+  std::size_t instants = 0;
+
+  double makespan() const { return end > start ? end - start : 0.0; }
+};
+
+struct TraceReport {
+  std::vector<ProcessReport> processes;
+
+  /// Machine-readable report ({"schema": "mfw.trace_report/v1", ...}).
+  std::string to_json() const;
+  /// Human-readable summary (stages, critical path, stragglers).
+  std::string render_text() const;
+};
+
+/// Analyzes a recorder snapshot. Processes with no events are skipped.
+TraceReport analyze_trace(const TraceRecorder& recorder,
+                          const AnalyzeOptions& options = {});
+
+}  // namespace mfw::obs

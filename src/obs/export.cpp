@@ -93,6 +93,13 @@ std::string labels_text(const Labels& labels) {
 
 }  // namespace
 
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_json_escaped(out, text);
+  return out;
+}
+
 std::string to_chrome_trace_json(const TraceRecorder& recorder) {
   const auto processes = recorder.processes();
   const auto tracks = recorder.tracks();

@@ -10,11 +10,18 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace mfw::obs {
+
+/// JSON-escapes `text` without surrounding quotes: quote/backslash plus
+/// \uXXXX for every control character < 0x20, so adversarial label values
+/// (embedded newlines, tabs, NULs) cannot produce invalid JSON. Shared by
+/// the trace exporter and the analyze/rollup report writers.
+std::string json_escape(std::string_view text);
 
 /// Renders the recorder's events as a Chrome trace-event JSON document.
 std::string to_chrome_trace_json(const TraceRecorder& recorder);

@@ -61,6 +61,17 @@ std::uint32_t TraceRecorder::intern_track_locked(std::string_view name) {
   return index;
 }
 
+void TraceRecorder::note_closed_locked(const TraceSpan& span) {
+  ++observed_spans_;
+  if (sink_) sink_->on_span(tracks_[span.track], span);
+}
+
+bool TraceRecorder::retain_sample_locked() const {
+  return retention_.sample_every != 0 &&
+         observed_spans_ % retention_.sample_every == 0 &&
+         spans_.size() < retention_.max_retained;
+}
+
 SpanId TraceRecorder::begin_span(std::string_view track,
                                  std::string_view category,
                                  std::string_view name, Args args) {
@@ -72,6 +83,11 @@ SpanId TraceRecorder::begin_span(std::string_view track,
   span.name = std::string(name);
   span.start = (clock_ ? *clock_ : wall_fallback()).now();
   span.args = std::move(args);
+  if (retention_.mode == RetentionMode::kStatsOnly) {
+    const auto id = (++next_open_id_) | kBoundedBit;
+    open_spans_.emplace(id, std::move(span));
+    return SpanId{id};
+  }
   spans_.push_back(std::move(span));
   return SpanId{spans_.size()};
 }
@@ -79,10 +95,27 @@ SpanId TraceRecorder::begin_span(std::string_view track,
 void TraceRecorder::end_span(SpanId span, Args args) {
   if (!span.valid()) return;
   std::lock_guard lock(mu_);
+  const double at = (clock_ ? *clock_ : wall_fallback()).now();
+  if (span.id & kBoundedBit) {
+    const auto it = open_spans_.find(span.id);
+    if (it == open_spans_.end()) return;  // stale handle after clear()
+    TraceSpan record = std::move(it->second);
+    open_spans_.erase(it);
+    record.end = at;
+    for (auto& arg : args) record.args.push_back(std::move(arg));
+    note_closed_locked(record);
+    if (retain_sample_locked()) {
+      spans_.push_back(std::move(record));
+    } else {
+      ++dropped_spans_;
+    }
+    return;
+  }
   if (span.id > spans_.size()) return;  // stale handle after clear()
   TraceSpan& record = spans_[span.id - 1];
-  record.end = (clock_ ? *clock_ : wall_fallback()).now();
+  record.end = at;
   for (auto& arg : args) record.args.push_back(std::move(arg));
+  note_closed_locked(record);
 }
 
 void TraceRecorder::add_span(std::string_view track, std::string_view category,
@@ -97,20 +130,67 @@ void TraceRecorder::add_span(std::string_view track, std::string_view category,
   span.start = start;
   span.end = end;
   span.args = std::move(args);
-  spans_.push_back(std::move(span));
+  note_closed_locked(span);
+  if (retention_.mode == RetentionMode::kFull || retain_sample_locked()) {
+    spans_.push_back(std::move(span));
+  } else {
+    ++dropped_spans_;
+  }
 }
 
 void TraceRecorder::instant(std::string_view track, std::string_view category,
                             std::string_view name, Args args) {
+  if (!enabled()) return;
+  add_instant(track, category, name, now(), std::move(args));
+}
+
+void TraceRecorder::add_instant(std::string_view track,
+                                std::string_view category,
+                                std::string_view name, double at, Args args) {
   if (!enabled()) return;
   std::lock_guard lock(mu_);
   TraceInstant event;
   event.track = intern_track_locked(track);
   event.category = std::string(category);
   event.name = std::string(name);
-  event.at = (clock_ ? *clock_ : wall_fallback()).now();
+  event.at = at;
   event.args = std::move(args);
-  instants_.push_back(std::move(event));
+  if (sink_) sink_->on_instant(tracks_[event.track], event);
+  if (retention_.mode == RetentionMode::kFull) {
+    instants_.push_back(std::move(event));
+  } else {
+    ++dropped_instants_;
+  }
+}
+
+void TraceRecorder::set_retention(RetentionPolicy policy) {
+  std::lock_guard lock(mu_);
+  retention_ = policy;
+}
+
+RetentionPolicy TraceRecorder::retention() const {
+  std::lock_guard lock(mu_);
+  return retention_;
+}
+
+void TraceRecorder::set_span_sink(SpanSink* sink) {
+  std::lock_guard lock(mu_);
+  sink_ = sink;
+}
+
+std::size_t TraceRecorder::observed_span_count() const {
+  std::lock_guard lock(mu_);
+  return observed_spans_;
+}
+
+std::size_t TraceRecorder::dropped_span_count() const {
+  std::lock_guard lock(mu_);
+  return dropped_spans_;
+}
+
+std::size_t TraceRecorder::dropped_instant_count() const {
+  std::lock_guard lock(mu_);
+  return dropped_instants_;
 }
 
 void TraceRecorder::clear() {
@@ -121,6 +201,11 @@ void TraceRecorder::clear() {
   track_index_.clear();
   spans_.clear();
   instants_.clear();
+  open_spans_.clear();
+  next_open_id_ = 0;
+  observed_spans_ = 0;
+  dropped_spans_ = 0;
+  dropped_instants_ = 0;
 }
 
 std::vector<TraceProcess> TraceRecorder::processes() const {
@@ -155,7 +240,7 @@ std::size_t TraceRecorder::instant_count() const {
 
 std::size_t TraceRecorder::open_span_count() const {
   std::lock_guard lock(mu_);
-  std::size_t open = 0;
+  std::size_t open = open_spans_.size();
   for (const auto& span : spans_)
     if (!span.closed()) ++open;
   return open;

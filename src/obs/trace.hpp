@@ -77,6 +77,37 @@ struct TraceInstant {
   Args args;
 };
 
+/// How much of the raw event stream the recorder keeps in memory.
+///  - kFull: every span and instant is retained (paper-figure runs; the
+///    default, byte-for-byte identical to the pre-retention recorder).
+///  - kStatsOnly: closed spans are forwarded to the SpanSink and then
+///    discarded, except for an optional 1-in-sample_every exemplar stream
+///    capped at max_retained. Instants are counted but not stored. Memory is
+///    O(open spans + retained exemplars) instead of O(events), which is what
+///    lets bench/archive_campaign observe a 365-day run (~millions of spans).
+enum class RetentionMode { kFull, kStatsOnly };
+
+struct RetentionPolicy {
+  RetentionMode mode = RetentionMode::kFull;
+  /// In kStatsOnly mode, retain every Nth closed span as an exemplar
+  /// (0 = retain none).
+  std::size_t sample_every = 0;
+  /// Hard cap on retained exemplar spans in kStatsOnly mode.
+  std::size_t max_retained = 4096;
+};
+
+/// Streaming observer fed every *closed* span (and every instant) regardless
+/// of retention mode. Implementations (e.g. obs::SpanRollup) aggregate into
+/// bounded structures. Callbacks run under the recorder lock: they must be
+/// fast and must not re-enter the recorder.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void on_span(const TraceTrack& track, const TraceSpan& span) = 0;
+  virtual void on_instant(const TraceTrack& /*track*/,
+                          const TraceInstant& /*instant*/) {}
+};
+
 class TraceRecorder {
  public:
   /// Global recorder used by the instrumented modules. Directly-constructed
@@ -128,7 +159,31 @@ class TraceRecorder {
   void instant(std::string_view track, std::string_view category,
                std::string_view name, Args args = {});
 
+  /// Records a point event with an explicit timestamp (post-hoc bridges and
+  /// synthetic-trace tests). No-op when disabled.
+  void add_instant(std::string_view track, std::string_view category,
+                   std::string_view name, double at, Args args = {});
+
+  /// Sets the retention policy. Safe to call between runs; switching modes
+  /// while spans are open is supported (each span closes under the mode it
+  /// was opened in). The default kFull policy keeps the recorder behaviour
+  /// identical to the pre-retention implementation.
+  void set_retention(RetentionPolicy policy);
+  RetentionPolicy retention() const;
+
+  /// Attaches a streaming observer fed every closed span and every instant
+  /// (in all retention modes). nullptr detaches. The sink must outlive all
+  /// recording calls made while attached.
+  void set_span_sink(SpanSink* sink);
+
+  /// Closed spans seen since the last clear(), regardless of retention.
+  std::size_t observed_span_count() const;
+  /// Spans / instants discarded by the kStatsOnly retention policy.
+  std::size_t dropped_span_count() const;
+  std::size_t dropped_instant_count() const;
+
   /// Drops all recorded events, tracks, and processes (between runs).
+  /// Retention policy and sink attachment survive a clear().
   void clear();
 
   // -- snapshot accessors (exporter + tests); copies under the lock ----------
@@ -142,8 +197,18 @@ class TraceRecorder {
   std::size_t open_span_count() const;
 
  private:
+  /// Span ids with this bit set index open_spans_ (kStatsOnly mode) rather
+  /// than spans_; keeps bounded-mode handles stable while exemplar spans are
+  /// being dropped.
+  static constexpr std::uint64_t kBoundedBit = 1ull << 63;
+
   std::uint32_t intern_track_locked(std::string_view name);
   void ensure_default_process_locked();
+  /// Sink notification + observed-span accounting for a just-closed span.
+  void note_closed_locked(const TraceSpan& span);
+  /// kStatsOnly sampling decision: should the span just counted by
+  /// note_closed_locked be kept as an exemplar?
+  bool retain_sample_locked() const;
 
   std::atomic<bool> enabled_{false};
   mutable std::mutex mu_;
@@ -154,6 +219,13 @@ class TraceRecorder {
   std::map<std::pair<std::uint32_t, std::string>, std::uint32_t> track_index_;
   std::vector<TraceSpan> spans_;
   std::vector<TraceInstant> instants_;
+  RetentionPolicy retention_;
+  SpanSink* sink_ = nullptr;
+  std::map<std::uint64_t, TraceSpan> open_spans_;  // kStatsOnly open spans
+  std::uint64_t next_open_id_ = 0;
+  std::size_t observed_spans_ = 0;
+  std::size_t dropped_spans_ = 0;
+  std::size_t dropped_instants_ = 0;
 };
 
 }  // namespace mfw::obs

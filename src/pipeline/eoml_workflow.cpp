@@ -73,6 +73,17 @@ flow::FlowDefinition build_inference_flow() {
   return def;
 }
 
+/// Canonical granule identity of a tile path ("tiles/MOD021KM.A2022001.
+/// 0050.061.hdf.ncl" -> "terra.A2022001.s0010"); empty when unparseable.
+std::string granule_key_of_path(std::string_view path) {
+  std::string_view base = util::path_basename(path);
+  if (base.size() > 4 && base.substr(base.size() - 4) == ".ncl")
+    base = base.substr(0, base.size() - 4);
+  if (const auto id = modis::parse_granule_filename(base))
+    return flow::GranuleKey::of(*id).to_string();
+  return {};
+}
+
 }  // namespace
 
 double EomlReport::preprocess_throughput() const {
@@ -348,8 +359,10 @@ void EomlWorkflow::on_granule_ready(const flow::ReadyGranule& granule) {
   id.slot = granule.key.slot;
   ++report_.granules;
   ++granules_submitted_;
-  const auto desc = preprocess::make_preprocess_task(
-      laads_.generator(), id, config_.preprocess_cost);
+  auto desc = preprocess::make_preprocess_task(laads_.generator(), id,
+                                               config_.preprocess_cost);
+  if (obs::TraceRecorder::instance().enabled())
+    desc.trace_args.emplace_back("granule", granule.key.to_string());
   preprocess_exec_.submit(desc,
                           [this, id](const compute::SimTaskResult& result) {
                             on_preprocess_task_done(result, id);
@@ -394,8 +407,11 @@ void EomlWorkflow::submit_preprocess_tasks() {
     return;
   }
   for (const auto& entry : entries) {
-    const auto desc = preprocess::make_preprocess_task(
-        laads_.generator(), entry.id, config_.preprocess_cost);
+    auto desc = preprocess::make_preprocess_task(laads_.generator(), entry.id,
+                                                 config_.preprocess_cost);
+    if (obs::TraceRecorder::instance().enabled())
+      desc.trace_args.emplace_back(
+          "granule", flow::GranuleKey::of(entry.id).to_string());
     preprocess_exec_.submit(desc, [this, id = entry.id](
                                       const compute::SimTaskResult& result) {
       on_preprocess_task_done(result, id);
@@ -488,7 +504,8 @@ void EomlWorkflow::trigger_flows(const std::vector<storage::FileInfo>& files) {
                     }
                     report_.inference_span.end = engine_.now();
                     check_shipment();
-                  });
+                  },
+                  {info.path, granule_key_of_path(info.path)});
   }
 }
 
@@ -550,9 +567,13 @@ void EomlWorkflow::register_actions() {
           handle.fail(std::string("inference.run: ") + e.what());
           return;
         }
-        const auto desc = preprocess::make_inference_task(
+        auto desc = preprocess::make_inference_task(
             tiles, util::strformat("infer:%s", path.c_str()),
             config_.inference_cost);
+        if (obs::TraceRecorder::instance().enabled()) {
+          if (auto key = granule_key_of_path(path); !key.empty())
+            desc.trace_args.emplace_back("granule", std::move(key));
+        }
         inference_exec_.submit(desc, [this, path, tiles,
                                       succeed = handle.succeed](
                                          const compute::SimTaskResult&) {

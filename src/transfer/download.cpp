@@ -138,7 +138,8 @@ void DownloadService::begin_file_span(int worker,
       "download/w" + std::to_string(worker), "download", entry.id.filename(),
       {{"bytes", std::to_string(entry.size_bytes)},
        {"product",
-        modis::product_short_name(entry.id.product, entry.id.satellite)}});
+        modis::product_short_name(entry.id.product, entry.id.satellite)},
+       {"granule", flow::GranuleKey::of(entry.id).to_string()}});
 }
 
 void DownloadService::end_file_span(int worker, const char* status,

@@ -1,0 +1,434 @@
+// Unit tests for the trace-analysis engine (obs/analyze.hpp) and the
+// bounded-memory rollups (obs/rollup.hpp): a hand-built synthetic trace with
+// exact expected critical path, utilization, and straggler output; rollup
+// quantiles vs exact percentiles (within the documented sketch error);
+// window eviction; and TraceRecorder retention-policy memory bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/analyze.hpp"
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace mfw::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Synthetic trace: 5 granules g1..g5 through download (2 workers) ->
+// preprocess (2 nodes, 3 lanes) -> one inference flow -> shipment. Every
+// number below is chosen so the analyzer's outputs are exactly predictable.
+//
+//   downloads  w0: g1 [0,10]   g3 [10,20]  g5 [50,100] (slow, 1 attempt)
+//              w1: g2 [0,10]   g4 [10,50]  (3 attempts -> wan-retry)
+//   preprocess n0/w0: g1 [100,130] payload 300 (input-size straggler)
+//              n0/w1: g2 [100,110]  g4 [110,120] (qw 10)
+//              n1/w0: g3 [100,110]  g5 [110,115] (qw 10)
+//   flow run1 (g1): [131,140] = infer [131.05,138] append [138.05,139]
+//              move [139.05,140], 0.05 s orchestration gaps
+//   shipment   [140,180]
+void build_synthetic(TraceRecorder& rec) {
+  rec.set_enabled(true);
+  rec.begin_process("synthetic");
+
+  rec.add_span("stages/download", "stage", "download", 0.0, 100.0);
+  rec.add_span("stages/preprocess", "stage", "preprocess", 100.0, 130.0);
+  rec.add_span("stages/inference", "stage", "inference", 131.0, 140.0);
+  rec.add_span("stages/shipment", "stage", "shipment", 140.0, 180.0);
+
+  const auto dl = [&](const char* worker, const char* name,
+                      const char* granule, double start, double end,
+                      const char* attempts) {
+    rec.add_span(worker, "download", name, start, end,
+                 {{"granule", granule}, {"attempts", attempts},
+                  {"bytes", "1000"}, {"status", "ok"}});
+    rec.add_instant("flow/granules", "flow", "granule.ready", end,
+                    {{"key", granule}});
+  };
+  dl("download/w0", "d1", "g1", 0.0, 10.0, "1");
+  dl("download/w1", "d2", "g2", 0.0, 10.0, "1");
+  dl("download/w0", "d3", "g3", 10.0, 20.0, "1");
+  dl("download/w1", "d4", "g4", 10.0, 50.0, "3");
+  dl("download/w0", "d5", "g5", 50.0, 100.0, "1");
+
+  const auto pp = [&](const char* lane, const char* name, const char* granule,
+                      double start, double end, const char* queue_wait,
+                      const char* payload) {
+    rec.add_span(lane, "compute", name, start, end,
+                 {{"granule", granule}, {"queue_wait_s", queue_wait},
+                  {"payload", payload}, {"status", "ok"}});
+  };
+  pp("preprocess/node0/w0", "p1", "g1", 100.0, 130.0, "0", "300");
+  pp("preprocess/node0/w1", "p2", "g2", 100.0, 110.0, "0", "100");
+  pp("preprocess/node1/w0", "p3", "g3", 100.0, 110.0, "0", "100");
+  pp("preprocess/node0/w1", "p4", "g4", 110.0, 120.0, "10", "100");
+  pp("preprocess/node1/w0", "p5", "g5", 110.0, 115.0, "10", "100");
+
+  rec.add_span("flows/run1", "flow", "aicca-inference", 131.0, 140.0,
+               {{"granule", "g1"}, {"status", "ok"}});
+  rec.add_span("flows/run1", "flow.state", "infer", 131.05, 138.0,
+               {{"orchestration_overhead_s", "0.05"}});
+  rec.add_span("flows/run1", "flow.state", "append", 138.05, 139.0,
+               {{"orchestration_overhead_s", "0.05"}});
+  rec.add_span("flows/run1", "flow.state", "move", 139.05, 140.0,
+               {{"orchestration_overhead_s", "0.05"}});
+}
+
+AnalyzeOptions synthetic_options() {
+  AnalyzeOptions options;
+  options.min_group = 2;     // groups of 5 must be scanned
+  options.straggler_k = 2.5; // p1 at 3x the median must be flagged
+  return options;
+}
+
+const StageStat* stage_named(const ProcessReport& process,
+                             const std::string& name) {
+  for (const auto& stage : process.stages)
+    if (stage.stage == name) return &stage;
+  return nullptr;
+}
+
+const StragglerGroup* group_named(const ProcessReport& process,
+                                  const std::string& name) {
+  for (const auto& group : process.stragglers)
+    if (group.group == name) return &group;
+  return nullptr;
+}
+
+TEST(Analyze, SyntheticProcessShape) {
+  TraceRecorder rec;
+  build_synthetic(rec);
+  const auto report = analyze_trace(rec, synthetic_options());
+
+  // The implicit "mfw" process has no events and is skipped.
+  ASSERT_EQ(report.processes.size(), 1u);
+  const auto& process = report.processes[0];
+  EXPECT_EQ(process.process, "synthetic");
+  EXPECT_DOUBLE_EQ(process.start, 0.0);
+  EXPECT_DOUBLE_EQ(process.end, 180.0);
+  EXPECT_DOUBLE_EQ(process.makespan(), 180.0);
+  EXPECT_EQ(process.spans, 18u);
+  EXPECT_EQ(process.instants, 5u);
+  // Dominant stage = longest stage span, matching a rendered timeline.
+  EXPECT_EQ(process.dominant_stage, "download");
+}
+
+TEST(Analyze, SyntheticStageAndNodeUtilization) {
+  TraceRecorder rec;
+  build_synthetic(rec);
+  const auto report = analyze_trace(rec, synthetic_options());
+  ASSERT_EQ(report.processes.size(), 1u);
+  const auto& process = report.processes[0];
+
+  const StageStat* download = stage_named(process, "download");
+  ASSERT_NE(download, nullptr);
+  EXPECT_EQ(download->tasks, 5u);
+  EXPECT_EQ(download->workers, 2u);
+  EXPECT_DOUBLE_EQ(download->busy_s, 120.0);
+  EXPECT_NEAR(download->utilization, 120.0 / (100.0 * 2), 1e-12);
+  EXPECT_DOUBLE_EQ(download->p50, 10.0);
+  EXPECT_DOUBLE_EQ(download->max, 50.0);
+
+  const StageStat* preprocess = stage_named(process, "preprocess");
+  ASSERT_NE(preprocess, nullptr);
+  EXPECT_EQ(preprocess->tasks, 5u);
+  EXPECT_EQ(preprocess->workers, 3u);
+  EXPECT_DOUBLE_EQ(preprocess->busy_s, 65.0);
+  EXPECT_NEAR(preprocess->utilization, 65.0 / (30.0 * 3), 1e-12);
+  EXPECT_DOUBLE_EQ(preprocess->queue_max, 10.0);
+
+  // Stage-span-only rows still appear (no task group).
+  const StageStat* shipment = stage_named(process, "shipment");
+  ASSERT_NE(shipment, nullptr);
+  EXPECT_EQ(shipment->tasks, 0u);
+  EXPECT_DOUBLE_EQ(shipment->start, 140.0);
+  EXPECT_DOUBLE_EQ(shipment->end, 180.0);
+
+  // Per-node occupancy: node0 runs p1+p2+p4 on 2 lanes, node1 p3+p5 on 1.
+  const NodeStat* node0 = nullptr;
+  const NodeStat* node1 = nullptr;
+  for (const auto& node : process.nodes) {
+    if (node.stage != "preprocess") continue;
+    if (node.node == "node0") node0 = &node;
+    if (node.node == "node1") node1 = &node;
+  }
+  ASSERT_NE(node0, nullptr);
+  ASSERT_NE(node1, nullptr);
+  EXPECT_EQ(node0->workers, 2u);
+  EXPECT_EQ(node0->tasks, 3u);
+  EXPECT_NEAR(node0->utilization, 50.0 / (30.0 * 2), 1e-12);
+  EXPECT_EQ(node1->workers, 1u);
+  EXPECT_NEAR(node1->utilization, 15.0 / 30.0, 1e-12);
+
+  // The binned timeline conserves busy time.
+  for (const auto& timeline : process.timelines) {
+    if (timeline.stage != "preprocess") continue;
+    double busy = 0.0;
+    for (const double b : timeline.busy) busy += b * timeline.bin_s;
+    EXPECT_NEAR(busy, 65.0, 1e-9);
+  }
+}
+
+TEST(Analyze, SyntheticCriticalPathTilesTheMakespan) {
+  TraceRecorder rec;
+  build_synthetic(rec);
+  const auto report = analyze_trace(rec, synthetic_options());
+  ASSERT_EQ(report.processes.size(), 1u);
+  const auto& path = report.processes[0].critical_path;
+
+  EXPECT_DOUBLE_EQ(path.makespan, 180.0);
+  EXPECT_NEAR(path.length, 180.0, 1e-9);
+  EXPECT_NEAR(path.coverage, 1.0, 1e-12);
+  EXPECT_EQ(path.dominant_stage, "download");
+
+  // Exact tiling: pipeline [0,50] -> d5 [50,100] -> p1 [100,130] ->
+  // monitor-wait [130,131] -> flow (3 states + 3 gaps) -> shipment.
+  ASSERT_EQ(path.segments.size(), 11u);
+  EXPECT_EQ(path.segments[0].kind, "download-pipeline");
+  EXPECT_DOUBLE_EQ(path.segments[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(path.segments[0].end, 50.0);
+  EXPECT_EQ(path.segments[1].kind, "download");
+  EXPECT_EQ(path.segments[1].granule, "g5");
+  EXPECT_EQ(path.segments[2].kind, "preprocess");
+  EXPECT_EQ(path.segments[2].granule, "g1");
+  EXPECT_EQ(path.segments[3].kind, "monitor-wait");
+  EXPECT_DOUBLE_EQ(path.segments[3].start, 130.0);
+  EXPECT_DOUBLE_EQ(path.segments[3].end, 131.0);
+  EXPECT_EQ(path.segments[5].kind, "inference");
+  EXPECT_EQ(path.segments[5].granule, "g1");
+  EXPECT_EQ(path.segments[10].kind, "shipment");
+
+  // Contiguous tiling: each segment starts where the previous ended.
+  for (std::size_t i = 1; i < path.segments.size(); ++i)
+    EXPECT_NEAR(path.segments[i].start, path.segments[i - 1].end, 1e-9);
+
+  // Per-stage attribution: 100 s download, 30 preprocess, 10 inference
+  // (monitor-wait + orchestration + flow states), 40 shipment.
+  double download_s = 0, preprocess_s = 0, inference_s = 0, shipment_s = 0;
+  for (const auto& [stage, seconds] : path.by_stage) {
+    if (stage == "download") download_s = seconds;
+    if (stage == "preprocess") preprocess_s = seconds;
+    if (stage == "inference") inference_s = seconds;
+    if (stage == "shipment") shipment_s = seconds;
+  }
+  EXPECT_NEAR(download_s, 100.0, 1e-9);
+  EXPECT_NEAR(preprocess_s, 30.0, 1e-9);
+  EXPECT_NEAR(inference_s, 10.0, 1e-9);
+  EXPECT_NEAR(shipment_s, 40.0, 1e-9);
+}
+
+TEST(Analyze, SyntheticStragglersWithAttribution) {
+  TraceRecorder rec;
+  build_synthetic(rec);
+  const auto report = analyze_trace(rec, synthetic_options());
+  ASSERT_EQ(report.processes.size(), 1u);
+  const auto& process = report.processes[0];
+
+  const StragglerGroup* download = group_named(process, "download");
+  ASSERT_NE(download, nullptr);
+  EXPECT_EQ(download->count, 5u);
+  EXPECT_DOUBLE_EQ(download->median, 10.0);
+  ASSERT_EQ(download->flagged_count, 2u);
+  // Sorted by duration descending: d5 (50 s, single attempt -> the WAN was
+  // slow) then d4 (40 s, 3 attempts -> retries).
+  EXPECT_EQ(download->flagged[0].name, "d5");
+  EXPECT_EQ(download->flagged[0].attribution, "wan-slow");
+  EXPECT_DOUBLE_EQ(download->flagged[0].ratio, 5.0);
+  EXPECT_EQ(download->flagged[1].name, "d4");
+  EXPECT_EQ(download->flagged[1].attribution, "wan-retry");
+  EXPECT_EQ(download->flagged[1].granule, "g4");
+  EXPECT_DOUBLE_EQ(download->flagged[1].ratio, 4.0);
+
+  const StragglerGroup* preprocess = group_named(process, "preprocess");
+  ASSERT_NE(preprocess, nullptr);
+  EXPECT_DOUBLE_EQ(preprocess->median, 10.0);
+  ASSERT_EQ(preprocess->flagged_count, 1u);
+  // p1: 30 s at payload 300 vs group median payload 100 -> input-size.
+  EXPECT_EQ(preprocess->flagged[0].name, "p1");
+  EXPECT_EQ(preprocess->flagged[0].granule, "g1");
+  EXPECT_EQ(preprocess->flagged[0].attribution, "input-size");
+  EXPECT_DOUBLE_EQ(preprocess->flagged[0].ratio, 3.0);
+}
+
+TEST(Analyze, ReportSerializesAndRenders) {
+  TraceRecorder rec;
+  build_synthetic(rec);
+  const auto report = analyze_trace(rec, synthetic_options());
+  const auto json = report.to_json();
+  EXPECT_NE(json.find("\"schema\": \"mfw.trace_report/v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"process\": \"synthetic\""), std::string::npos);
+  EXPECT_NE(json.find("\"dominant_stage\": \"download\""), std::string::npos);
+  EXPECT_NE(json.find("\"critical_path\""), std::string::npos);
+  EXPECT_NE(json.find("wan-retry"), std::string::npos);
+  const auto text = report.render_text();
+  EXPECT_NE(text.find("synthetic"), std::string::npos);
+  EXPECT_NE(text.find("critical path"), std::string::npos);
+}
+
+TEST(Analyze, EmptyRecorderYieldsNoProcesses) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  const auto report = analyze_trace(rec);
+  EXPECT_TRUE(report.processes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Rollups
+
+TEST(Rollup, TrackStageMapping) {
+  EXPECT_EQ(track_stage("preprocess/node3/w1"), "preprocess");
+  EXPECT_EQ(track_stage("download/w0"), "download");
+  EXPECT_EQ(track_stage("flow/granules"), "flow");
+  EXPECT_EQ(track_stage("standalone"), "standalone");
+}
+
+TEST(Rollup, QuantilesMatchExactWithinDocumentedError) {
+  // Lognormal service times (the shape of the WAN/download distributions):
+  // sketch quantiles must stay within LogHistogram::kMaxRelativeError of the
+  // exact linear-interpolated percentiles.
+  util::Rng rng(42);
+  WindowedSeries series({60.0, 256});
+  std::vector<double> values;
+  values.reserve(20'000);
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = rng.lognormal_median(8.0, 0.6);
+    values.push_back(v);
+    series.add(static_cast<double>(i) * 0.01, v);
+  }
+  const double exact_p50 = util::percentile(values, 50.0);
+  const double exact_p99 = util::percentile(values, 99.0);
+  EXPECT_NEAR(series.p50(), exact_p50,
+              exact_p50 * LogHistogram::kMaxRelativeError);
+  EXPECT_NEAR(series.p99(), exact_p99,
+              exact_p99 * LogHistogram::kMaxRelativeError);
+  // Whole-stream aggregates are exact regardless of windowing.
+  EXPECT_EQ(series.count(), 20'000u);
+  double sum = 0.0, mx = 0.0;
+  for (const double v : values) {
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  EXPECT_NEAR(series.sum(), sum, 1e-6 * sum);
+  EXPECT_DOUBLE_EQ(series.max(), mx);
+}
+
+TEST(Rollup, WindowEvictionBoundsMemory) {
+  WindowedSeries series({1.0, 64});
+  for (int w = 0; w < 200; ++w)
+    for (int i = 0; i < 3; ++i)
+      series.add(static_cast<double>(w) + 0.2 * i, 1.0);
+  EXPECT_EQ(series.windows().size(), 64u);
+  EXPECT_EQ(series.evicted_windows(), 200u - 64u);
+  // Eviction drops windows, never totals.
+  EXPECT_EQ(series.count(), 600u);
+  EXPECT_DOUBLE_EQ(series.sum(), 600.0);
+  // The surviving ring covers the most recent windows.
+  EXPECT_EQ(series.windows().front().index, 200 - 64);
+  EXPECT_EQ(series.windows().back().index, 199);
+}
+
+TEST(Rollup, SpanRollupAggregatesByStageSeries) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  SpanRollup rollup({60.0, 16});
+  rec.set_span_sink(&rollup);
+  rec.add_span("preprocess/node0/w0", "compute", "p", 0.0, 4.0,
+               {{"queue_wait_s", "1.5"}});
+  rec.add_span("preprocess/node1/w2", "compute", "p", 2.0, 8.0,
+               {{"queue_wait_s", "0.5"}});
+  rec.add_span("download/w0", "download", "d", 0.0, 30.0);
+  rec.add_instant("flow/granules", "flow", "granule.ready", 30.0);
+  rec.set_span_sink(nullptr);
+
+  EXPECT_EQ(rollup.spans_seen(), 3u);
+  EXPECT_EQ(rollup.instants_seen(), 1u);
+  const auto durations = rollup.series("preprocess/compute.duration_s");
+  EXPECT_EQ(durations.count(), 2u);
+  EXPECT_DOUBLE_EQ(durations.sum(), 10.0);
+  const auto waits = rollup.series("preprocess/compute.queue_wait_s");
+  EXPECT_EQ(waits.count(), 2u);
+  EXPECT_DOUBLE_EQ(waits.sum(), 2.0);
+  const auto dl = rollup.series("download/download.duration_s");
+  EXPECT_EQ(dl.count(), 1u);
+  EXPECT_NE(rollup.to_json().find("preprocess/compute.duration_s"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Retention policy
+
+TEST(Retention, StatsOnlyBoundsRecorderMemory) {
+  // A counting sink must see every span even while retention drops them.
+  struct CountingSink : SpanSink {
+    std::size_t seen = 0;
+    void on_span(const TraceTrack&, const TraceSpan&) override { ++seen; }
+  } sink;
+
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_retention({RetentionMode::kStatsOnly, 10, 5});
+  rec.set_span_sink(&sink);
+  for (int i = 0; i < 100; ++i) {
+    const auto span = rec.begin_span("w", "compute", "task");
+    rec.end_span(span);
+  }
+  rec.set_span_sink(nullptr);
+
+  EXPECT_EQ(sink.seen, 100u);
+  EXPECT_EQ(rec.observed_span_count(), 100u);
+  EXPECT_EQ(rec.span_count(), 5u);  // 1-in-10 sample, capped at 5
+  EXPECT_EQ(rec.dropped_span_count(), 95u);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+
+  // Instants are counted, not stored.
+  rec.instant("w", "flow", "tick");
+  EXPECT_EQ(rec.instant_count(), 0u);
+  EXPECT_EQ(rec.dropped_instant_count(), 1u);
+
+  // Retention policy and bounded-mode counters survive clear(); the default
+  // policy restores full recording.
+  rec.clear();
+  EXPECT_EQ(rec.observed_span_count(), 0u);
+  EXPECT_EQ(rec.retention().sample_every, 10u);
+  rec.set_retention({});
+  const auto span = rec.begin_span("w", "compute", "task");
+  rec.end_span(span);
+  EXPECT_EQ(rec.span_count(), 1u);
+}
+
+TEST(Retention, FullModeIsUnchangedByDefaultPolicy) {
+  // kFull + no sink must behave exactly like the legacy recorder: every
+  // span retained, ids valid, nothing dropped.
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 0; i < 50; ++i) {
+    const auto span = rec.begin_span("w", "c", "t");
+    rec.end_span(span);
+  }
+  EXPECT_EQ(rec.span_count(), 50u);
+  EXPECT_EQ(rec.observed_span_count(), 50u);
+  EXPECT_EQ(rec.dropped_span_count(), 0u);
+}
+
+TEST(Retention, ModeSwitchWithOpenSpans) {
+  // A span opened under kStatsOnly closes correctly after switching the
+  // policy back to kFull (and vice versa): ids are mode-stable.
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.set_retention({RetentionMode::kStatsOnly, 1, 100});
+  const auto bounded = rec.begin_span("w", "c", "bounded");
+  rec.set_retention({});
+  const auto full = rec.begin_span("w", "c", "full");
+  rec.end_span(bounded);
+  rec.end_span(full);
+  EXPECT_EQ(rec.open_span_count(), 0u);
+  EXPECT_EQ(rec.observed_span_count(), 2u);
+}
+
+}  // namespace
+}  // namespace mfw::obs

@@ -356,6 +356,41 @@ TEST(TraceExport, ChromeTraceJsonIsValidAndComplete) {
   EXPECT_NE(json.find("x\\ny"), std::string::npos);
 }
 
+TEST(TraceExport, ControlCharactersEscapeAsUnicode) {
+  // Sub-0x20 bytes must become \uXXXX escapes, never raw bytes.
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  // Adjacent-literal splicing: the \x escape resolves before concatenation.
+  EXPECT_EQ(json_escape("a\x01" "b"), "a\\u0001b");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape("nl\nquote\"back\\"), "nl\\nquote\\\"back\\\\");
+  EXPECT_EQ(json_escape("plain ascii"), "plain ascii");
+}
+
+TEST(TraceExport, AdversarialLabelsStayValidJson) {
+  // Control characters smuggled into track/category/name/args (e.g. from a
+  // hostile catalog entry) must not break the exported trace.
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.add_span("track\x02" "lane", "cat\tegory", "name\x01" "mid\x1f" "end",
+               0.0, 1.0, {{"key\x03", "value\nwith\x04" "stuff"}});
+  rec.instant("track\x02" "lane", "c", "bell\x07", {{"quote", "\"\\"}});
+
+  const auto json = to_chrome_trace_json(rec);
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0003"), std::string::npos);
+  EXPECT_NE(json.find("\\u0007"), std::string::npos);
+  // No raw control character may survive outside the structural newlines the
+  // writer emits between records.
+  for (const char c : json) {
+    if (static_cast<unsigned char>(c) < 0x20) {
+      EXPECT_EQ(c, '\n');
+    }
+  }
+}
+
 TEST(MetricsExport, TextDumpListsEverySeries) {
   MetricsRegistry reg;
   reg.set_enabled(true);

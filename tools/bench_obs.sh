@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Runs the obs recording-overhead microbenchmark (bench/micro_obs) and
+# snapshots the numbers into BENCH_obs.json at the repo root, so telemetry
+# regressions (gate cost, full-retention path, stats+rollup path) show up as
+# a diff (DESIGN.md §10).
+#
+# Usage: tools/bench_obs.sh [build-dir] [out-json] [extra micro_obs args]
+#        (defaults: build, BENCH_obs.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+out_json="${2:-"${repo_root}/BENCH_obs.json"}"
+shift $(( $# > 2 ? 2 : $# ))
+
+cmake -B "${build_dir}" -S "${repo_root}"
+cmake --build "${build_dir}" -j "$(nproc)" --target micro_obs
+
+"${build_dir}/bench/micro_obs" --out "${out_json}" "$@"
+
+echo "wrote ${out_json}"

@@ -12,6 +12,10 @@
 # After the sanitizer suites pass, the perf smoke gate
 # (tools/ci_perf_smoke.sh) runs on a Release build to catch determinism
 # drift and substrate complexity regressions; skip it with MFW_SKIP_PERF=1.
+# The trace-report smoke gate (tools/ci_report_smoke.sh) then validates the
+# obs analytics layer on the same Release build: report JSON schema,
+# critical-path sanity, CLI flag validation, and the bounded-memory campaign
+# recorder; skip it with MFW_SKIP_REPORT=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -40,4 +44,8 @@ ctest --test-dir "${tsan_dir}" -R '^(ml_|util_)' --output-on-failure
 
 if [[ "${MFW_SKIP_PERF:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_perf_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_REPORT:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_report_smoke.sh"
 fi

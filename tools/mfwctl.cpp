@@ -13,14 +13,22 @@
 //       Run the workflow with the obs layer enabled and export a Chrome
 //       trace-event JSON (load in Perfetto / chrome://tracing) plus an
 //       optional flat metrics dump.
+//   mfwctl report <config.yaml> [--json] [--out <path>] [--straggler-k <k>]
+//       Run the workflow traced and print the trace-analysis report:
+//       critical path, per-stage utilization, queue waits, stragglers with
+//       cause attribution. --json emits the machine-readable report (used by
+//       CI gating) on stdout.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "federation/orchestrator.hpp"
+#include "obs/analyze.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -38,9 +46,68 @@ int usage() {
                "  mfwctl run <config.yaml> [--timeline] [--csv <path>] [--quiet]\n"
                "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
                "  mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]\n"
+               "  mfwctl report <config.yaml> [--json] [--out <path>] [--straggler-k <k>] [--quiet]\n"
                "  mfwctl registry\n"
                "  mfwctl facilities\n");
   return 2;
+}
+
+struct FlagSpec {
+  const char* name;
+  bool takes_value;
+};
+
+/// Flags each command accepts; nullptr for unknown commands.
+const std::vector<FlagSpec>* flags_for(const std::string& command) {
+  static const std::map<std::string, std::vector<FlagSpec>> kFlags = {
+      {"run", {{"--timeline", false}, {"--csv", true}, {"--quiet", false}}},
+      {"run-template",
+       {{"--facility", true},
+        {"--timeline", false},
+        {"--csv", true},
+        {"--quiet", false}}},
+      {"trace",
+       {{"--out", true}, {"--metrics", true}, {"--quiet", false}}},
+      {"report",
+       {{"--json", false},
+        {"--out", true},
+        {"--straggler-k", true},
+        {"--quiet", false}}},
+      {"registry", {}},
+      {"facilities", {}},
+  };
+  const auto it = kFlags.find(command);
+  return it == kFlags.end() ? nullptr : &it->second;
+}
+
+const FlagSpec* find_flag(const std::vector<FlagSpec>& spec,
+                          const std::string& arg) {
+  for (const auto& flag : spec)
+    if (arg == flag.name) return &flag;
+  return nullptr;
+}
+
+/// Rejects unknown `--flags` and value flags missing their value, matching
+/// the unknown-command behaviour (error on stderr, usage, exit nonzero).
+bool validate_flags(const std::string& command,
+                    const std::vector<std::string>& args,
+                    const std::vector<FlagSpec>& spec) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) != 0) continue;
+    const FlagSpec* flag = find_flag(spec, args[i]);
+    if (!flag) {
+      std::fprintf(stderr, "error: unknown flag '%s' for command '%s'\n",
+                   args[i].c_str(), command.c_str());
+      return false;
+    }
+    if (flag->takes_value && i + 1 >= args.size()) {
+      std::fprintf(stderr, "error: flag '%s' requires a value\n",
+                   args[i].c_str());
+      return false;
+    }
+    if (flag->takes_value) ++i;
+  }
+  return true;
 }
 
 std::string slurp(const std::string& path) {
@@ -85,6 +152,9 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
 
+  const std::vector<FlagSpec>* spec = flags_for(command);
+  if (spec && !validate_flags(command, args, *spec)) return usage();
+
   auto has_flag = [&](const char* flag) {
     for (const auto& a : args)
       if (a == flag) return true;
@@ -99,9 +169,8 @@ int main(int argc, char** argv) {
     std::size_t seen = 0;
     for (std::size_t i = 0; i < args.size(); ++i) {
       if (args[i].rfind("--", 0) == 0) {
-        if (args[i] == "--csv" || args[i] == "--facility" ||
-            args[i] == "--out" || args[i] == "--metrics")
-          ++i;  // skip value
+        const FlagSpec* flag = spec ? find_flag(*spec, args[i]) : nullptr;
+        if (flag && flag->takes_value) ++i;  // skip value
         continue;
       }
       if (seen++ == index) return args[i];
@@ -156,6 +225,34 @@ int main(int argc, char** argv) {
         obs::write_file(
             metrics, obs::to_metrics_text(obs::MetricsRegistry::instance()));
         std::printf("metrics written to %s\n", metrics.c_str());
+      }
+      return 0;
+    }
+    if (command == "report") {
+      const auto path = positional(0);
+      if (path.empty()) return usage();
+      auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      const bool json = has_flag("--json");
+      // Keep --json stdout machine-readable: logs already go to stderr, but
+      // silence the info chatter too.
+      if (json) util::Logger::instance().set_level(util::LogLevel::kError);
+      obs::set_globally_enabled(true);
+      pipeline::EomlWorkflow workflow(std::move(config));
+      const auto report = workflow.run();
+      obs::AnalyzeOptions options;
+      if (const auto k = flag_value("--straggler-k"); !k.empty())
+        options.straggler_k = std::atof(k.c_str());
+      const auto analysis =
+          obs::analyze_trace(obs::TraceRecorder::instance(), options);
+      if (const auto out = flag_value("--out"); !out.empty()) {
+        obs::write_file(out, analysis.to_json());
+        if (!json) std::printf("report JSON written to %s\n", out.c_str());
+      }
+      if (json) {
+        std::printf("%s\n", analysis.to_json().c_str());
+      } else {
+        std::printf("%s\n\n%s", report.summary().c_str(),
+                    analysis.render_text().c_str());
       }
       return 0;
     }
