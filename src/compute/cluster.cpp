@@ -134,8 +134,21 @@ void ClusterExecutor::dispatch() {
       }
     }
     if (!best) return;
-    PendingTask task = std::move(queue_.front());
-    queue_.pop_front();
+    // Admission order: FIFO when no policy is installed (the seed-identical
+    // fast path), otherwise the policy picks any queued task or holds.
+    std::size_t pick = 0;
+    if (policy_) {
+      std::vector<TaskView> views;
+      views.reserve(queue_.size());
+      for (const auto& pending : queue_)
+        views.push_back({&pending.desc, pending.submitted_at});
+      pick = policy_->select(views, engine_.now());
+      if (pick == SchedulerPolicy::kHold) return;
+      if (pick >= queue_.size())
+        throw std::logic_error("SchedulerPolicy::select returned bad index");
+    }
+    PendingTask task = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++running_;
     start_on_node(best->id(), std::move(task));
   }
@@ -144,6 +157,7 @@ void ClusterExecutor::dispatch() {
 void ClusterExecutor::start_on_node(int node_id, PendingTask task) {
   NodeSim& node = *nodes_.at(node_id);
   const int worker = node.acquire_worker();
+  if (policy_) policy_->on_start(task.desc, engine_.now());
   record_activity();
 
   const std::uint64_t instance = next_instance_++;
@@ -206,7 +220,9 @@ void ClusterExecutor::complete(std::uint64_t instance) {
   result.worker = state.worker;
   result.payload = state.task.desc.payload;
   result.label = state.task.desc.label;
+  result.campaign = state.task.desc.campaign;
 
+  if (policy_) policy_->on_complete(state.task.desc, engine_.now());
   auto& node = nodes_.at(state.node);
   node->release_worker(state.worker);
   --running_;
@@ -251,6 +267,7 @@ bool ClusterExecutor::fail_node(int node_id) {
     InFlight& st = fit->second;
     engine_.cancel(st.cpu_event);
     it->second->resource().cancel(st.resource_job);
+    if (policy_) policy_->on_evict(st.task.desc, engine_.now());
     obs::TraceRecorder::instance().end_span(st.span,
                                             {{"status", "requeued"}});
     queue_.push_front(std::move(st.task));

@@ -18,6 +18,7 @@
 
 #include <string>
 
+#include "compute/policy.hpp"
 #include "compute/task.hpp"
 #include "obs/trace.hpp"
 #include "sim/resource.hpp"
@@ -64,6 +65,20 @@ class ClusterExecutor {
   /// "inference"). Purely observational; defaults to "cluster".
   void set_label(std::string label) { label_ = std::move(label); }
   const std::string& label() const { return label_; }
+
+  /// Installs an admission policy. Null (the default) keeps the built-in
+  /// strict-FIFO path untouched — the paper-reproduction runs go through it
+  /// so their event order stays bit-for-bit identical to the seed. The
+  /// pointer is shared so one policy instance can arbitrate several
+  /// executors (cross-facility fairness).
+  void set_policy(std::shared_ptr<SchedulerPolicy> policy) {
+    policy_ = std::move(policy);
+  }
+  const std::shared_ptr<SchedulerPolicy>& policy() const { return policy_; }
+
+  /// Re-runs dispatch. External state a holding policy depends on (e.g. WAN
+  /// in-flight bytes) changed; see SchedulerPolicy::kHold.
+  void poke() { dispatch(); }
 
   /// Adds a node with `workers` worker slots; returns its node id.
   int add_node(int workers);
@@ -151,6 +166,7 @@ class ClusterExecutor {
 
   sim::SimEngine& engine_;
   LawFactory law_factory_;
+  std::shared_ptr<SchedulerPolicy> policy_;
   std::string label_ = "cluster";
   std::map<int, std::unique_ptr<NodeSim>> nodes_;
   std::map<int, bool> draining_;

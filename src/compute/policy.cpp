@@ -1,0 +1,82 @@
+#include "compute/policy.hpp"
+
+#include <stdexcept>
+
+namespace mfw::compute {
+
+void SchedulerPolicy::on_start(const SimTaskDesc&, double) {}
+void SchedulerPolicy::on_complete(const SimTaskDesc&, double) {}
+void SchedulerPolicy::on_evict(const SimTaskDesc&, double) {}
+
+std::size_t FifoPolicy::select(const std::vector<TaskView>&, double) {
+  return 0;
+}
+
+std::size_t FairSharePolicy::select(const std::vector<TaskView>& queue,
+                                    double) {
+  std::size_t best = 0;
+  int best_share = std::numeric_limits<int>::max();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const auto it = running_.find(queue[i].desc->campaign);
+    const int share = it == running_.end() ? 0 : it->second;
+    if (share < best_share) {
+      best_share = share;
+      best = i;
+    }
+  }
+  return best;
+}
+
+void FairSharePolicy::on_start(const SimTaskDesc& desc, double) {
+  ++running_[desc.campaign];
+}
+
+void FairSharePolicy::on_complete(const SimTaskDesc& desc, double) {
+  const auto it = running_.find(desc.campaign);
+  if (it != running_.end() && --it->second <= 0) running_.erase(it);
+}
+
+void FairSharePolicy::on_evict(const SimTaskDesc& desc, double now) {
+  on_complete(desc, now);
+}
+
+int FairSharePolicy::running(const std::string& campaign) const {
+  const auto it = running_.find(campaign);
+  return it == running_.end() ? 0 : it->second;
+}
+
+std::size_t DeadlinePolicy::select(const std::vector<TaskView>& queue,
+                                   double) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue.size(); ++i) {
+    if (queue[i].desc->deadline < queue[best].desc->deadline) best = i;
+  }
+  return best;
+}
+
+std::size_t WanAwarePolicy::select(const std::vector<TaskView>& queue,
+                                   double) {
+  if (!wan_in_flight_) return 0;
+  std::size_t best = 0;
+  double best_wan = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const double wan = wan_in_flight_(queue[i].desc->campaign);
+    if (wan < best_wan) {
+      best_wan = wan;
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<SchedulerPolicy> make_policy(std::string_view name,
+                                             WanAwarePolicy::WanProbe probe) {
+  if (name == "fifo") return std::make_unique<FifoPolicy>();
+  if (name == "fair_share") return std::make_unique<FairSharePolicy>();
+  if (name == "deadline") return std::make_unique<DeadlinePolicy>();
+  if (name == "wan_aware")
+    return std::make_unique<WanAwarePolicy>(std::move(probe));
+  throw std::invalid_argument("unknown scheduler policy: " + std::string(name));
+}
+
+}  // namespace mfw::compute

@@ -1,0 +1,118 @@
+// Pluggable task-admission policies for the ClusterExecutor.
+//
+// The seed pipeline hard-wired FIFO admission inside dispatch(); the
+// declarative-workflow refactor (ROADMAP item 4) extracts that decision
+// behind SchedulerPolicy so concurrent compiled workflows (campaigns) can
+// compete for the same facility under different disciplines. A policy picks
+// *which queued task* is admitted when a worker slot frees; node placement
+// (least-loaded spread) stays in the executor, mirroring how a Parsl
+// interchange separates queue discipline from worker selection.
+//
+// One policy instance may be shared by several executors (e.g. one per
+// facility): fairness accounting is then global across facilities, which is
+// exactly what cross-facility fair share means.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compute/task.hpp"
+
+namespace mfw::compute {
+
+/// Borrowed view of one queued task, in submission order.
+struct TaskView {
+  const SimTaskDesc* desc = nullptr;
+  double submitted_at = 0.0;
+};
+
+class SchedulerPolicy {
+ public:
+  /// Sentinel return from select(): admit nothing now. A policy that holds
+  /// must guarantee an external wake-up (ClusterExecutor::poke()) or the
+  /// queue deadlocks — the executor only re-dispatches on submit/complete/
+  /// add_node.
+  static constexpr std::size_t kHold = std::numeric_limits<std::size_t>::max();
+
+  virtual ~SchedulerPolicy() = default;
+  virtual std::string_view name() const = 0;
+
+  /// Picks the index of the next task to admit from `queue` (never empty),
+  /// or kHold to defer admission.
+  virtual std::size_t select(const std::vector<TaskView>& queue,
+                             double now) = 0;
+
+  /// Admission/retirement notifications for policies keeping running-share
+  /// state. on_evict covers tasks cancelled and requeued by fail_node().
+  virtual void on_start(const SimTaskDesc& desc, double now);
+  virtual void on_complete(const SimTaskDesc& desc, double now);
+  virtual void on_evict(const SimTaskDesc& desc, double now);
+};
+
+/// Strict submission order — identical to the executor's built-in behaviour
+/// (the null policy); exists so sweeps can name the baseline.
+class FifoPolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  std::size_t select(const std::vector<TaskView>& queue, double now) override;
+};
+
+/// Fair share across campaigns: admit the oldest task of the campaign with
+/// the fewest currently running tasks (globally, when the instance is shared
+/// across executors). Ties break toward submission order.
+class FairSharePolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "fair_share"; }
+  std::size_t select(const std::vector<TaskView>& queue, double now) override;
+  void on_start(const SimTaskDesc& desc, double now) override;
+  void on_complete(const SimTaskDesc& desc, double now) override;
+  void on_evict(const SimTaskDesc& desc, double now) override;
+
+  /// Currently running tasks for one campaign (test/diagnostic hook).
+  int running(const std::string& campaign) const;
+
+ private:
+  std::map<std::string, int, std::less<>> running_;
+};
+
+/// Earliest-deadline-first: admit the queued task with the smallest absolute
+/// deadline (tasks without a deadline sort last). Ties break toward
+/// submission order.
+class DeadlinePolicy final : public SchedulerPolicy {
+ public:
+  std::string_view name() const override { return "deadline"; }
+  std::size_t select(const std::vector<TaskView>& queue, double now) override;
+};
+
+/// WAN/compute co-scheduling: prefer tasks whose campaign has the least WAN
+/// traffic in flight (its inputs have landed — compute them now, and let
+/// campaigns still transferring keep the wide-area link busy meanwhile).
+/// `wan_in_flight` reports bytes currently moving for a campaign; without a
+/// probe the policy degrades to FIFO.
+class WanAwarePolicy final : public SchedulerPolicy {
+ public:
+  using WanProbe = std::function<double(const std::string& campaign)>;
+
+  explicit WanAwarePolicy(WanProbe wan_in_flight = nullptr)
+      : wan_in_flight_(std::move(wan_in_flight)) {}
+
+  std::string_view name() const override { return "wan_aware"; }
+  std::size_t select(const std::vector<TaskView>& queue, double now) override;
+
+ private:
+  WanProbe wan_in_flight_;
+};
+
+/// Instantiates a policy by sweep name ("fifo", "fair_share", "deadline",
+/// "wan_aware"); throws std::invalid_argument for unknown names. The WAN
+/// probe is only consulted by "wan_aware".
+std::unique_ptr<SchedulerPolicy> make_policy(std::string_view name,
+                                             WanAwarePolicy::WanProbe probe);
+
+}  // namespace mfw::compute

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -24,6 +25,12 @@ struct SimTaskDesc {
   double payload = 0.0;
   /// Optional label for tracing.
   std::string label;
+  /// Campaign (concurrent compiled workflow) this task belongs to; policies
+  /// use it for fairness and WAN co-scheduling. Empty = unaffiliated.
+  std::string campaign;
+  /// Absolute sim-time deadline for deadline-aware admission; infinity means
+  /// "no deadline" (sorts after every dated task).
+  double deadline = std::numeric_limits<double>::infinity();
   /// Extra key/value annotations copied onto the task's trace span (e.g. the
   /// "granule" identity the analyzer uses to stitch the per-granule DAG).
   std::vector<std::pair<std::string, std::string>> trace_args;
@@ -37,6 +44,7 @@ struct SimTaskResult {
   int worker = -1;
   double payload = 0.0;
   std::string label;
+  std::string campaign;
 
   double queue_wait() const { return started_at - submitted_at; }
   double service_time() const { return finished_at - started_at; }

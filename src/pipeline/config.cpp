@@ -1,6 +1,7 @@
 #include "pipeline/config.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace mfw::pipeline {
@@ -36,6 +37,48 @@ SchedulingMode parse_scheduling(const std::string& name) {
   throw util::YamlError("unknown scheduling mode: " + name);
 }
 
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t next = std::min(
+          {row[j] + 1, row[j - 1] + 1, diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+constexpr const char* kTopLevelKeys[] = {
+    "workflow", "download", "preprocess", "monitor",
+    "inference", "shipment", "facility", "content"};
+
+/// Typos used to silently fall back to defaults ("downlaod:" configured
+/// nothing); reject them, suggesting the closest section name.
+void reject_unknown_sections(const util::YamlNode& root) {
+  if (!root.is_map()) return;
+  for (const auto& key : root.keys()) {
+    bool known = false;
+    for (const char* valid : kTopLevelKeys) known = known || key == valid;
+    if (known) continue;
+    const char* nearest = kTopLevelKeys[0];
+    std::size_t best = std::numeric_limits<std::size_t>::max();
+    for (const char* valid : kTopLevelKeys) {
+      const auto d = edit_distance(key, valid);
+      if (d < best) {
+        best = d;
+        nearest = valid;
+      }
+    }
+    throw util::YamlError("config: unknown top-level key '" + key +
+                          "' (did you mean '" + std::string(nearest) + "'?)");
+  }
+}
+
 }  // namespace
 
 const char* to_string(SchedulingMode mode) {
@@ -43,6 +86,7 @@ const char* to_string(SchedulingMode mode) {
 }
 
 EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
+  reject_unknown_sections(root);
   EomlConfig config;
   const auto& wf = root["workflow"];
   if (wf.is_map()) {

@@ -136,6 +136,7 @@ std::string EomlReport::summary() const {
 
 EomlWorkflow::EomlWorkflow(EomlConfig config)
     : config_(std::move(config)),
+      graph_(compile_config(config_)),
       laads_(config_.seed),
       defiant_raw_("defiant", &engine_),
       defiant_fs_(defiant_raw_, kDefiantLustreBps),

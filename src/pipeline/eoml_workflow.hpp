@@ -46,7 +46,9 @@
 #include "ml/ricc.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/config.hpp"
+#include "pipeline/spec_compile.hpp"
 #include "pipeline/timeline.hpp"
+#include "spec/spec.hpp"
 #include "storage/lustre_sim.hpp"
 #include "storage/memfs.hpp"
 #include "transfer/download.hpp"
@@ -129,14 +131,22 @@ class EomlWorkflow {
   flow::EventBus& events() { return bus_; }
   sim::SimEngine& engine() { return engine_; }
   const EomlConfig& config() const { return config_; }
+  /// The compiled built-in paper spec this run executes (DESIGN.md §11):
+  /// every construction validates the stage DAG, and the dataflow decisions
+  /// below consult its edge modes.
+  const spec::StageGraph& plan() const { return graph_; }
   const modis::ArchiveService& archive() const { return laads_; }
   storage::FileSystem& defiant_fs() { return defiant_fs_; }
   storage::FileSystem& orion_fs() { return orion_fs_; }
   const storage::LustreSimFs& defiant_lustre() const { return defiant_fs_; }
 
  private:
+  /// The scheduling switch is a property of the compiled DAG, not of the
+  /// config: the download->preprocess edge mode decides whether granules
+  /// stream into the farm or wait for the whole-stage barrier.
   bool streaming() const {
-    return config_.scheduling == SchedulingMode::kStreaming;
+    return graph_.edge_mode("download", "preprocess") ==
+           spec::EdgeMode::kStreaming;
   }
 
   void start_download();
@@ -167,6 +177,9 @@ class EomlWorkflow {
                                fields = {});
 
   EomlConfig config_;
+  /// Validated paper spec (built from config_ before any substrate spins
+  /// up; construction fails fast on an invalid stage graph).
+  spec::StageGraph graph_;
   sim::SimEngine engine_;
   modis::ArchiveService laads_;
 

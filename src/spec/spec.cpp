@@ -1,0 +1,319 @@
+#include "spec/spec.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace mfw::spec {
+
+namespace {
+
+/// Rejects keys outside `allowed`, anchored at the stray key's value line.
+void check_keys(const util::YamlNode& node,
+                const std::vector<std::string_view>& allowed,
+                const std::string& context) {
+  if (!node.is_map()) return;
+  for (const auto& key : node.keys()) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      throw SpecError(node[key].line(),
+                      context + ": unknown key '" + key + "'");
+    }
+  }
+}
+
+EdgeMode parse_edge_mode(const util::YamlNode& node) {
+  const auto& name = node.as_string();
+  if (name == "barrier") return EdgeMode::kBarrier;
+  if (name == "streaming") return EdgeMode::kStreaming;
+  throw SpecError(node.line(), "unknown dataflow mode '" + name +
+                                   "' (expected barrier or streaming)");
+}
+
+ResourceClaim parse_claim(const util::YamlNode& node,
+                          const std::string& stage_name,
+                          std::size_t stage_line) {
+  ResourceClaim claim;
+  claim.line = node.is_null() ? stage_line : node.line();
+  if (node.is_null()) return claim;
+  check_keys(node,
+             {"nodes", "workers_per_node", "wan", "cpu_per_item",
+              "demand_per_item", "bytes_per_item"},
+             "stage '" + stage_name + "' claim");
+  claim.nodes = static_cast<int>(node["nodes"].as_int_or(claim.nodes));
+  claim.workers_per_node = static_cast<int>(
+      node["workers_per_node"].as_int_or(claim.workers_per_node));
+  if (node.has("wan"))
+    claim.wan_bps = static_cast<double>(node["wan"].as_bytes());
+  claim.cpu_seconds_per_item =
+      node["cpu_per_item"].as_double_or(claim.cpu_seconds_per_item);
+  claim.shared_demand_per_item =
+      node["demand_per_item"].as_double_or(claim.shared_demand_per_item);
+  if (node.has("bytes_per_item"))
+    claim.bytes_per_item =
+        static_cast<double>(node["bytes_per_item"].as_bytes());
+  if (claim.nodes < 1 || claim.workers_per_node < 1)
+    throw SpecError(claim.line, "stage '" + stage_name +
+                                    "' claim: nodes and workers_per_node "
+                                    "must be >= 1");
+  return claim;
+}
+
+StageSpec parse_stage(const util::YamlNode& node) {
+  if (!node.is_map())
+    throw SpecError(node.line(), "each stage must be a map");
+  check_keys(node, {"name", "kind", "inputs", "claim"}, "stage");
+  StageSpec stage;
+  stage.line = node.line();
+  if (!node.has("name"))
+    throw SpecError(node.line(), "stage is missing 'name'");
+  stage.name = node["name"].as_string();
+  stage.kind = node["kind"].as_string_or(stage.kind);
+  if (stage.kind != "compute" && stage.kind != "transfer")
+    throw SpecError(node["kind"].line(),
+                    "stage '" + stage.name + "': unknown kind '" +
+                        stage.kind + "' (expected compute or transfer)");
+  if (node.has("inputs")) {
+    for (const auto& input : node["inputs"].items())
+      stage.inputs.push_back(input.as_string());
+  }
+  stage.claim = parse_claim(node["claim"], stage.name, stage.line);
+  return stage;
+}
+
+}  // namespace
+
+const char* to_string(EdgeMode mode) {
+  return mode == EdgeMode::kStreaming ? "streaming" : "barrier";
+}
+
+WorkflowSpec WorkflowSpec::from_yaml(const util::YamlNode& root) {
+  if (!root.is_map())
+    throw SpecError(root.line(), "spec document must be a map");
+  check_keys(root, {"name", "stages", "dataflow", "campaign"}, "spec");
+  WorkflowSpec spec;
+  spec.name = root["name"].as_string_or(spec.name);
+
+  const auto& stages = root["stages"];
+  if (!stages.is_list())
+    throw SpecError(root.line(), "spec needs a 'stages' list");
+  for (const auto& entry : stages.items())
+    spec.stages.push_back(parse_stage(entry));
+
+  const auto& dataflow = root["dataflow"];
+  if (dataflow.is_list()) {
+    for (const auto& entry : dataflow.items()) {
+      if (!entry.is_map())
+        throw SpecError(entry.line(), "each dataflow entry must be a map");
+      check_keys(entry, {"from", "to", "mode"}, "dataflow edge");
+      EdgeSpec edge;
+      edge.line = entry.line();
+      if (!entry.has("from") || !entry.has("to"))
+        throw SpecError(entry.line(), "dataflow edge needs 'from' and 'to'");
+      edge.from = entry["from"].as_string();
+      edge.to = entry["to"].as_string();
+      if (entry.has("mode")) edge.mode = parse_edge_mode(entry["mode"]);
+      spec.dataflow.push_back(std::move(edge));
+    }
+  } else if (!dataflow.is_null()) {
+    throw SpecError(dataflow.line(), "'dataflow' must be a list of edges");
+  }
+
+  const auto& campaign = root["campaign"];
+  if (campaign.is_map()) {
+    check_keys(campaign, {"count", "spacing", "items", "deadline"},
+               "campaign");
+    spec.campaign.line = campaign.line();
+    spec.campaign.count =
+        static_cast<int>(campaign["count"].as_int_or(spec.campaign.count));
+    spec.campaign.arrival_spacing =
+        campaign["spacing"].as_double_or(spec.campaign.arrival_spacing);
+    spec.campaign.items =
+        static_cast<int>(campaign["items"].as_int_or(spec.campaign.items));
+    spec.campaign.deadline =
+        campaign["deadline"].as_double_or(spec.campaign.deadline);
+    if (spec.campaign.count < 1 || spec.campaign.items < 1)
+      throw SpecError(spec.campaign.line,
+                      "campaign: count and items must be >= 1");
+  } else if (!campaign.is_null()) {
+    throw SpecError(campaign.line(), "'campaign' must be a map");
+  }
+  return spec;
+}
+
+WorkflowSpec WorkflowSpec::from_yaml_text(std::string_view text) {
+  return from_yaml(util::parse_yaml(text));
+}
+
+StageGraph StageGraph::compile(const WorkflowSpec& spec,
+                               const FacilityCaps& caps) {
+  if (spec.stages.empty())
+    throw SpecError(0, "workflow '" + spec.name + "' has no stages");
+
+  // Duplicate-name check; remember declaration lines for later anchors.
+  std::map<std::string, const StageSpec*, std::less<>> by_name;
+  for (const auto& stage : spec.stages) {
+    const auto [it, inserted] = by_name.emplace(stage.name, &stage);
+    if (!inserted) {
+      throw SpecError(stage.line, "duplicate stage name '" + stage.name +
+                                      "' (first declared at line " +
+                                      std::to_string(it->second->line) + ")");
+    }
+  }
+
+  // Undeclared-input check: every declared input must name a stage.
+  for (const auto& stage : spec.stages) {
+    for (const auto& input : stage.inputs) {
+      if (by_name.find(input) == by_name.end())
+        throw SpecError(stage.line, "stage '" + stage.name +
+                                        "' reads from undeclared input '" +
+                                        input + "'");
+      if (input == stage.name)
+        throw SpecError(stage.line,
+                        "stage '" + stage.name + "' lists itself as input");
+    }
+  }
+
+  // Dataflow overrides must match a declared input edge.
+  for (const auto& edge : spec.dataflow) {
+    const auto it = by_name.find(edge.to);
+    if (by_name.find(edge.from) == by_name.end() || it == by_name.end())
+      throw SpecError(edge.line, "dataflow edge '" + edge.from + " -> " +
+                                     edge.to + "' names an unknown stage");
+    const auto& inputs = it->second->inputs;
+    if (std::find(inputs.begin(), inputs.end(), edge.from) == inputs.end())
+      throw SpecError(edge.line, "dataflow edge '" + edge.from + " -> " +
+                                     edge.to + "': stage '" + edge.to +
+                                     "' does not declare input '" +
+                                     edge.from + "'");
+  }
+
+  // Claim-vs-capacity check.
+  for (const auto& stage : spec.stages) {
+    const auto& claim = stage.claim;
+    if (claim.nodes > caps.total_nodes)
+      throw SpecError(claim.line,
+                      "stage '" + stage.name + "' claims " +
+                          std::to_string(claim.nodes) + " nodes but facility '" +
+                          caps.name + "' has " +
+                          std::to_string(caps.total_nodes));
+    if (claim.workers_per_node > caps.max_workers_per_node)
+      throw SpecError(claim.line,
+                      "stage '" + stage.name + "' claims " +
+                          std::to_string(claim.workers_per_node) +
+                          " workers/node but facility '" + caps.name +
+                          "' allows " +
+                          std::to_string(caps.max_workers_per_node));
+    if (claim.wan_bps > caps.wan_bps)
+      throw SpecError(claim.line,
+                      "stage '" + stage.name + "' claims " +
+                          std::to_string(claim.wan_bps) +
+                          " B/s WAN but facility '" + caps.name + "' has " +
+                          std::to_string(caps.wan_bps) + " B/s");
+  }
+
+  // Kahn topological sort, stable in declaration order; leftovers = cycle.
+  StageGraph graph;
+  graph.spec_ = spec;
+  graph.caps_ = caps;
+  std::map<std::string, int, std::less<>> pending_inputs;
+  for (const auto& stage : spec.stages)
+    pending_inputs[stage.name] = static_cast<int>(stage.inputs.size());
+  std::set<std::string, std::less<>> done;
+  while (graph.topo_.size() < spec.stages.size()) {
+    bool advanced = false;
+    for (const auto& stage : spec.stages) {
+      if (done.count(stage.name) || pending_inputs[stage.name] != 0) continue;
+      graph.topo_.push_back(stage.name);
+      done.insert(stage.name);
+      advanced = true;
+      for (const auto& other : spec.stages) {
+        if (std::find(other.inputs.begin(), other.inputs.end(), stage.name) !=
+            other.inputs.end())
+          --pending_inputs[other.name];
+      }
+    }
+    if (!advanced) {
+      // Anchor the cycle report at the first (declaration order) stage that
+      // never became ready.
+      for (const auto& stage : spec.stages) {
+        if (!done.count(stage.name))
+          throw SpecError(stage.line, "dependency cycle involving stage '" +
+                                          stage.name + "'");
+      }
+    }
+  }
+  return graph;
+}
+
+const StageSpec& StageGraph::stage(std::string_view name) const {
+  for (const auto& stage : spec_.stages)
+    if (stage.name == name) return stage;
+  throw SpecError(0, "unknown stage '" + std::string(name) + "'");
+}
+
+bool StageGraph::has_stage(std::string_view name) const {
+  for (const auto& stage : spec_.stages)
+    if (stage.name == name) return true;
+  return false;
+}
+
+EdgeMode StageGraph::edge_mode(std::string_view from,
+                               std::string_view to) const {
+  const auto& inputs = stage(to).inputs;
+  if (std::find(inputs.begin(), inputs.end(), from) == inputs.end())
+    throw SpecError(0, "no edge '" + std::string(from) + " -> " +
+                           std::string(to) + "'");
+  for (const auto& edge : spec_.dataflow) {
+    if (edge.from == from && edge.to == to) return edge.mode;
+  }
+  return EdgeMode::kBarrier;
+}
+
+std::vector<std::string> StageGraph::downstream(std::string_view name) const {
+  std::vector<std::string> out;
+  for (const auto& stage : spec_.stages) {
+    if (std::find(stage.inputs.begin(), stage.inputs.end(), name) !=
+        stage.inputs.end())
+      out.push_back(stage.name);
+  }
+  return out;
+}
+
+std::string StageGraph::describe() const {
+  std::ostringstream os;
+  os << "workflow '" << spec_.name << "' on facility '" << caps_.name << "' ("
+     << caps_.total_nodes << " nodes, " << caps_.wan_bps << " B/s WAN)\n";
+  const auto& c = spec_.campaign;
+  os << "campaign: " << c.count << " instance(s) x " << c.items
+     << " item(s), spacing " << c.arrival_spacing << "s";
+  if (c.deadline != std::numeric_limits<double>::infinity())
+    os << ", deadline " << c.deadline << "s";
+  os << "\nstages (topological order):\n";
+  for (const auto& name : topo_) {
+    const auto& st = stage(name);
+    os << "  " << st.name << " [" << st.kind << "] claim{nodes=" << st.claim.nodes
+       << " workers/node=" << st.claim.workers_per_node;
+    if (st.claim.wan_bps > 0) os << " wan=" << st.claim.wan_bps << "B/s";
+    if (st.claim.cpu_seconds_per_item > 0)
+      os << " cpu/item=" << st.claim.cpu_seconds_per_item << "s";
+    if (st.claim.shared_demand_per_item > 0)
+      os << " demand/item=" << st.claim.shared_demand_per_item;
+    if (st.claim.bytes_per_item > 0)
+      os << " bytes/item=" << st.claim.bytes_per_item;
+    os << "}\n";
+  }
+  os << "edges:\n";
+  bool any = false;
+  for (const auto& name : topo_) {
+    for (const auto& to : downstream(name)) {
+      os << "  " << name << " -> " << to << " ["
+         << to_string(edge_mode(name, to)) << "]\n";
+      any = true;
+    }
+  }
+  if (!any) os << "  (none)\n";
+  return os.str();
+}
+
+}  // namespace mfw::spec

@@ -92,26 +92,45 @@ void split_flow_fields(std::string_view inner, std::size_t line_no,
     fail(line_no, "unbalanced flow collection");
 }
 
+// Splits a flow collection body into fields, dropping a trailing
+// empty/whitespace-only field so `[a, b,]` and `{a: 1,}` parse as the
+// comma-less equivalents (interior empties stay significant: `[a, , b]`
+// keeps its null item).
+std::vector<std::string_view> flow_fields(std::string_view inner,
+                                          std::size_t line_no) {
+  std::vector<std::string_view> fields;
+  split_flow_fields(inner, line_no,
+                    [&](std::string_view field) { fields.push_back(field); });
+  if (!fields.empty() && trim(fields.back()).empty()) fields.pop_back();
+  return fields;
+}
+
 // Parses a scalar token: unquotes, recognizes flow lists and flow maps.
 YamlNode parse_value(std::string_view token, std::size_t line_no) {
   token = trim(token);
-  if (token.empty() || token == "~" || token == "null") return YamlNode{};
+  if (token.empty() || token == "~" || token == "null") {
+    YamlNode node;
+    node.set_line(line_no);
+    return node;
+  }
   if (token.front() == '[') {
     if (token.back() != ']') fail(line_no, "unterminated flow list");
     auto node = YamlNode::list();
+    node.set_line(line_no);
     std::string_view inner = token.substr(1, token.size() - 2);
     if (trim(inner).empty()) return node;
-    split_flow_fields(inner, line_no, [&](std::string_view field) {
+    for (std::string_view field : flow_fields(inner, line_no)) {
       node.push_back(parse_value(field, line_no));
-    });
+    }
     return node;
   }
   if (token.front() == '{') {
     if (token.back() != '}') fail(line_no, "unterminated flow map");
     auto node = YamlNode::map();
+    node.set_line(line_no);
     std::string_view inner = token.substr(1, token.size() - 2);
     if (trim(inner).empty()) return node;
-    split_flow_fields(inner, line_no, [&](std::string_view field) {
+    for (std::string_view field : flow_fields(inner, line_no)) {
       field = trim(field);
       // Find the key separator at depth 0 (allowing nested collections in
       // the value).
@@ -137,25 +156,31 @@ YamlNode parse_value(std::string_view token, std::size_t line_no) {
         key = key.substr(1, key.size() - 2);
       }
       node.set(std::move(key), parse_value(field.substr(colon + 1), line_no));
-    });
+    }
     return node;
   }
-  if ((token.front() == '"' && token.back() == '"' && token.size() >= 2) ||
-      (token.front() == '\'' && token.back() == '\'' && token.size() >= 2)) {
-    return YamlNode::scalar(std::string(token.substr(1, token.size() - 2)));
-  }
-  return YamlNode::scalar(std::string(token));
+  YamlNode node =
+      ((token.front() == '"' && token.back() == '"' && token.size() >= 2) ||
+       (token.front() == '\'' && token.back() == '\'' && token.size() >= 2))
+          ? YamlNode::scalar(std::string(token.substr(1, token.size() - 2)))
+          : YamlNode::scalar(std::string(token));
+  node.set_line(line_no);
+  return node;
 }
 
-// Finds the ':' that splits "key: value" (outside quotes); returns npos if
-// the line is not a map entry.
+// Finds the ':' that splits "key: value" (outside quotes and outside flow
+// collections — `- {a: 1}` is a flow-map list item, not an inline map
+// entry keyed "{a"); returns npos if the line is not a map entry.
 std::size_t find_key_colon(std::string_view s) {
   bool in_single = false, in_double = false;
+  int depth = 0;
   for (std::size_t i = 0; i < s.size(); ++i) {
     const char c = s[i];
     if (c == '\'' && !in_double) in_single = !in_single;
     else if (c == '"' && !in_single) in_double = !in_double;
-    else if (c == ':' && !in_single && !in_double) {
+    else if (!in_single && !in_double && (c == '[' || c == '{')) ++depth;
+    else if (!in_single && !in_double && (c == ']' || c == '}')) --depth;
+    else if (c == ':' && !in_single && !in_double && depth == 0) {
       if (i + 1 == s.size() || s[i + 1] == ' ') return i;
     }
   }
@@ -184,6 +209,7 @@ class Parser {
 
   YamlNode parse_map(std::size_t indent) {
     auto node = YamlNode::map();
+    if (pos_ < lines_.size()) node.set_line(lines_[pos_].number);
     while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
       const Line& line = lines_[pos_];
       if (starts_with(line.content, "- "))
@@ -203,7 +229,9 @@ class Parser {
       } else if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
         node.set(std::move(key), parse_block(lines_[pos_].indent));
       } else {
-        node.set(std::move(key), YamlNode{});
+        YamlNode null_value;
+        null_value.set_line(line.number);
+        node.set(std::move(key), std::move(null_value));
       }
     }
     if (pos_ < lines_.size() && lines_[pos_].indent > indent)
@@ -213,6 +241,7 @@ class Parser {
 
   YamlNode parse_list(std::size_t indent) {
     auto node = YamlNode::list();
+    if (pos_ < lines_.size()) node.set_line(lines_[pos_].number);
     while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
            (starts_with(lines_[pos_].content, "- ") || lines_[pos_].content == "-")) {
       Line& line = lines_[pos_];
@@ -224,7 +253,9 @@ class Parser {
         if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
           node.push_back(parse_block(lines_[pos_].indent));
         } else {
-          node.push_back(YamlNode{});
+          YamlNode null_item;
+          null_item.set_line(line.number);
+          node.push_back(std::move(null_item));
         }
         continue;
       }
@@ -263,11 +294,26 @@ void dump_node(const YamlNode& node, std::ostringstream& os, int indent);
 bool needs_quotes(const std::string& s) {
   if (s.empty()) return true;
   for (char c : s) {
-    if (c == ':' || c == '#' || c == '[' || c == ']' || c == ',' || c == '\'' ||
-        c == '"' || c == '\n')
+    if (c == ':' || c == '#' || c == '[' || c == ']' || c == '{' || c == '}' ||
+        c == ',' || c == '\'' || c == '"' || c == '\n')
       return true;
   }
   return s.front() == ' ' || s.back() == ' ' || s == "null" || s == "~";
+}
+
+// Emits a map key, quoting it when the raw spelling would reparse as
+// something else (e.g. a key containing ": ").
+void dump_key(const std::string& key, std::ostringstream& os) {
+  if (needs_quotes(key)) {
+    os << '"';
+    for (char c : key) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << '"';
+  } else {
+    os << key;
+  }
 }
 
 void dump_scalar(const YamlNode& node, std::ostringstream& os) {
@@ -312,11 +358,13 @@ void dump_node(const YamlNode& node, std::ostringstream& os, int indent) {
     case YamlNode::Kind::kMap:
       for (const auto& key : node.keys()) {
         const auto& value = node[key];
+        os << pad;
+        dump_key(key, os);
         if (value.is_map() || value.is_list()) {
-          os << pad << key << ":\n";
+          os << ":\n";
           dump_node(value, os, indent + 2);
         } else {
-          os << pad << key << ": ";
+          os << ": ";
           dump_scalar(value, os);
           os << '\n';
         }

@@ -81,6 +81,12 @@ class YamlNode {
   /// Dotted-path lookup across nested maps: path("download.workers").
   const YamlNode& path(std::string_view dotted) const;
 
+  /// 1-based source line this node was parsed from (0 for synthesized
+  /// nodes). Consumers building layered validators (e.g. mfw::spec) use it
+  /// to anchor semantic errors to the offending line.
+  std::size_t line() const { return line_; }
+  void set_line(std::size_t line) { line_ = line; }
+
   /// Serializes back to YAML text (round-trip subset, used by provenance).
   std::string dump(int indent = 0) const;
 
@@ -88,6 +94,7 @@ class YamlNode {
   explicit YamlNode(Kind kind) : kind_(kind) {}
 
   Kind kind_;
+  std::size_t line_ = 0;
   std::string scalar_;
   std::vector<YamlNode> list_;
   std::vector<std::string> keys_;

@@ -5,10 +5,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <memory>
 #include <set>
 
 #include "compute/block_provider.hpp"
 #include "compute/cluster.hpp"
+#include "compute/policy.hpp"
 #include "compute/slurm_sim.hpp"
 #include "compute/thread_executor.hpp"
 #include "preprocess/tasks.hpp"
@@ -401,6 +404,105 @@ TEST(BlockProvider, StopReleasesEverything) {
   engine.run();
   EXPECT_EQ(provider.active_blocks(), 0);
   EXPECT_EQ(slurm.free_nodes(), 8);
+}
+
+namespace {
+
+// Queues `labels` as equal-cost tasks before any node exists, then adds one
+// node so the installed policy decides the whole admission order. Returns
+// labels in completion order.
+std::vector<std::string> run_policy_order(
+    std::shared_ptr<SchedulerPolicy> policy,
+    const std::vector<SimTaskDesc>& tasks, int workers = 1) {
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  exec.set_policy(std::move(policy));
+  for (const auto& desc : tasks) exec.submit(desc);
+  exec.add_node(workers);
+  engine.run();
+  std::vector<std::string> order;
+  for (const auto& r : exec.results()) order.push_back(r.label);
+  return order;
+}
+
+SimTaskDesc policy_task(std::string label, std::string campaign = "",
+                        double deadline =
+                            std::numeric_limits<double>::infinity()) {
+  SimTaskDesc desc;
+  desc.cpu_seconds = 1.0;
+  desc.label = std::move(label);
+  desc.campaign = std::move(campaign);
+  desc.deadline = deadline;
+  return desc;
+}
+
+}  // namespace
+
+TEST(Policy, FifoMatchesSubmissionOrder) {
+  const auto order = run_policy_order(
+      std::make_shared<FifoPolicy>(),
+      {policy_task("t0"), policy_task("t1"), policy_task("t2")});
+  EXPECT_EQ(order, (std::vector<std::string>{"t0", "t1", "t2"}));
+}
+
+TEST(Policy, FairShareInterleavesCampaigns) {
+  // Two workers, four tasks per campaign, campaign A fully queued ahead of
+  // B. FIFO would start A,A; fair share must give the second slot to B.
+  std::vector<SimTaskDesc> tasks;
+  for (int i = 0; i < 4; ++i) tasks.push_back(policy_task("a", "A"));
+  for (int i = 0; i < 4; ++i) tasks.push_back(policy_task("b", "B"));
+  const auto order =
+      run_policy_order(std::make_shared<FairSharePolicy>(), tasks, 2);
+  ASSERT_EQ(order.size(), 8u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");  // B admitted while an A task still runs
+}
+
+TEST(Policy, DeadlineRunsEarliestFirst) {
+  const auto order = run_policy_order(
+      std::make_shared<DeadlinePolicy>(),
+      {policy_task("late", "", 30.0), policy_task("none"),
+       policy_task("soon", "", 10.0), policy_task("mid", "", 20.0)});
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"soon", "mid", "late", "none"}));
+}
+
+TEST(Policy, WanAwarePrefersCampaignWithIdleWan) {
+  auto probe = [](const std::string& campaign) {
+    return campaign == "hot" ? 1e9 : 0.0;
+  };
+  const auto order = run_policy_order(
+      std::make_shared<WanAwarePolicy>(probe),
+      {policy_task("h1", "hot"), policy_task("c1", "cold"),
+       policy_task("h2", "hot")});
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "c1");
+}
+
+TEST(Policy, FairShareTracksEvictions) {
+  // A failed node must release its campaign's running share, or the
+  // campaign is penalised forever.
+  sim::SimEngine engine;
+  ClusterExecutor exec(engine, defiant_law_factory());
+  auto fair = std::make_shared<FairSharePolicy>();
+  exec.set_policy(fair);
+  const int node = exec.add_node(1);
+  exec.submit(policy_task("a", "A"));
+  engine.run_until(0.5);
+  EXPECT_EQ(fair->running("A"), 1);
+  exec.fail_node(node);
+  EXPECT_EQ(fair->running("A"), 0);
+  exec.add_node(1);
+  engine.run();
+  EXPECT_EQ(exec.completed(), 1u);
+}
+
+TEST(Policy, MakePolicyByName) {
+  EXPECT_EQ(make_policy("fifo", nullptr)->name(), "fifo");
+  EXPECT_EQ(make_policy("fair_share", nullptr)->name(), "fair_share");
+  EXPECT_EQ(make_policy("deadline", nullptr)->name(), "deadline");
+  EXPECT_EQ(make_policy("wan_aware", nullptr)->name(), "wan_aware");
+  EXPECT_THROW(make_policy("sjf", nullptr), std::invalid_argument);
 }
 
 TEST(PreprocessTasks, DescriptorsReflectWorkload) {

@@ -2,10 +2,63 @@
 #include <gtest/gtest.h>
 
 #include "pipeline/config.hpp"
+#include "pipeline/spec_compile.hpp"
 #include "pipeline/timeline.hpp"
 
 namespace mfw::pipeline {
 namespace {
+
+TEST(Config, UnknownTopLevelKeyNamesKeyAndNearest) {
+  // A misspelled section must be rejected up front, naming both the stray
+  // key and the closest valid section, so typos don't silently fall back
+  // to defaults.
+  try {
+    EomlConfig::from_yaml_text("workflw:\n  max_files: 4\n");
+    FAIL() << "expected YamlError";
+  } catch (const util::YamlError& e) {
+    EXPECT_STREQ(e.what(),
+                 "config: unknown top-level key 'workflw' "
+                 "(did you mean 'workflow'?)");
+  }
+  try {
+    EomlConfig::from_yaml_text("inferrence:\n  workers: 2\n");
+    FAIL() << "expected YamlError";
+  } catch (const util::YamlError& e) {
+    EXPECT_STREQ(e.what(),
+                 "config: unknown top-level key 'inferrence' "
+                 "(did you mean 'inference'?)");
+  }
+}
+
+TEST(SpecCompile, BuiltinSpecMirrorsConfig) {
+  // The paper pipeline is itself a compiled spec: five stages in pipeline
+  // order, with the download->preprocess coupling following the config's
+  // scheduling mode and the rest fixed by the paper's architecture.
+  EomlConfig config;
+  const auto graph = compile_config(config);
+  const auto& topo = graph.topo_order();
+  ASSERT_EQ(topo.size(), 5u);
+  EXPECT_EQ(topo.front(), "download");
+  EXPECT_EQ(topo.back(), "shipment");
+  EXPECT_EQ(graph.edge_mode("download", "preprocess"),
+            spec::EdgeMode::kBarrier);
+  EXPECT_EQ(graph.edge_mode("preprocess", "monitor"),
+            spec::EdgeMode::kStreaming);
+  config.max_files = 12;
+  EXPECT_EQ(compile_config(config).spec().campaign.items, 12);
+
+  config.scheduling = SchedulingMode::kStreaming;
+  EXPECT_EQ(compile_config(config).edge_mode("download", "preprocess"),
+            spec::EdgeMode::kStreaming);
+}
+
+TEST(SpecCompile, ClaimsRespectFacilityCaps) {
+  // compile_config validates the paper claims against the config's own
+  // facility, so an oversubscribed config fails at compile, not mid-run.
+  EomlConfig config;
+  config.preprocess_nodes = config.facility_total_nodes + 1;
+  EXPECT_THROW(compile_config(config), spec::SpecError);
+}
 
 TEST(Config, DefaultsAreValid) {
   EomlConfig config;

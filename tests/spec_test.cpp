@@ -1,0 +1,203 @@
+// Validator and compiler tests for mfw::spec: every diagnostic the
+// StageGraph compiler emits must be anchored to the YAML line of the
+// offending element, so each negative test asserts the full "spec:<line>:"
+// prefix, not just the message tail.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "spec/lab.hpp"
+#include "spec/spec.hpp"
+
+namespace mfw::spec {
+namespace {
+
+/// Parses + compiles `yaml`, returning the SpecError message ("" if none).
+std::string compile_error(const char* yaml, FacilityCaps caps = {}) {
+  try {
+    StageGraph::compile(WorkflowSpec::from_yaml_text(yaml), caps);
+  } catch (const SpecError& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(SpecValidate, DuplicateStageNameIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "  - name: tile\n");
+  EXPECT_EQ(err, "spec:3: duplicate stage name 'tile' (first declared at "
+                 "line 2)");
+}
+
+TEST(SpecValidate, UndeclaredInputIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "    inputs: [ingest]\n");
+  EXPECT_EQ(err, "spec:2: stage 'tile' reads from undeclared input 'ingest'");
+}
+
+TEST(SpecValidate, SelfInputIsRejected) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "    inputs: [tile]\n");
+  EXPECT_EQ(err, "spec:2: stage 'tile' lists itself as input");
+}
+
+TEST(SpecValidate, CyclicDagIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: a\n"
+      "    inputs: [b]\n"
+      "  - name: b\n"
+      "    inputs: [a]\n");
+  EXPECT_EQ(err, "spec:2: dependency cycle involving stage 'a'");
+}
+
+TEST(SpecValidate, ClaimExceedsNodeCapacity) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "    claim:\n"
+      "      nodes: 99\n");
+  EXPECT_EQ(err, "spec:4: stage 'tile' claims 99 nodes but facility "
+                 "'olcf_defiant' has 36");
+}
+
+TEST(SpecValidate, ClaimExceedsWanCapacity) {
+  FacilityCaps caps;
+  caps.name = "lab";
+  caps.wan_bps = 100.0;
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: ship\n"
+      "    kind: transfer\n"
+      "    claim:\n"
+      "      wan: 200\n",
+      caps);
+  EXPECT_NE(err.find("spec:5: stage 'ship' claims 200"), std::string::npos)
+      << err;
+  EXPECT_NE(err.find("facility 'lab' has 100"), std::string::npos) << err;
+}
+
+TEST(SpecValidate, DataflowEdgeMustMatchDeclaredInput) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: a\n"
+      "  - name: b\n"
+      "dataflow:\n"
+      "  - {from: a, to: b}\n");
+  EXPECT_EQ(err, "spec:5: dataflow edge 'a -> b': stage 'b' does not "
+                 "declare input 'a'");
+}
+
+TEST(SpecValidate, UnknownTopLevelKeyIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: a\n"
+      "bogus: 3\n");
+  EXPECT_EQ(err, "spec:3: spec: unknown key 'bogus'");
+}
+
+TEST(SpecCompile, TopoOrderAndEdgeModes) {
+  const auto graph = StageGraph::compile(
+      WorkflowSpec::from_yaml_text(
+          "name: demo\n"
+          "stages:\n"
+          "  - name: label\n"
+          "    inputs: [tile]\n"
+          "  - name: tile\n"
+          "    inputs: [ingest]\n"
+          "  - name: ingest\n"
+          "    kind: transfer\n"
+          "dataflow:\n"
+          "  - {from: ingest, to: tile, mode: streaming}\n"
+          "campaign:\n"
+          "  count: 2\n"
+          "  spacing: 30\n"
+          "  items: 8\n"),
+      FacilityCaps{});
+  const auto& topo = graph.topo_order();
+  ASSERT_EQ(topo.size(), 3u);
+  EXPECT_EQ(topo[0], "ingest");
+  EXPECT_EQ(topo[1], "tile");
+  EXPECT_EQ(topo[2], "label");
+  EXPECT_EQ(graph.edge_mode("ingest", "tile"), EdgeMode::kStreaming);
+  // Edges without a dataflow override default to barrier coupling.
+  EXPECT_EQ(graph.edge_mode("tile", "label"), EdgeMode::kBarrier);
+  EXPECT_THROW(graph.edge_mode("ingest", "label"), SpecError);
+  EXPECT_EQ(graph.spec().campaign.count, 2);
+  EXPECT_EQ(graph.spec().campaign.items, 8);
+
+  const auto plan = graph.describe();
+  EXPECT_NE(plan.find("workflow 'demo'"), std::string::npos);
+  EXPECT_NE(plan.find("ingest -> tile [streaming]"), std::string::npos);
+  EXPECT_NE(plan.find("tile -> label [barrier]"), std::string::npos);
+}
+
+TEST(SpecLab, RunsCompiledGraphAndEmitsSchema) {
+  FacilityCaps caps;
+  caps.name = "lab";
+  caps.total_nodes = 2;
+  caps.max_workers_per_node = 4;
+  LabConfig config;
+  config.graph = StageGraph::compile(
+      WorkflowSpec::from_yaml_text(
+          "name: mini\n"
+          "stages:\n"
+          "  - name: tile\n"
+          "    claim:\n"
+          "      nodes: 2\n"
+          "      workers_per_node: 2\n"
+          "      cpu_per_item: 0.5\n"
+          "  - name: label\n"
+          "    inputs: [tile]\n"
+          "    claim:\n"
+          "      cpu_per_item: 0.1\n"
+          "dataflow:\n"
+          "  - {from: tile, to: label, mode: streaming}\n"
+          "campaign:\n"
+          "  count: 2\n"
+          "  spacing: 1\n"
+          "  items: 6\n"),
+      caps);
+  config.policy = "fair_share";
+  const auto result = run_lab(config);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.campaigns, 2);
+  EXPECT_EQ(result.tasks, 2u * 6u * 2u);  // two stages x items x campaigns
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0);
+
+  const auto json = results_to_json({result});
+  EXPECT_NE(json.find("\"schema\": \"mfw.policies/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"policy\": \"fair_share\""), std::string::npos);
+  EXPECT_NE(json.find("\"makespan\": "), std::string::npos);
+}
+
+TEST(SpecLab, LoadScalesCampaignCount) {
+  FacilityCaps caps;
+  caps.total_nodes = 1;
+  caps.max_workers_per_node = 2;
+  LabConfig config;
+  config.graph = StageGraph::compile(
+      WorkflowSpec::from_yaml_text(
+          "stages:\n"
+          "  - name: tile\n"
+          "    claim:\n"
+          "      cpu_per_item: 0.1\n"
+          "campaign:\n"
+          "  count: 2\n"
+          "  items: 3\n"),
+      caps);
+  config.load = 2.0;
+  const auto result = run_lab(config);
+  EXPECT_EQ(result.campaigns, 4);
+  EXPECT_EQ(result.tasks, 4u * 3u);
+}
+
+}  // namespace
+}  // namespace mfw::spec

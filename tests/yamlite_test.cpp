@@ -175,6 +175,87 @@ TEST(Yamlite, DumpRoundTrip) {
   EXPECT_EQ(doc2.path("states.one.items").at(1).as_string(), "b");
 }
 
+TEST(Yamlite, QuotedScalarWithColonRoundTrips) {
+  // A quoted scalar whose body contains ": " must survive parse -> dump ->
+  // parse. Before the fix, dump emitted map keys raw, so `"a: b": 1`
+  // re-parsed as `a: "b: 1"`.
+  const auto doc = parse_yaml("\"a: b\": 1\nwhen: \"time: 12:30\"\n");
+  EXPECT_EQ(doc["a: b"].as_int(), 1);
+  EXPECT_EQ(doc["when"].as_string(), "time: 12:30");
+  const auto doc2 = parse_yaml(doc.dump());
+  EXPECT_EQ(doc2["a: b"].as_int(), 1);
+  EXPECT_EQ(doc2["when"].as_string(), "time: 12:30");
+}
+
+TEST(Yamlite, BraceScalarRoundTrips) {
+  // "{x}" dumped unquoted re-parses as a malformed flow map.
+  const auto doc = parse_yaml("tmpl: \"{stage}\"\n");
+  EXPECT_EQ(doc["tmpl"].as_string(), "{stage}");
+  const auto doc2 = parse_yaml(doc.dump());
+  EXPECT_EQ(doc2["tmpl"].as_string(), "{stage}");
+}
+
+TEST(Yamlite, FlowTrailingCommaDropsEmptyItem) {
+  const auto doc = parse_yaml("a: [x, y,]\nb: {k: 1,}\nc: [ , ]\n");
+  ASSERT_EQ(doc["a"].size(), 2u);
+  EXPECT_EQ(doc["a"].at(1).as_string(), "y");
+  ASSERT_EQ(doc["b"].size(), 1u);
+  EXPECT_EQ(doc["b"]["k"].as_int(), 1);
+  // `[ , ]` keeps the interior empty as an explicit null item.
+  ASSERT_EQ(doc["c"].size(), 1u);
+  EXPECT_TRUE(doc["c"].at(0).is_null());
+}
+
+TEST(Yamlite, InteriorEmptyFlowItemIsNull) {
+  const auto doc = parse_yaml("a: [x, , z]\n");
+  ASSERT_EQ(doc["a"].size(), 3u);
+  EXPECT_TRUE(doc["a"].at(1).is_null());
+  EXPECT_EQ(doc["a"].at(2).as_string(), "z");
+}
+
+TEST(Yamlite, BlockListEmptyItemsAreNull) {
+  const auto doc = parse_yaml(
+      "items:\n"
+      "  - a\n"
+      "  -\n"
+      "  - \n"  // whitespace-only after the dash
+      "  - b\n");
+  ASSERT_EQ(doc["items"].size(), 4u);
+  EXPECT_TRUE(doc["items"].at(1).is_null());
+  EXPECT_TRUE(doc["items"].at(2).is_null());
+  EXPECT_EQ(doc["items"].at(3).as_string(), "b");
+}
+
+TEST(Yamlite, FlowMapAsBlockListItem) {
+  // `- {a: 1}` is a flow-map item, not an inline map entry keyed "{a".
+  const auto doc = parse_yaml(
+      "edges:\n"
+      "  - {from: a, to: b, mode: streaming}\n"
+      "  - {from: b, to: c}\n");
+  ASSERT_EQ(doc["edges"].size(), 2u);
+  EXPECT_EQ(doc["edges"].at(0)["from"].as_string(), "a");
+  EXPECT_EQ(doc["edges"].at(0)["mode"].as_string(), "streaming");
+  EXPECT_EQ(doc["edges"].at(1)["to"].as_string(), "c");
+}
+
+TEST(Yamlite, NodesCarrySourceLines) {
+  const auto doc = parse_yaml(
+      "a: 1\n"
+      "block:\n"
+      "  nested: x\n"
+      "list:\n"
+      "  - first\n"
+      "  - second\n"
+      "nothing:\n");
+  EXPECT_EQ(doc.line(), 1u);
+  EXPECT_EQ(doc["a"].line(), 1u);
+  EXPECT_EQ(doc["block"].line(), 3u);
+  EXPECT_EQ(doc["block"]["nested"].line(), 3u);
+  EXPECT_EQ(doc["list"].line(), 5u);
+  EXPECT_EQ(doc["list"].at(1).line(), 6u);
+  EXPECT_EQ(doc["nothing"].line(), 7u);
+}
+
 TEST(Yamlite, DocumentMarkerIgnored) {
   const auto doc = parse_yaml("---\na: 1\n");
   EXPECT_EQ(doc["a"].as_int(), 1);

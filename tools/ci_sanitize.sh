@@ -15,7 +15,10 @@
 # The trace-report smoke gate (tools/ci_report_smoke.sh) then validates the
 # obs analytics layer on the same Release build: report JSON schema,
 # critical-path sanity, CLI flag validation, and the bounded-memory campaign
-# recorder; skip it with MFW_SKIP_REPORT=1.
+# recorder; skip it with MFW_SKIP_REPORT=1. Finally the spec smoke gate
+# (tools/ci_spec_smoke.sh) pins the declarative-workflow layer: the builtin
+# spec's barrier run must stay bit-for-bit the seed pipeline, and the policy
+# sweep must emit a populated mfw.policies/v1 grid; skip with MFW_SKIP_SPEC=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -48,4 +51,8 @@ fi
 
 if [[ "${MFW_SKIP_REPORT:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_report_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_SPEC:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_spec_smoke.sh"
 fi

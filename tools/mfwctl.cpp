@@ -18,6 +18,16 @@
 //       critical path, per-stage utilization, queue waits, stragglers with
 //       cause attribution. --json emits the machine-readable report (used by
 //       CI gating) on stdout.
+//   mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]
+//       Validate a declarative workflow spec (stages, claims, dataflow
+//       edges, campaign) against a facility and print the compiled DAG.
+//       --builtin compiles the built-in paper pipeline spec instead.
+//   mfwctl sweep <spec.yaml> | --builtin [--policies a,b] [--facilities 1,2]
+//                [--loads 1,2] [--out <json>]
+//       Run the policy-sweep laboratory over policy x facility-count x load
+//       and write Pareto data (makespan, utilization, p99 queue wait) as
+//       mfw.policies/v1 JSON (default BENCH_policies.json).
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +39,9 @@
 
 #include "federation/orchestrator.hpp"
 #include "obs/analyze.hpp"
+#include "pipeline/spec_compile.hpp"
+#include "spec/lab.hpp"
+#include "spec/spec.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -47,6 +60,9 @@ int usage() {
                "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
                "  mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]\n"
                "  mfwctl report <config.yaml> [--json] [--out <path>] [--straggler-k <k>] [--quiet]\n"
+               "  mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]\n"
+               "  mfwctl sweep <spec.yaml> | --builtin [--policies a,b] [--facilities 1,2]\n"
+               "               [--loads 1,2] [--out <json>] [--quiet]\n"
                "  mfwctl registry\n"
                "  mfwctl facilities\n");
   return 2;
@@ -72,6 +88,15 @@ const std::vector<FlagSpec>* flags_for(const std::string& command) {
        {{"--json", false},
         {"--out", true},
         {"--straggler-k", true},
+        {"--quiet", false}}},
+      {"plan", {{"--builtin", false}, {"--facility", true}, {"--quiet", false}}},
+      {"sweep",
+       {{"--builtin", false},
+        {"--facility", true},
+        {"--policies", true},
+        {"--facilities", true},
+        {"--loads", true},
+        {"--out", true},
         {"--quiet", false}}},
       {"registry", {}},
       {"facilities", {}},
@@ -143,6 +168,42 @@ federation::FacilityProfile profile_by_name(const std::string& name) {
   if (name == "alcf") return federation::FacilityProfile::alcf_polaris_like();
   throw std::runtime_error("unknown facility '" + name +
                            "' (expected olcf|nersc|alcf)");
+}
+
+spec::FacilityCaps caps_from_profile(const federation::FacilityProfile& p) {
+  spec::FacilityCaps caps;
+  caps.name = p.name;
+  caps.total_nodes = p.total_nodes;
+  caps.max_workers_per_node = std::max(64, p.default_workers_per_node);
+  caps.wan_bps = p.archive_bandwidth_bps;
+  return caps;
+}
+
+/// Resolves the spec + caps a plan/sweep command operates on: either a spec
+/// YAML file validated against a facility, or the built-in paper spec.
+spec::StageGraph load_graph(bool builtin, const std::string& path,
+                            const std::string& facility) {
+  spec::FacilityCaps caps;
+  if (!facility.empty()) caps = caps_from_profile(profile_by_name(facility));
+  if (builtin) {
+    pipeline::EomlConfig config;
+    if (facility.empty()) return pipeline::compile_config(config);
+    return spec::StageGraph::compile(pipeline::spec_for_config(config), caps);
+  }
+  if (path.empty())
+    throw std::runtime_error("expected a <spec.yaml> path or --builtin");
+  return spec::StageGraph::compile(
+      spec::WorkflowSpec::from_yaml_text(slurp(path)), caps);
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(text);
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
 }
 
 }  // namespace
@@ -254,6 +315,63 @@ int main(int argc, char** argv) {
         std::printf("%s\n\n%s", report.summary().c_str(),
                     analysis.render_text().c_str());
       }
+      return 0;
+    }
+    if (command == "plan") {
+      const auto graph = load_graph(has_flag("--builtin"), positional(0),
+                                    flag_value("--facility"));
+      std::printf("%s", graph.describe().c_str());
+      return 0;
+    }
+    if (command == "sweep") {
+      const auto graph = load_graph(has_flag("--builtin"), positional(0),
+                                    flag_value("--facility"));
+      std::vector<std::string> policies = {"fifo", "fair_share", "deadline",
+                                           "wan_aware"};
+      if (const auto p = flag_value("--policies"); !p.empty())
+        policies = split_csv(p);
+      std::vector<int> facility_counts = {1, 2};
+      if (const auto f = flag_value("--facilities"); !f.empty()) {
+        facility_counts.clear();
+        for (const auto& v : split_csv(f))
+          facility_counts.push_back(std::atoi(v.c_str()));
+      }
+      std::vector<double> loads = {1.0, 2.0};
+      if (const auto l = flag_value("--loads"); !l.empty()) {
+        loads.clear();
+        for (const auto& v : split_csv(l)) loads.push_back(std::atof(v.c_str()));
+      }
+      std::vector<spec::LabResult> results;
+      for (const auto& policy : policies) {
+        for (const int facilities : facility_counts) {
+          for (const double load : loads) {
+            spec::LabConfig lab;
+            lab.graph = graph;
+            lab.policy = policy;
+            lab.facilities = facilities;
+            lab.load = load;
+            auto result = spec::run_lab(lab);
+            std::printf("%-10s facilities=%d load=%.2g makespan=%.2fs "
+                        "util=%.3f p99_wait=%.2fs misses=%d\n",
+                        result.policy.c_str(), result.facilities, result.load,
+                        result.makespan, result.utilization,
+                        result.p99_queue_wait, result.deadline_misses);
+            results.push_back(std::move(result));
+          }
+        }
+      }
+      const auto out = [&] {
+        auto v = flag_value("--out");
+        return v.empty() ? std::string("BENCH_policies.json") : v;
+      }();
+      std::ofstream file(out, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+        return 1;
+      }
+      file << spec::results_to_json(results);
+      std::printf("sweep results written to %s (%zu points)\n", out.c_str(),
+                  results.size());
       return 0;
     }
     if (command == "registry") {
