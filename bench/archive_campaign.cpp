@@ -16,8 +16,15 @@
 // telemetry memory is O(windows), not O(events). The rollup report plus the
 // recorder's observed/retained/dropped counters land at <path>.
 //
+// With --health-out <path> a TelemetryBus is chained in front of the rollup
+// sink and an obs::HealthMonitor (per-day windows, EWMA/MAD anomaly detector)
+// watches the campaign live, polled once per simulated day by the workflow's
+// read-only snapshot tick; the mfw.health/v1 stream lands at <path>. Both
+// watch modes are zero-perturbation: campaign numbers are identical with or
+// without them.
+//
 // Usage: archive_campaign [--days N] [--quick] [--out <path>]
-//                         [--report-out <path>]
+//                         [--report-out <path>] [--health-out <path>]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +36,7 @@
 #include "obs/export.hpp"
 #include "obs/rollup.hpp"
 #include "obs/trace.hpp"
+#include "obs/watch.hpp"
 #include "pipeline/eoml_workflow.hpp"
 #include "sim/engine.hpp"
 #include "sim/link.hpp"
@@ -58,7 +66,7 @@ struct CampaignResult {
   std::size_t compactions = 0;
 };
 
-CampaignResult run_campaign(int days) {
+CampaignResult run_campaign(int days, obs::HealthMonitor* monitor = nullptr) {
   pipeline::EomlConfig config;
   config.span = modis::DaySpan{2022, 1, days};
   config.daytime_only = false;  // the archive keeps night granules too
@@ -74,8 +82,12 @@ CampaignResult run_campaign(int days) {
   result.days = days;
   const double start = wall_now();
   pipeline::EomlWorkflow workflow(config);
+  // Live health: poll once per simulated day (read-only tick; the run is
+  // bit-for-bit identical with or without the monitor).
+  if (monitor) workflow.attach_health(*monitor, 86400.0);
   const std::size_t events_before = workflow.engine().processed();
   const auto report = workflow.run();
+  if (monitor) monitor->finish(workflow.engine().now());
   result.wall_s = wall_now() - start;
   result.granules = report.granules;
   result.tiles = report.total_tiles;
@@ -207,6 +219,7 @@ int main(int argc, char** argv) {
   bool quick = false;
   std::string out;
   std::string report_out;
+  std::string health_out;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--days") && i + 1 < argc) {
       days = std::atoi(argv[++i]);
@@ -216,10 +229,12 @@ int main(int argc, char** argv) {
       out = argv[++i];
     } else if (!std::strcmp(argv[i], "--report-out") && i + 1 < argc) {
       report_out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--health-out") && i + 1 < argc) {
+      health_out = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: archive_campaign [--days N] [--quick] [--out <path>] "
-                   "[--report-out <path>]\n");
+                   "[--report-out <path>] [--health-out <path>]\n");
       return 2;
     }
   }
@@ -234,19 +249,40 @@ int main(int argc, char** argv) {
   // plus per-day rollups. The recorder is restored to its defaults afterwards
   // so the churn sections below run untraced.
   std::unique_ptr<obs::SpanRollup> rollup;
-  if (!report_out.empty()) {
+  std::unique_ptr<obs::TelemetryBus> bus;
+  std::unique_ptr<obs::HealthMonitor> monitor;
+  if (!report_out.empty() || !health_out.empty()) {
     auto& rec = obs::TraceRecorder::instance();
     rec.clear();
     rec.set_retention({obs::RetentionMode::kStatsOnly, 64, 4096});
-    rollup = std::make_unique<obs::SpanRollup>(
-        obs::RollupConfig{86400.0, 366});
-    rec.set_span_sink(rollup.get());
+    obs::SpanSink* sink = nullptr;
+    if (!report_out.empty()) {
+      rollup = std::make_unique<obs::SpanRollup>(
+          obs::RollupConfig{86400.0, 366});
+      sink = rollup.get();
+    }
+    if (!health_out.empty()) {
+      // The bus rides in front of the rollup (single recorder sink slot).
+      // One simulated day of spans sits in the queue between daily polls;
+      // if the archive ever outgrows the capacity the overflow is *counted*
+      // (dropped_total in the health stream), never silently lost.
+      bus = std::make_unique<obs::TelemetryBus>(65536);
+      bus->set_next(sink);
+      obs::HealthConfig health;
+      health.window_s = 86400.0;  // per-day windows, like the rollup
+      health.anomaly_k = 4.0;     // flag days departing from recent history
+      monitor = std::make_unique<obs::HealthMonitor>(
+          health, std::vector<obs::SloRule>{});
+      monitor->attach(*bus);
+      sink = bus.get();
+    }
+    rec.set_span_sink(sink);
     obs::set_globally_enabled(true);
   }
 
   std::printf("=== Archive campaign: %d day(s), streaming, all granules ===\n",
               days);
-  const auto campaign = run_campaign(days);
+  const auto campaign = run_campaign(days, monitor.get());
   std::printf(
       "%zu granules -> %zu tiles, %zu shipped files\n"
       "virtual makespan %.0f s (%.1f days), %zu events, %zu compactions, "
@@ -256,7 +292,7 @@ int main(int argc, char** argv) {
       campaign.compactions, campaign.wall_s);
 
   std::string obs_json;
-  if (rollup) {
+  if (rollup || monitor) {
     auto& rec = obs::TraceRecorder::instance();
     obs::set_globally_enabled(false);
     const std::size_t observed = rec.observed_span_count();
@@ -269,15 +305,28 @@ int main(int argc, char** argv) {
                   "\"dropped_spans\": %zu, \"dropped_instants\": %zu}",
                   observed, retained, dropped, dropped_instants);
     obs_json = buf;
-    obs::write_file(report_out, "{\n  \"recorder\": " + obs_json +
-                                    ",\n  \"rollup\": " + rollup->to_json() +
-                                    "\n}\n");
-    std::printf(
-        "\nBounded telemetry: %zu spans observed, %zu retained "
-        "(sample), %zu dropped; rollup holds %zu series\n%s",
-        observed, retained, dropped, rollup->series_names().size(),
-        rollup->summary().c_str());
-    std::printf("Rollup report written to %s\n", report_out.c_str());
+    if (rollup) {
+      obs::write_file(report_out, "{\n  \"recorder\": " + obs_json +
+                                      ",\n  \"rollup\": " + rollup->to_json() +
+                                      "\n}\n");
+      std::printf(
+          "\nBounded telemetry: %zu spans observed, %zu retained "
+          "(sample), %zu dropped; rollup holds %zu series\n%s",
+          observed, retained, dropped, rollup->series_names().size(),
+          rollup->summary().c_str());
+      std::printf("Rollup report written to %s\n", report_out.c_str());
+    }
+    if (monitor) {
+      obs::write_file(health_out, monitor->to_json(campaign.makespan));
+      std::printf(
+          "\nLive health: %llu events watched (%llu dropped at the bus), "
+          "%zu alert transitions, %zu firing at end\n"
+          "Health stream written to %s\n",
+          static_cast<unsigned long long>(monitor->events_seen()),
+          static_cast<unsigned long long>(monitor->dropped_events()),
+          monitor->alerts().size(), monitor->firing_count(),
+          health_out.c_str());
+    }
     rec.set_span_sink(nullptr);
     rec.set_retention({});
     rec.clear();

@@ -10,6 +10,10 @@
 //   stats_rollup  RetentionMode::kStatsOnly + SpanRollup sink — bounded
 //                 memory (archive campaigns); measures the sink + sampling
 //                 path including window rollover/eviction
+//   stats_bus     RetentionMode::kStatsOnly + TelemetryBus chained to the
+//                 same rollup, with one subscriber drained every 4096 spans —
+//                 the live-watch producer path (DESIGN.md §12): event copy,
+//                 bounded-queue fan-out, drop accounting
 //
 // Usage: micro_obs [--spans N] [--out <path>]
 #include <chrono>
@@ -19,8 +23,11 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "obs/rollup.hpp"
 #include "obs/trace.hpp"
+#include "obs/watch.hpp"
 
 using namespace mfw;
 
@@ -43,10 +50,14 @@ struct ModeResult {
 /// Records `n` compute-span open/close pairs through `rec` with the
 /// call-site idiom used by the instrumented modules. The track rotates over
 /// eight worker lanes so track interning and rollup series keys behave as in
-/// a real run.
-ModeResult drive(obs::TraceRecorder& rec, std::string mode, std::size_t n) {
+/// a real run. When `bus` is set, subscription `sub` is drained every 4096
+/// pairs — a realistic watch poll cadence, so the producer path is measured
+/// against a queue that is neither empty nor permanently full.
+ModeResult drive(obs::TraceRecorder& rec, std::string mode, std::size_t n,
+                 obs::TelemetryBus* bus = nullptr, std::size_t sub = 0) {
   ModeResult result;
   result.mode = std::move(mode);
+  std::vector<obs::TelemetryEvent> drained;
   const double start = wall_now();
   for (std::size_t i = 0; i < n; ++i) {
     obs::SpanId span;
@@ -58,6 +69,10 @@ ModeResult drive(obs::TraceRecorder& rec, std::string mode, std::size_t n) {
                              {"granule", "terra.A2022001.s0000"}});
     }
     rec.end_span(span, {{"status", "ok"}});
+    if (bus && (i + 1) % 4096 == 0) {
+      drained.clear();
+      bus->poll(sub, drained);
+    }
   }
   result.wall_s = wall_now() - start;
   result.spans_per_s = n / std::max(result.wall_s, 1e-9);
@@ -116,14 +131,33 @@ int main(int argc, char** argv) {
   const auto stats = drive(stats_rec, "stats_rollup", spans);
   stats_rec.set_span_sink(nullptr);
 
-  for (const auto& r : {disabled, full, stats})
+  // stats-only retention + the live watch chain: TelemetryBus in front of
+  // the same rollup (single sink slot), one subscriber drained every 4096
+  // spans. Measures the producer-side event copy + bounded-queue fan-out.
+  obs::TraceRecorder bus_rec;
+  bus_rec.set_enabled(true);
+  bus_rec.set_retention({obs::RetentionMode::kStatsOnly, 64, 4096});
+  obs::SpanRollup bus_rollup(obs::RollupConfig{0.01, 64});
+  obs::TelemetryBus bus(8192);
+  bus.set_next(&bus_rollup);
+  const std::size_t sub = bus.subscribe();
+  bus_rec.set_span_sink(&bus);
+  const auto stats_bus = drive(bus_rec, "stats_bus", spans, &bus, sub);
+  bus_rec.set_span_sink(nullptr);
+
+  for (const auto& r : {disabled, full, stats, stats_bus})
     std::printf("%-14s %10.4f s  %14.0f spans/s  retained %zu\n",
                 r.mode.c_str(), r.wall_s, r.spans_per_s, r.retained_spans);
   const double full_ns = 1e9 * full.wall_s / spans;
   const double stats_ns = 1e9 * stats.wall_s / spans;
+  const double bus_ns = 1e9 * stats_bus.wall_s / spans;
   std::printf("per-pair cost: full %.0f ns, stats+rollup %.0f ns "
-              "(rollup adds %.1f%%)\n",
-              full_ns, stats_ns, 100.0 * (stats_ns - full_ns) / full_ns);
+              "(rollup adds %.1f%%), stats+bus %.0f ns "
+              "(bus adds %.1f%% over rollup; %llu published, %llu dropped)\n",
+              full_ns, stats_ns, 100.0 * (stats_ns - full_ns) / full_ns,
+              bus_ns, 100.0 * (bus_ns - stats_ns) / stats_ns,
+              static_cast<unsigned long long>(bus.published()),
+              static_cast<unsigned long long>(bus.dropped_total()));
   std::printf("bounded-mode memory: %zu retained of %zu observed spans, "
               "%zu rollup series\n",
               stats.retained_spans, stats.observed_spans,
@@ -134,14 +168,20 @@ int main(int argc, char** argv) {
   json += "  \"modes\": {\n";
   json += "    \"disabled\": " + mode_json(disabled) + ",\n";
   json += "    \"full\": " + mode_json(full) + ",\n";
-  json += "    \"stats_rollup\": " + mode_json(stats) + "\n  },\n";
+  json += "    \"stats_rollup\": " + mode_json(stats) + ",\n";
+  json += "    \"stats_bus\": " + mode_json(stats_bus) + "\n  },\n";
   {
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof buf,
                   "  \"overhead\": {\"full_pair_ns\": %.1f, "
                   "\"stats_rollup_pair_ns\": %.1f, "
-                  "\"rollup_vs_full\": %.3f}\n",
-                  full_ns, stats_ns, stats_ns / std::max(full_ns, 1e-9));
+                  "\"stats_bus_pair_ns\": %.1f, "
+                  "\"rollup_vs_full\": %.3f, \"bus_vs_rollup\": %.3f, "
+                  "\"bus_dropped\": %llu}\n",
+                  full_ns, stats_ns, bus_ns,
+                  stats_ns / std::max(full_ns, 1e-9),
+                  bus_ns / std::max(stats_ns, 1e-9),
+                  static_cast<unsigned long long>(bus.dropped_total()));
     json += buf;
   }
   json += "}\n";

@@ -4,8 +4,10 @@
 // edges) is compiled through mfw::spec and run under every SchedulerPolicy
 // across facility-count x load, brace-initialized nested loops in the
 // ParameterSweep idiom. Each point reports makespan, facility utilization,
-// p99 queue wait, and deadline misses; the grid lands in BENCH_policies.json
-// (schema mfw.policies/v1) for tools/ci_spec_smoke.sh and EXPERIMENTS.md.
+// p99 queue wait, deadline misses, and the spec's declared deadline SLO
+// (which policies keep the miss-rate budget?); the grid lands in
+// BENCH_policies.json (schema mfw.policies/v1) for tools/ci_spec_smoke.sh
+// and EXPERIMENTS.md.
 //
 // Usage: policy_sweep [--quick] [--out <path>]
 //   --quick  2 policies x 1 facility-count x 1 load (the CI smoke grid)
@@ -59,6 +61,11 @@ campaign:
   spacing: 30
   items: 48
   deadline: 150
+slo:
+  - name: deadline-budget
+    metric: deadline_miss_rate
+    threshold: 0.25
+    window: 120
 )";
 
 }  // namespace
@@ -94,8 +101,8 @@ int main(int argc, char** argv) {
   const std::vector<double> loads = quick ? std::vector<double>{1.0}
                                           : std::vector<double>{0.5, 1.0, 2.0};
 
-  std::printf("%-10s %10s %6s %10s %6s %10s %8s\n", "policy", "facilities",
-              "load", "makespan", "util", "p99_wait", "misses");
+  std::printf("%-10s %10s %6s %10s %6s %10s %8s %9s\n", "policy", "facilities",
+              "load", "makespan", "util", "p99_wait", "misses", "slo_fire");
   std::vector<spec::LabResult> results;
   for (const auto& policy : policies) {
     for (const int facilities : facility_counts) {
@@ -106,10 +113,10 @@ int main(int argc, char** argv) {
         config.facilities = facilities;
         config.load = load;
         auto result = spec::run_lab(config);
-        std::printf("%-10s %10d %6.2f %9.2fs %6.3f %9.2fs %8d\n",
+        std::printf("%-10s %10d %6.2f %9.2fs %6.3f %9.2fs %8d %9d\n",
                     result.policy.c_str(), result.facilities, result.load,
                     result.makespan, result.utilization, result.p99_queue_wait,
-                    result.deadline_misses);
+                    result.deadline_misses, result.slo_firing);
         results.push_back(std::move(result));
       }
     }

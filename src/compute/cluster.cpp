@@ -231,9 +231,19 @@ void ClusterExecutor::complete(std::uint64_t instance) {
   record_activity();
   results_.push_back(result);
   if (state.span.valid()) {
-    obs::TraceRecorder::instance().end_span(
-        state.span, {{"status", "ok"},
-                     {"payload", std::to_string(state.task.desc.payload)}});
+    obs::Args close_args = {
+        {"status", "ok"},
+        {"payload", std::to_string(state.task.desc.payload)}};
+    // Deadline-aware campaigns can see per-task misses in the trace (and in
+    // anything watching it, e.g. the health layer) without touching results.
+    if (state.task.desc.deadline !=
+        std::numeric_limits<double>::infinity()) {
+      close_args.emplace_back(
+          "deadline",
+          engine_.now() > state.task.desc.deadline ? "missed" : "met");
+    }
+    obs::TraceRecorder::instance().end_span(state.span,
+                                            std::move(close_args));
     obs::MetricsRegistry::instance().observe(
         "mfw.compute.run_seconds", result.service_time(), {{"stage", label_}},
         obs::HistogramSpec{0.0, 30.0, 30});

@@ -1,8 +1,10 @@
 #include "obs/export.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
 #include "util/log.hpp"
 
@@ -154,17 +156,30 @@ std::string to_chrome_trace_json(const TraceRecorder& recorder) {
 }
 
 std::string to_metrics_text(const MetricsRegistry& registry) {
+  // The dump is diffed across runs (health/report smoke gates), so emission
+  // order is part of the format: sort by (name, labels) here rather than
+  // rely on whatever order the registry snapshots happen to use.
+  const auto by_series = [](const auto& a, const auto& b) {
+    return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+  };
+  auto counters = registry.counters();
+  auto gauges = registry.gauges();
+  auto distributions = registry.distributions();
+  std::stable_sort(counters.begin(), counters.end(), by_series);
+  std::stable_sort(gauges.begin(), gauges.end(), by_series);
+  std::stable_sort(distributions.begin(), distributions.end(), by_series);
+
   std::ostringstream os;
   os << "# mfw metrics dump (counters, gauges, distributions)\n";
-  for (const auto& entry : registry.counters()) {
+  for (const auto& entry : counters) {
     os << entry.name << labels_text(entry.labels) << " "
        << number_text(entry.value) << "\n";
   }
-  for (const auto& entry : registry.gauges()) {
+  for (const auto& entry : gauges) {
     os << entry.name << labels_text(entry.labels) << " "
        << number_text(entry.value) << "\n";
   }
-  for (const auto& entry : registry.distributions()) {
+  for (const auto& entry : distributions) {
     const auto& stats = entry.dist.stats;
     os << entry.name << labels_text(entry.labels) << " count="
        << stats.count() << " mean=" << number_text(stats.mean())

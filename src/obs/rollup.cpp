@@ -20,6 +20,19 @@ std::string num(double value) {
 
 }  // namespace
 
+std::int64_t window_index(double t, double window_s) {
+  auto index = static_cast<std::int64_t>(std::floor(t / window_s));
+  // The division rounds before floor(), so a sample exactly on a window edge
+  // can be assigned to the window it closes instead of the one it opens.
+  // Nudge until index * window_s <= t < (index + 1) * window_s holds.
+  if (static_cast<double>(index + 1) * window_s <= t) {
+    ++index;
+  } else if (static_cast<double>(index) * window_s > t) {
+    --index;
+  }
+  return index;
+}
+
 std::string track_stage(std::string_view track_name) {
   const auto slash = track_name.find('/');
   return std::string(slash == std::string_view::npos
@@ -90,8 +103,7 @@ void WindowedSeries::add(double t, double value) {
   sum_ += value;
   total_hist_.add(value);
 
-  const auto index =
-      static_cast<std::int64_t>(std::floor(t / config_.window_s));
+  const auto index = window_index(t, config_.window_s);
   WindowStats fresh;
   fresh.index = index;
   WindowStats* window = nullptr;
@@ -104,9 +116,11 @@ void WindowedSeries::add(double t, double value) {
         [](const WindowStats& w, std::int64_t i) { return w.index < i; });
     if (pos != windows_.end() && pos->index == index) {
       window = &*pos;
-    } else if (pos == windows_.begin()) {
+    } else if (pos == windows_.begin() && evicted_ > 0) {
       // Older than the retained horizon: fold into the oldest window rather
-      // than resurrect evicted history.
+      // than resurrect evicted history. An out-of-order sample merely older
+      // than the current front (nothing evicted yet) still gets its own
+      // window below — folding it here would miscount the front window.
       window = &windows_.front();
     } else {
       window = &*windows_.insert(pos, fresh);

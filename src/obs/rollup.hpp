@@ -36,6 +36,14 @@ namespace mfw::obs {
 /// no '/' map to themselves.
 std::string track_stage(std::string_view track_name);
 
+/// Window index of timestamp `t` for width `window_s`, with half-open
+/// [index * window_s, (index + 1) * window_s) semantics guaranteed even when
+/// the width is not exactly representable (e.g. 0.1): a bare
+/// floor(t / window_s) can land a sample exactly on a window edge one window
+/// early, double-counting the edge in the closing window. Shared by
+/// WindowedSeries and the watch layer so both bucket identically.
+std::int64_t window_index(double t, double window_s);
+
 /// Log-linear histogram over positive values: buckets span
 /// [2^kMinExp, 2^kMaxExp) with kSubBuckets linear sub-buckets per power of
 /// two, plus underflow/overflow buckets. Quantiles are estimated at the

@@ -55,7 +55,7 @@ std::size_t edit_distance(std::string_view a, std::string_view b) {
 
 constexpr const char* kTopLevelKeys[] = {
     "workflow", "download", "preprocess", "monitor",
-    "inference", "shipment", "facility", "content"};
+    "inference", "shipment", "facility", "content", "slo"};
 
 /// Typos used to silently fall back to defaults ("downlaod:" configured
 /// nothing); reject them, suggesting the closest section name.
@@ -198,6 +198,10 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
     config.geometry.bands =
         static_cast<int>(content["bands"].as_int_or(config.geometry.bands));
   }
+
+  // Parsed with the spec layer's parser (line-anchored errors) and validated
+  // against the builtin stage graph when the workflow compiles.
+  config.slos = spec::parse_slo_list(root["slo"]);
 
   config.validate();
   return config;

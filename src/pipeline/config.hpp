@@ -15,6 +15,7 @@
 #include "compute/block_provider.hpp"
 #include "modis/catalog.hpp"
 #include "preprocess/tasks.hpp"
+#include "spec/spec.hpp"
 #include "util/yamlite.hpp"
 
 namespace mfw::pipeline {
@@ -103,6 +104,12 @@ struct EomlConfig {
   /// Path (on the Defiant filesystem, pre-loaded by the caller) of a saved
   /// RICC model for materialized inference; empty -> pseudo-labels.
   std::string model_path;
+
+  // -- service-level objectives ----------------------------------------------
+  /// Top-level `slo:` section, forwarded verbatim into the compiled builtin
+  /// spec (pipeline::spec_for_config) and evaluated online by the watch
+  /// layer when a HealthMonitor is attached (mfwctl watch, DESIGN.md §12).
+  std::vector<spec::SloSpec> slos;
 
   static EomlConfig from_yaml(const util::YamlNode& root);
   static EomlConfig from_yaml_text(std::string_view text);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "flow/events.hpp"
 #include "preprocess/tile_io.hpp"
 #include "util/bytes.hpp"
 #include "util/log.hpp"
@@ -222,6 +223,46 @@ EomlReport EomlWorkflow::run() {
     rec.set_clock(nullptr);
   }
   return report_;
+}
+
+void EomlWorkflow::attach_health(obs::HealthMonitor& monitor,
+                                 double snapshot_interval,
+                                 std::function<void(double)> on_snapshot) {
+  if (started_)
+    throw std::logic_error("EomlWorkflow::attach_health must precede run()");
+  health_ = &monitor;
+  // Builtin stage worker capacities for utilization-floor rules and the
+  // dashboard's busy column.
+  monitor.set_stage_capacity("download", config_.download_workers);
+  monitor.set_stage_capacity(
+      "preprocess", static_cast<double>(config_.preprocess_nodes) *
+                        config_.workers_per_node);
+  monitor.set_stage_capacity("inference", config_.inference_workers);
+  monitor.set_stage_capacity("shipment", config_.shipment_streams);
+  // Read-only polls at the workflow's natural beats. The bus delivers these
+  // as zero-delay dispatch events, and the handlers only observe, so the
+  // rest of the event order — and every outcome — is unchanged.
+  const auto poll = [this, &monitor](const util::YamlNode&) {
+    monitor.poll(engine_.now());
+  };
+  bus_.subscribe("workflow", poll);
+  bus_.subscribe(flow::topics::kDownloadFile, poll);
+  bus_.subscribe(flow::topics::kGranuleReady, poll);
+  if (snapshot_interval > 0.0) {
+    health_snapshot_interval_ = snapshot_interval;
+    health_snapshot_ = std::move(on_snapshot);
+    schedule_health_tick();
+  }
+}
+
+void EomlWorkflow::schedule_health_tick() {
+  engine_.schedule_after(health_snapshot_interval_, [this] {
+    if (health_ == nullptr) return;
+    health_->poll(engine_.now());
+    if (health_snapshot_) health_snapshot_(engine_.now());
+    // Stop re-arming once the workflow finishes so the engine can drain.
+    if (!finished_) schedule_health_tick();
+  });
 }
 
 void EomlWorkflow::publish_stage_event(

@@ -45,6 +45,7 @@
 #include "flow/runner.hpp"
 #include "ml/ricc.hpp"
 #include "obs/trace.hpp"
+#include "obs/watch.hpp"
 #include "pipeline/config.hpp"
 #include "pipeline/spec_compile.hpp"
 #include "pipeline/timeline.hpp"
@@ -124,6 +125,20 @@ class EomlWorkflow {
   /// the report. May be called once.
   EomlReport run();
 
+  /// Wires a live obs::HealthMonitor to this run (DESIGN.md §12): declares
+  /// the builtin stages' worker capacities, polls the monitor (read-only) at
+  /// natural workflow beats — stage lifecycle events, per-file download
+  /// completions, granule readiness — and, when `snapshot_interval` > 0,
+  /// runs a self-rescheduling engine tick that polls and invokes
+  /// `on_snapshot(now)` every interval until the workflow finishes. All
+  /// hooks only observe; no simulation state is touched, so the run is
+  /// bit-for-bit identical with or without a monitor attached. Call before
+  /// run(); `monitor` must outlive it. Feeding the monitor telemetry is the
+  /// caller's job (attach a TelemetryBus as the recorder's span sink).
+  void attach_health(obs::HealthMonitor& monitor,
+                     double snapshot_interval = 0.0,
+                     std::function<void(double)> on_snapshot = {});
+
   // -- accessors for tests, examples, and benches ---------------------------
   /// Live telemetry: the workflow publishes lifecycle events on topic
   /// "workflow" (fields: stage, event=started|completed, plus stage-specific
@@ -175,6 +190,8 @@ class EomlWorkflow {
   void publish_stage_event(const char* stage, const char* event,
                            std::initializer_list<std::pair<const char*, std::string>>
                                fields = {});
+  /// Re-arms the read-only health snapshot tick (attach_health).
+  void schedule_health_tick();
 
   EomlConfig config_;
   /// Validated paper spec (built from config_ before any substrate spins
@@ -228,6 +245,11 @@ class EomlWorkflow {
   /// Open obs stage spans keyed by stage name (all invalid while the global
   /// TraceRecorder is disabled).
   std::map<std::string, obs::SpanId> stage_spans_;
+
+  // -- live health (attach_health) -------------------------------------------
+  obs::HealthMonitor* health_ = nullptr;
+  double health_snapshot_interval_ = 0.0;
+  std::function<void(double)> health_snapshot_;
 
   // -- streaming dataflow state ----------------------------------------------
   /// ready_at per granule (fed by granule.ready in both modes; powers the

@@ -79,6 +79,11 @@ spec::WorkflowSpec spec_for_config(const EomlConfig& config) {
   spec.campaign.items = config.max_files
                             ? static_cast<int>(*config.max_files)
                             : spec.campaign.items;
+
+  // Config-declared SLOs ride along so StageGraph::compile validates their
+  // stage references against the builtin stages with the config's own line
+  // anchors, and the watch layer can pick them up from the compiled plan.
+  spec.slo = config.slos;
   return spec;
 }
 

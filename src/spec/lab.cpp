@@ -129,6 +129,24 @@ class Lab {
       result.p99_queue_wait = waits[idx];
     }
     if (capacity > 0) result.utilization = busy / capacity;
+
+    // Spec-declared deadline SLOs, evaluated the same way a live run would:
+    // each campaign outcome lands in the rule's window at its finish time.
+    std::vector<obs::SloRule> deadline_rules;
+    for (const auto& rule : health_rules(graph.spec())) {
+      if (rule.metric == obs::SloMetric::kDeadlineMissRate)
+        deadline_rules.push_back(rule);
+    }
+    result.slo_rules = static_cast<int>(deadline_rules.size());
+    if (!deadline_rules.empty()) {
+      obs::HealthMonitor monitor({}, deadline_rules);
+      for (const auto& inst : campaigns_)
+        monitor.note_deadline(inst->finished_at,
+                              inst->finished_at > inst->deadline_abs);
+      monitor.finish(result.makespan);
+      result.slo_alerts = static_cast<int>(monitor.alerts().size());
+      result.slo_firing = static_cast<int>(monitor.firing_count());
+    }
     return result;
   }
 
@@ -260,7 +278,10 @@ std::string results_to_json(const std::vector<LabResult>& results) {
        << ", \"mean_queue_wait\": " << r.mean_queue_wait
        << ", \"p99_queue_wait\": " << r.p99_queue_wait
        << ", \"tasks\": " << r.tasks
-       << ", \"deadline_misses\": " << r.deadline_misses << "}"
+       << ", \"deadline_misses\": " << r.deadline_misses
+       << ", \"slo_rules\": " << r.slo_rules
+       << ", \"slo_alerts\": " << r.slo_alerts
+       << ", \"slo_firing\": " << r.slo_firing << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";

@@ -57,6 +57,16 @@ struct LabResult {
   int deadline_misses = 0;
   /// Per-campaign arrival-to-done durations, in campaign order.
   std::vector<double> campaign_makespans;
+
+  // -- spec-declared SLOs (DESIGN.md §12) -------------------------------------
+  /// Deadline-class SLO rules from the spec's `slo:` section evaluated for
+  /// this point (stage-level latency rules need a traced run and are the
+  /// watch layer's job; the lab feeds campaign outcomes only).
+  int slo_rules = 0;
+  /// Alert transitions (firing + resolved) those rules produced.
+  int slo_alerts = 0;
+  /// Rules still firing when the point finished.
+  int slo_firing = 0;
 };
 
 /// Runs one laboratory configuration to completion. Deterministic: same

@@ -83,6 +83,58 @@ StageSpec parse_stage(const util::YamlNode& node) {
 
 }  // namespace
 
+std::vector<SloSpec> parse_slo_list(const util::YamlNode& node) {
+  std::vector<SloSpec> rules;
+  if (node.is_null()) return rules;
+  if (!node.is_list())
+    throw SpecError(node.line(), "'slo' must be a list of objectives");
+  for (const auto& entry : node.items()) {
+    if (!entry.is_map())
+      throw SpecError(entry.line(), "each slo entry must be a map");
+    check_keys(entry, {"name", "stage", "metric", "threshold", "window"},
+               "slo entry");
+    SloSpec rule;
+    rule.line = entry.line();
+    if (!entry.has("name"))
+      throw SpecError(entry.line(), "slo entry is missing 'name'");
+    rule.name = entry["name"].as_string();
+    rule.stage = entry["stage"].as_string_or(rule.stage);
+    rule.metric = entry["metric"].as_string_or(rule.metric);
+    obs::SloMetric metric;
+    if (!obs::slo_metric_from_string(rule.metric, metric))
+      throw SpecError(
+          entry.has("metric") ? entry["metric"].line() : entry.line(),
+          "slo '" + rule.name + "': unknown metric '" + rule.metric +
+              "' (expected p99_latency, queue_wait_p99, deadline_miss_rate, "
+              "utilization_floor, or wan_retry_budget)");
+    if (!entry.has("threshold"))
+      throw SpecError(entry.line(),
+                      "slo '" + rule.name + "' is missing 'threshold'");
+    rule.threshold = entry["threshold"].as_double();
+    rule.window_s = entry["window"].as_double_or(rule.window_s);
+    if (rule.window_s <= 0.0)
+      throw SpecError(entry["window"].line(),
+                      "slo '" + rule.name + "': window must be > 0");
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<obs::SloRule> health_rules(const WorkflowSpec& spec) {
+  std::vector<obs::SloRule> rules;
+  rules.reserve(spec.slo.size());
+  for (const auto& entry : spec.slo) {
+    obs::SloRule rule;
+    rule.name = entry.name;
+    rule.stage = entry.stage;
+    obs::slo_metric_from_string(entry.metric, rule.metric);
+    rule.threshold = entry.threshold;
+    rule.window_s = entry.window_s;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
 const char* to_string(EdgeMode mode) {
   return mode == EdgeMode::kStreaming ? "streaming" : "barrier";
 }
@@ -90,7 +142,7 @@ const char* to_string(EdgeMode mode) {
 WorkflowSpec WorkflowSpec::from_yaml(const util::YamlNode& root) {
   if (!root.is_map())
     throw SpecError(root.line(), "spec document must be a map");
-  check_keys(root, {"name", "stages", "dataflow", "campaign"}, "spec");
+  check_keys(root, {"name", "stages", "dataflow", "campaign", "slo"}, "spec");
   WorkflowSpec spec;
   spec.name = root["name"].as_string_or(spec.name);
 
@@ -138,6 +190,8 @@ WorkflowSpec WorkflowSpec::from_yaml(const util::YamlNode& root) {
   } else if (!campaign.is_null()) {
     throw SpecError(campaign.line(), "'campaign' must be a map");
   }
+
+  spec.slo = parse_slo_list(root["slo"]);
   return spec;
 }
 
@@ -210,6 +264,50 @@ StageGraph StageGraph::compile(const WorkflowSpec& spec,
                           std::to_string(claim.wan_bps) +
                           " B/s WAN but facility '" + caps.name + "' has " +
                           std::to_string(caps.wan_bps) + " B/s");
+  }
+
+  // SLO validation: unique names, resolvable stage references, thresholds
+  // that make sense for the metric. Metric spelling was already checked by
+  // parse_slo_list; programmatically-built specs get the same checks here.
+  std::set<std::string, std::less<>> slo_names;
+  for (const auto& rule : spec.slo) {
+    if (!slo_names.insert(rule.name).second)
+      throw SpecError(rule.line, "duplicate slo name '" + rule.name + "'");
+    obs::SloMetric metric;
+    if (!obs::slo_metric_from_string(rule.metric, metric))
+      throw SpecError(rule.line, "slo '" + rule.name + "': unknown metric '" +
+                                     rule.metric + "'");
+    if (rule.window_s <= 0.0)
+      throw SpecError(rule.line,
+                      "slo '" + rule.name + "': window must be > 0");
+    if (metric == obs::SloMetric::kDeadlineMissRate) {
+      if (!rule.stage.empty())
+        throw SpecError(rule.line,
+                        "slo '" + rule.name +
+                            "': deadline_miss_rate is workflow-wide; drop "
+                            "'stage'");
+      if (rule.threshold < 0.0 || rule.threshold >= 1.0)
+        throw SpecError(rule.line, "slo '" + rule.name +
+                                       "': deadline_miss_rate threshold must "
+                                       "be in [0, 1)");
+    } else {
+      if (rule.stage.empty())
+        throw SpecError(rule.line, "slo '" + rule.name + "': metric '" +
+                                       rule.metric + "' needs a 'stage'");
+      if (by_name.find(rule.stage) == by_name.end())
+        throw SpecError(rule.line, "slo '" + rule.name +
+                                       "' watches undeclared stage '" +
+                                       rule.stage + "'");
+      if (metric == obs::SloMetric::kUtilizationFloor) {
+        if (rule.threshold <= 0.0 || rule.threshold > 1.0)
+          throw SpecError(rule.line, "slo '" + rule.name +
+                                         "': utilization_floor threshold "
+                                         "must be in (0, 1]");
+      } else if (rule.threshold < 0.0) {
+        throw SpecError(rule.line, "slo '" + rule.name +
+                                       "': threshold must be >= 0");
+      }
+    }
   }
 
   // Kahn topological sort, stable in declaration order; leftovers = cycle.
@@ -313,6 +411,16 @@ std::string StageGraph::describe() const {
     }
   }
   if (!any) os << "  (none)\n";
+  if (!spec_.slo.empty()) {
+    os << "slo:\n";
+    for (const auto& rule : spec_.slo) {
+      os << "  " << rule.name << ": "
+         << (rule.stage.empty() ? "workflow" : rule.stage) << " "
+         << rule.metric << " "
+         << (rule.metric == "utilization_floor" ? ">= " : "<= ")
+         << rule.threshold << " over " << rule.window_s << "s windows\n";
+    }
+  }
   return os.str();
 }
 

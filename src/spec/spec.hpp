@@ -27,6 +27,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/watch.hpp"
 #include "util/yamlite.hpp"
 
 namespace mfw::spec {
@@ -84,6 +85,22 @@ struct EdgeSpec {
   std::size_t line = 0;
 };
 
+/// One entry of the spec's `slo:` list — a declared service-level objective
+/// the watch layer (obs::HealthMonitor, DESIGN.md §12) evaluates online.
+/// Metric names use the obs::SloMetric vocabulary: p99_latency,
+/// queue_wait_p99, deadline_miss_rate, utilization_floor, wan_retry_budget.
+struct SloSpec {
+  std::string name;
+  /// Stage the objective watches; empty (and required so) for the
+  /// workflow-wide deadline_miss_rate metric.
+  std::string stage;
+  std::string metric = "p99_latency";
+  double threshold = 0.0;
+  /// Evaluation window in seconds.
+  double window_s = 60.0;
+  std::size_t line = 0;
+};
+
 struct CampaignSpec {
   /// Concurrent workflow instances competing for the facility.
   int count = 1;
@@ -103,6 +120,8 @@ struct WorkflowSpec {
   /// Per-edge mode overrides; edges not listed default to barrier.
   std::vector<EdgeSpec> dataflow;
   CampaignSpec campaign;
+  /// Declared service-level objectives (may be empty).
+  std::vector<SloSpec> slo;
 
   /// Parses the YAML shape documented in DESIGN.md §11. Structural errors
   /// throw SpecError anchored at the offending line; semantic validation
@@ -110,6 +129,15 @@ struct WorkflowSpec {
   static WorkflowSpec from_yaml(const util::YamlNode& root);
   static WorkflowSpec from_yaml_text(std::string_view text);
 };
+
+/// Parses a `slo:` list node (shared by WorkflowSpec::from_yaml and the
+/// pipeline config's top-level `slo:` section). Metric names and windows are
+/// checked here, anchored at the offending line; stage references are
+/// resolved later by StageGraph::compile.
+std::vector<SloSpec> parse_slo_list(const util::YamlNode& node);
+
+/// Converts validated SLO specs into the watch layer's rule type.
+std::vector<obs::SloRule> health_rules(const WorkflowSpec& spec);
 
 /// The slice of a facility the validator checks claims against. Neutral
 /// struct (no federation dependency); federation::FacilityProfile converts

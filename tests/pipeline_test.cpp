@@ -1,7 +1,11 @@
 // Tests for pipeline configuration parsing and the timeline recorder.
 #include <gtest/gtest.h>
 
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "obs/watch.hpp"
 #include "pipeline/config.hpp"
+#include "pipeline/eoml_workflow.hpp"
 #include "pipeline/spec_compile.hpp"
 #include "pipeline/timeline.hpp"
 
@@ -221,6 +225,105 @@ TEST(Timeline, RecorderCsvAndRender) {
   const auto plot = recorder.render(50, 60, 10);
   EXPECT_NE(plot.find("active workers"), std::string::npos);
   EXPECT_NE(plot.find("download"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Config-declared SLOs and the live health layer (DESIGN.md §12)
+
+TEST(ConfigSlo, ParsesAndFlowsIntoTheCompiledPlan) {
+  const auto config = EomlConfig::from_yaml_text(
+      "workflow:\n"
+      "  max_files: 4\n"
+      "slo:\n"
+      "  - name: pp-queue\n"
+      "    stage: preprocess\n"
+      "    metric: queue_wait_p99\n"
+      "    threshold: 5\n"
+      "    window: 30\n");
+  ASSERT_EQ(config.slos.size(), 1u);
+  EXPECT_EQ(config.slos[0].name, "pp-queue");
+  EXPECT_EQ(config.slos[0].stage, "preprocess");
+  EXPECT_DOUBLE_EQ(config.slos[0].threshold, 5.0);
+
+  const auto graph = compile_config(config);
+  const auto rules = spec::health_rules(graph.spec());
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].name, "pp-queue");
+  EXPECT_EQ(rules[0].metric, obs::SloMetric::kQueueWaitP99);
+  EXPECT_DOUBLE_EQ(rules[0].window_s, 30.0);
+  EXPECT_NE(graph.describe().find("slo:"), std::string::npos);
+}
+
+TEST(ConfigSlo, RejectsUnknownStageAndStrayKeys) {
+  // The stage reference is validated against the compiled paper DAG with
+  // the config's own line anchors.
+  auto config = EomlConfig::from_yaml_text(
+      "slo:\n"
+      "  - name: bad\n"
+      "    stage: nope\n"
+      "    metric: p99_latency\n"
+      "    threshold: 1\n");
+  EXPECT_THROW(compile_config(config), spec::SpecError);
+
+  EXPECT_THROW(EomlConfig::from_yaml_text("slo:\n"
+                                          "  - name: bad\n"
+                                          "    bogus: 1\n"
+                                          "    threshold: 1\n"),
+               spec::SpecError);
+}
+
+TEST(WorkflowHealth, WatchedRunFiresSloAlertAndDoesNotPerturbTheRun) {
+  EomlConfig config;
+  config.max_files = 6;
+  config.preprocess_nodes = 1;
+  config.workers_per_node = 1;  // force queueing in preprocess
+  {
+    spec::SloSpec rule;
+    rule.name = "pp-queue";
+    rule.stage = "preprocess";
+    rule.metric = "queue_wait_p99";
+    rule.threshold = 0.5;
+    rule.window_s = 60.0;
+    config.slos.push_back(rule);
+  }
+
+  // Reference run: no recorder, no bus, no monitor.
+  double plain_makespan = 0.0;
+  std::size_t plain_tiles = 0;
+  {
+    EomlWorkflow workflow(config);
+    const auto report = workflow.run();
+    plain_makespan = report.makespan;
+    plain_tiles = report.total_tiles;
+  }
+
+  // Watched run: full health chain attached.
+  auto& rec = obs::TraceRecorder::instance();
+  obs::set_globally_enabled(true);
+  obs::TelemetryBus bus;
+  EomlWorkflow workflow(config);
+  obs::HealthMonitor monitor({}, spec::health_rules(workflow.plan().spec()));
+  monitor.attach(bus);
+  workflow.attach_health(monitor, 30.0);
+  rec.set_span_sink(&bus);
+  const auto report = workflow.run();
+  monitor.finish(workflow.engine().now());
+  rec.set_span_sink(nullptr);
+  obs::set_globally_enabled(false);
+  rec.clear();
+
+  // Zero-perturbation: the watched run's numbers are bit-for-bit identical.
+  EXPECT_EQ(report.makespan, plain_makespan);
+  EXPECT_EQ(report.total_tiles, plain_tiles);
+
+  // One worker serializes six granules, so queue waits blow the 0.5 s
+  // budget: the rule fires and stays firing at end of run.
+  ASSERT_GE(monitor.alerts().size(), 1u);
+  EXPECT_EQ(monitor.alerts()[0].rule, "pp-queue");
+  EXPECT_EQ(monitor.alerts()[0].state, "firing");
+  EXPECT_EQ(monitor.alerts()[0].cause, "queue-wait");
+  EXPECT_GT(monitor.events_seen(), 0u);
+  EXPECT_EQ(monitor.dropped_events(), 0u);
 }
 
 }  // namespace

@@ -199,5 +199,184 @@ TEST(SpecLab, LoadScalesCampaignCount) {
   EXPECT_EQ(result.tasks, 4u * 3u);
 }
 
+// ---------------------------------------------------------------------------
+// Spec-declared SLOs (DESIGN.md §12)
+
+TEST(SpecSlo, UnknownMetricIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    metric: p42_latency\n"
+      "    threshold: 1\n");
+  EXPECT_NE(err.find("spec:5: slo 'r1': unknown metric 'p42_latency'"),
+            std::string::npos)
+      << err;
+}
+
+TEST(SpecSlo, MissingThresholdIsLineAnchored) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: tile\n");
+  EXPECT_EQ(err, "spec:4: slo 'r1' is missing 'threshold'");
+}
+
+TEST(SpecSlo, StageRuleNeedsDeclaredStage) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: nope\n"
+      "    metric: p99_latency\n"
+      "    threshold: 1\n");
+  EXPECT_EQ(err, "spec:4: slo 'r1' watches undeclared stage 'nope'");
+
+  const auto err2 = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    metric: p99_latency\n"
+      "    threshold: 1\n");
+  EXPECT_EQ(err2, "spec:4: slo 'r1': metric 'p99_latency' needs a 'stage'");
+}
+
+TEST(SpecSlo, DeadlineRuleIsWorkflowWideWithFractionThreshold) {
+  const auto err = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: tile\n"
+      "    metric: deadline_miss_rate\n"
+      "    threshold: 0.1\n");
+  EXPECT_NE(err.find("deadline_miss_rate is workflow-wide"),
+            std::string::npos)
+      << err;
+
+  const auto err2 = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    metric: deadline_miss_rate\n"
+      "    threshold: 1.5\n");
+  EXPECT_NE(err2.find("threshold must be in [0, 1)"), std::string::npos)
+      << err2;
+}
+
+TEST(SpecSlo, DuplicateNameAndBadWindowAndUtilizationRange) {
+  const auto dup = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: tile\n"
+      "    metric: p99_latency\n"
+      "    threshold: 1\n"
+      "  - name: r1\n"
+      "    stage: tile\n"
+      "    metric: queue_wait_p99\n"
+      "    threshold: 1\n");
+  EXPECT_EQ(dup, "spec:8: duplicate slo name 'r1'");
+
+  const auto window = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: tile\n"
+      "    metric: p99_latency\n"
+      "    threshold: 1\n"
+      "    window: 0\n");
+  EXPECT_EQ(window, "spec:8: slo 'r1': window must be > 0");
+
+  const auto util = compile_error(
+      "stages:\n"
+      "  - name: tile\n"
+      "slo:\n"
+      "  - name: r1\n"
+      "    stage: tile\n"
+      "    metric: utilization_floor\n"
+      "    threshold: 1.5\n");
+  EXPECT_NE(util.find("utilization_floor threshold must be in (0, 1]"),
+            std::string::npos)
+      << util;
+}
+
+TEST(SpecSlo, CompilesIntoHealthRulesAndDescribe) {
+  const auto graph = StageGraph::compile(
+      WorkflowSpec::from_yaml_text(
+          "name: watched\n"
+          "stages:\n"
+          "  - name: tile\n"
+          "slo:\n"
+          "  - name: tile-lat\n"
+          "    stage: tile\n"
+          "    metric: p99_latency\n"
+          "    threshold: 2.5\n"
+          "    window: 30\n"
+          "  - name: deadlines\n"
+          "    metric: deadline_miss_rate\n"
+          "    threshold: 0.1\n"),
+      FacilityCaps{});
+  const auto rules = health_rules(graph.spec());
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].name, "tile-lat");
+  EXPECT_EQ(rules[0].stage, "tile");
+  EXPECT_EQ(rules[0].metric, obs::SloMetric::kP99Latency);
+  EXPECT_DOUBLE_EQ(rules[0].threshold, 2.5);
+  EXPECT_DOUBLE_EQ(rules[0].window_s, 30.0);
+  EXPECT_EQ(rules[1].stage, "");
+  EXPECT_EQ(rules[1].metric, obs::SloMetric::kDeadlineMissRate);
+
+  const auto plan = graph.describe();
+  EXPECT_NE(plan.find("slo:"), std::string::npos);
+  EXPECT_NE(plan.find("tile-lat: tile p99_latency <= 2.5 over 30s windows"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("deadlines: workflow deadline_miss_rate <= 0.1"),
+            std::string::npos)
+      << plan;
+}
+
+TEST(SpecLab, DeadlineSloEvaluatedFromCampaignOutcomes) {
+  FacilityCaps caps;
+  caps.total_nodes = 1;
+  caps.max_workers_per_node = 2;
+  LabConfig config;
+  config.graph = StageGraph::compile(
+      WorkflowSpec::from_yaml_text(
+          "stages:\n"
+          "  - name: tile\n"
+          "    claim:\n"
+          "      cpu_per_item: 0.5\n"
+          "campaign:\n"
+          "  count: 2\n"
+          "  spacing: 1\n"
+          "  items: 6\n"
+          "  deadline: 0.1\n"  // impossible: every campaign misses
+          "slo:\n"
+          "  - name: deadline-budget\n"
+          "    metric: deadline_miss_rate\n"
+          "    threshold: 0.25\n"
+          "    window: 60\n"),
+      caps);
+  const auto result = run_lab(config);
+  EXPECT_EQ(result.deadline_misses, 2);
+  EXPECT_EQ(result.slo_rules, 1);
+  EXPECT_GE(result.slo_alerts, 1);
+  EXPECT_EQ(result.slo_firing, 1);
+
+  const auto json = results_to_json({result});
+  EXPECT_NE(json.find("\"slo_rules\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"slo_firing\": 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mfw::spec

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs every benchmark suite in tools/ back to back and refreshes all the
+# BENCH_*.json snapshots at the repo root in one command, so a perf-affecting
+# change can regenerate its full diff surface without remembering the suite
+# list:
+#
+#   bench_kernels.sh  ->  BENCH_kernels.json   (fast-ML-substrate kernels)
+#   bench_sim.sh      ->  BENCH_sim.json       (archive-scale event engine)
+#   bench_obs.sh      ->  BENCH_obs.json       (recording/rollup/bus overhead)
+#
+# All suites share one build tree. Pass --quick to hand the CI-sized knob to
+# the suites that understand it (currently the archive campaign); kernels and
+# obs are already seconds-scale.
+#
+# Usage: tools/bench_all.sh [build-dir] [--quick]
+#        (default build-dir: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build"
+quick=""
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) quick="--quick" ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
+
+echo "=== bench_all: kernels ==="
+"${repo_root}/tools/bench_kernels.sh" "${build_dir}"
+
+echo "=== bench_all: simulation substrate ==="
+if [[ -n "${quick}" ]]; then
+  "${repo_root}/tools/bench_sim.sh" "${build_dir}" \
+      "${repo_root}/BENCH_sim.json" --quick
+else
+  "${repo_root}/tools/bench_sim.sh" "${build_dir}"
+fi
+
+echo "=== bench_all: obs recording overhead ==="
+"${repo_root}/tools/bench_obs.sh" "${build_dir}"
+
+echo "bench_all: wrote BENCH_kernels.json BENCH_sim.json BENCH_obs.json"

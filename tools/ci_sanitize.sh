@@ -19,6 +19,10 @@
 # (tools/ci_spec_smoke.sh) pins the declarative-workflow layer: the builtin
 # spec's barrier run must stay bit-for-bit the seed pipeline, and the policy
 # sweep must emit a populated mfw.policies/v1 grid; skip with MFW_SKIP_SPEC=1.
+# The health smoke gate (tools/ci_health_smoke.sh) pins the live-watch layer:
+# a watch-enabled run must not perturb the simulation (same CSV sha), the
+# mfw.health/v1 stream must validate, and an injected slow stage must raise —
+# and a clean run must not raise — an SLO alert; skip with MFW_SKIP_HEALTH=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -55,4 +59,8 @@ fi
 
 if [[ "${MFW_SKIP_SPEC:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_spec_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_HEALTH:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_health_smoke.sh"
 fi

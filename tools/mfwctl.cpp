@@ -18,6 +18,16 @@
 //       critical path, per-stage utilization, queue waits, stragglers with
 //       cause attribution. --json emits the machine-readable report (used by
 //       CI gating) on stdout.
+//   mfwctl watch <config.yaml> [--interval <sim-s>] [--window <s>]
+//                [--anomaly-k <k>] [--health-out <path>] [--csv <path>]
+//       Run the workflow with the live health layer attached (DESIGN.md
+//       §12): a TelemetryBus feeds an online HealthMonitor that evaluates
+//       the config's `slo:` rules (plus an optional EWMA/MAD anomaly
+//       detector) as windows close, printing a text dashboard every
+//       --interval sim-seconds and writing the mfw.health/v1 alert stream
+//       to --health-out. Watching is read-only: the run is bit-for-bit
+//       identical to `mfwctl run` (--csv emits the same timeline CSV,
+//       sha256-gated in tools/ci_health_smoke.sh).
 //   mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]
 //       Validate a declarative workflow spec (stages, claims, dataflow
 //       edges, campaign) against a facility and print the compiled DAG.
@@ -60,6 +70,8 @@ int usage() {
                "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
                "  mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]\n"
                "  mfwctl report <config.yaml> [--json] [--out <path>] [--straggler-k <k>] [--quiet]\n"
+               "  mfwctl watch <config.yaml> [--interval <sim-s>] [--window <s>] [--anomaly-k <k>]\n"
+               "               [--health-out <path>] [--csv <path>] [--quiet]\n"
                "  mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]\n"
                "  mfwctl sweep <spec.yaml> | --builtin [--policies a,b] [--facilities 1,2]\n"
                "               [--loads 1,2] [--out <json>] [--quiet]\n"
@@ -88,6 +100,13 @@ const std::vector<FlagSpec>* flags_for(const std::string& command) {
        {{"--json", false},
         {"--out", true},
         {"--straggler-k", true},
+        {"--quiet", false}}},
+      {"watch",
+       {{"--interval", true},
+        {"--window", true},
+        {"--anomaly-k", true},
+        {"--health-out", true},
+        {"--csv", true},
         {"--quiet", false}}},
       {"plan", {{"--builtin", false}, {"--facility", true}, {"--quiet", false}}},
       {"sweep",
@@ -314,6 +333,71 @@ int main(int argc, char** argv) {
       } else {
         std::printf("%s\n\n%s", report.summary().c_str(),
                     analysis.render_text().c_str());
+      }
+      return 0;
+    }
+    if (command == "watch") {
+      const auto path = positional(0);
+      if (path.empty()) return usage();
+      auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      const bool quiet = has_flag("--quiet");
+      double interval = 0.0;
+      if (const auto v = flag_value("--interval"); !v.empty())
+        interval = std::atof(v.c_str());
+      obs::HealthConfig health;
+      if (const auto v = flag_value("--window"); !v.empty())
+        health.window_s = std::atof(v.c_str());
+      if (const auto v = flag_value("--anomaly-k"); !v.empty())
+        health.anomaly_k = std::atof(v.c_str());
+
+      obs::set_globally_enabled(true);
+      auto& rec = obs::TraceRecorder::instance();
+      // Watching is operational, not forensic: spans stream through the bus
+      // and only aggregates are kept, so an archive-scale watch stays
+      // bounded-memory (same retention mode bench/archive_campaign uses).
+      obs::RetentionPolicy retention;
+      retention.mode = obs::RetentionMode::kStatsOnly;
+      rec.set_retention(retention);
+
+      obs::TelemetryBus bus;
+      pipeline::EomlWorkflow workflow(std::move(config));
+      obs::HealthMonitor monitor(health,
+                                 spec::health_rules(workflow.plan().spec()));
+      monitor.attach(bus);
+      workflow.attach_health(monitor, interval, [&](double now) {
+        if (!quiet) std::printf("%s", monitor.dashboard(now).c_str());
+      });
+      rec.set_span_sink(&bus);
+      const auto report = workflow.run();
+      monitor.finish(workflow.engine().now());
+      rec.set_span_sink(nullptr);
+      rec.set_retention({});
+
+      std::printf("%s\n", report.summary().c_str());
+      std::printf("%s", monitor.dashboard(workflow.engine().now()).c_str());
+      for (const auto& alert : monitor.alerts()) {
+        std::printf("alert %-8s rule=%s stage=%s metric=%s observed=%g "
+                    "threshold=%g window_t0=%g%s%s\n",
+                    alert.state.c_str(), alert.rule.c_str(),
+                    alert.stage.empty() ? "-" : alert.stage.c_str(),
+                    alert.metric.c_str(), alert.observed, alert.threshold,
+                    alert.window_t0, alert.cause.empty() ? "" : " cause=",
+                    alert.cause.c_str());
+      }
+      if (const auto out = flag_value("--health-out"); !out.empty()) {
+        obs::write_file(out, monitor.to_json(workflow.engine().now()));
+        std::printf("health stream written to %s (%zu alerts, %zu firing)\n",
+                    out.c_str(), monitor.alerts().size(),
+                    monitor.firing_count());
+      }
+      if (const auto csv = flag_value("--csv"); !csv.empty()) {
+        std::ofstream out_file(csv, std::ios::binary);
+        if (!out_file) {
+          std::fprintf(stderr, "error: cannot write %s\n", csv.c_str());
+          return 1;
+        }
+        out_file << report.timeline.to_csv(200);
+        std::printf("timeline CSV written to %s\n", csv.c_str());
       }
       return 0;
     }
