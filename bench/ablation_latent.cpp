@@ -8,8 +8,14 @@
 //   RICC latent | trained rotation-invariant encoder output
 // Metric: silhouette of the resulting clusters and rotation sensitivity of
 // the representation (distance a 90° rotation moves a tile, normalized).
+//
+// --int8-check appends an accuracy audit of the int8 inference path on the
+// trained arm: the 42-class assignments of the fp32 reference vs the fused
+// fp32 plan (must be bitwise identical) and vs the int8 quantized plan
+// (agreement fraction; ci_int8_smoke.sh gates it at >= 0.99).
 #include <cstdio>
 #include <cstring>
+#include <optional>
 
 #include "bench_common.hpp"
 #include "ml/ricc.hpp"
@@ -50,8 +56,17 @@ double rotation_sensitivity_raw(const std::vector<ml::Tensor>& tiles) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+  bool int8_check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--int8-check")) {
+      int8_check = true;
+    } else {
+      std::fprintf(stderr, "usage: ablation_latent [--int8-check]\n");
+      return 2;
+    }
+  }
   benchx::print_header(
       "Ablation — clustering representation: raw pixels vs RICC latents",
       "RICC design choice (Kurihana et al. TGRS'21, used by the SC24 "
@@ -116,9 +131,16 @@ int main() {
                    util::Table::num(ml::rotation_invariance_score(model, tiles), 3)});
   }
 
-  // Trained RICC latents.
+  // Trained RICC latents. The trained arm carries the AICCA class count so
+  // the optional --int8-check audit measures 42-way assignment agreement;
+  // num_classes only sizes the centroid set, so the ablation rows (which
+  // cluster at k via agglomerative_ward directly) are unaffected.
+  std::optional<ml::RiccModel> trained;
   {
-    ml::RiccModel model(config);
+    ml::RiccConfig trained_config = config;
+    trained_config.num_classes = 42;
+    trained.emplace(trained_config);
+    ml::RiccModel& model = *trained;
     ml::RiccTrainOptions train;
     train.epochs = 12;
     train.batch_size = 16;
@@ -135,6 +157,47 @@ int main() {
   }
 
   std::printf("%s\n", table.render().c_str());
+
+  if (int8_check) {
+    // Accuracy audit of the inference fast paths on the trained arm, with
+    // the AICCA class count so assignment agreement is measured at the
+    // paper's granularity (DESIGN.md §13). fit_centroids installs the
+    // Ward centroids the 42-way assignment uses.
+    ml::RiccModel& model = *trained;
+    ml::fit_centroids(model, tiles);
+    std::vector<int> ref(tiles.size());
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+      ref[i] = model.predict(tiles[i]);
+    model.set_encode_path(ml::RiccModel::EncodePath::kFused);
+    std::size_t fused_match = 0;
+    bool fused_bitwise = true;
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      if (model.predict(tiles[i]) == ref[i]) ++fused_match;
+      // The fused plan must reproduce the layer path bit-for-bit, not just
+      // class-for-class: compare latents exactly.
+      const ml::Tensor zf = model.encode(tiles[i]);
+      model.set_encode_path(ml::RiccModel::EncodePath::kLayers);
+      const ml::Tensor zl = model.encode(tiles[i]);
+      model.set_encode_path(ml::RiccModel::EncodePath::kFused);
+      if (std::memcmp(zf.data(), zl.data(),
+                      zf.size() * sizeof(float)) != 0)
+        fused_bitwise = false;
+    }
+    model.calibrate_int8(tiles);
+    model.set_encode_path(ml::RiccModel::EncodePath::kInt8);
+    std::size_t int8_match = 0;
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+      if (model.predict(tiles[i]) == ref[i]) ++int8_match;
+    model.set_encode_path(ml::RiccModel::EncodePath::kLayers);
+    const int classes = model.centroids().dim(0);
+    std::printf(
+        "\nInt8 inference audit (%zu tiles, %d classes):\n"
+        "  fused vs layers: bitwise %s, assignment agreement %.4f\n"
+        "  int8  vs layers: assignment agreement %.4f\n",
+        tiles.size(), classes, fused_bitwise ? "IDENTICAL" : "DIFFERENT",
+        static_cast<double>(fused_match) / static_cast<double>(tiles.size()),
+        static_cast<double>(int8_match) / static_cast<double>(tiles.size()));
+  }
   std::printf(
       "Expected: the trained latent clusters about as cleanly as raw pixels\n"
       "at 128x lower dimensionality (what lets Ward clustering and nearest-\n"

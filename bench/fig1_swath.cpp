@@ -6,7 +6,15 @@
 // We generate a daytime swath (reduced geometry), run the real tiler, train
 // a compact RICC on its tiles, and print the tile-class map: neighbouring
 // tiles of the same cloud regime should receive the same letter.
+//
+// --encode-path <layers|fused|int8> selects the inference fast path for the
+// final labelling pass (default: layers, the fp32 reference); --tile-budget N
+// bounds how many tiles are resident in the encode stage at once (0 = whole
+// swath in one batch). ci_int8_smoke.sh runs `--encode-path int8
+// --tile-budget 32` and checks the reported peak stays within the budget.
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <map>
 
 #include "bench_common.hpp"
@@ -16,8 +24,22 @@
 
 using namespace mfw;
 
-int main() {
+int main(int argc, char** argv) {
   util::Logger::instance().set_level(util::LogLevel::kWarn);
+  ml::RiccModel::EncodePath encode_path = ml::RiccModel::EncodePath::kLayers;
+  std::size_t tile_budget = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--encode-path") && i + 1 < argc) {
+      encode_path = ml::RiccModel::parse_encode_path(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--tile-budget") && i + 1 < argc) {
+      tile_budget = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: fig1_swath [--encode-path layers|fused|int8] "
+                   "[--tile-budget N]\n");
+      return 2;
+    }
+  }
   benchx::print_header(
       "Fig. 1 — AICCA class map over one MODIS swath (qualitative)",
       "Kurihana et al., SC24, Fig. 1(b)");
@@ -80,7 +102,29 @@ int main() {
   std::vector<std::string> canvas(static_cast<std::size_t>(grid_rows),
                                   std::string(static_cast<std::size_t>(grid_cols), '.'));
   std::map<int, int> class_counts;
-  const std::vector<ml::Tensor> latents = model.encode_batch(tiles);
+  if (encode_path == ml::RiccModel::EncodePath::kInt8)
+    model.calibrate_int8(tiles);
+  model.set_encode_path(encode_path);
+  // With a tile budget, encode in bounded batches instead of one swath-wide
+  // batch; peak resident tiles in the encode stage never exceeds the budget.
+  std::vector<ml::Tensor> latents;
+  latents.reserve(tiles.size());
+  std::size_t peak_resident = 0;
+  const std::size_t step = tile_budget > 0 ? tile_budget : tiles.size();
+  for (std::size_t begin = 0; begin < tiles.size(); begin += step) {
+    const std::size_t count = std::min(step, tiles.size() - begin);
+    peak_resident = std::max(peak_resident, count);
+    auto batch = model.encode_batch(
+        std::span<const ml::Tensor>(tiles.data() + begin, count));
+    for (auto& z : batch) latents.push_back(std::move(z));
+  }
+  std::printf("Encode path: %s   tile budget: %zu   peak resident tiles: %zu   "
+              "within budget: %s\n",
+              encode_path == ml::RiccModel::EncodePath::kInt8    ? "int8"
+              : encode_path == ml::RiccModel::EncodePath::kFused ? "fused"
+                                                                 : "layers",
+              tile_budget, peak_resident,
+              tile_budget == 0 || peak_resident <= tile_budget ? "yes" : "NO");
   for (std::size_t i = 0; i < result.tiles.size(); ++i) {
     const auto& tile = result.tiles[i];
     const int label = ml::nearest_centroid(model.centroids(), latents[i].span());

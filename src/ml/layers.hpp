@@ -55,6 +55,15 @@ class Conv2d final : public Layer {
   int out_height(int in_height) const;
   int out_width(int in_width) const;
 
+  // Hyperparameter / weight views for inference-plan builders (quant.hpp).
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel_size() const { return kernel_; }
+  int stride() const { return stride_; }
+  int padding() const { return pad_; }
+  const Tensor& weight() const { return weight_.value; }
+  const Tensor& bias() const { return bias_.value; }
+
  private:
   Tensor forward_naive(const Tensor& input, int out_h, int out_w) const;
   Tensor backward_naive(const Tensor& grad_output);
@@ -78,6 +87,11 @@ class Dense final : public Layer {
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<Dense>(*this);
   }
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_.value; }
+  const Tensor& bias() const { return bias_.value; }
 
  private:
   int in_features_, out_features_;
@@ -108,6 +122,8 @@ class LeakyReLU final : public Layer {
   std::unique_ptr<Layer> clone() const override {
     return std::make_unique<LeakyReLU>(*this);
   }
+
+  float slope() const { return slope_; }
 
  private:
   float slope_;
@@ -206,6 +222,7 @@ class Sequential final : public Layer {
   Sequential clone_net() const;
 
   std::size_t layer_count() const { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
   /// Total scalar parameter count.
   std::size_t param_count();
 

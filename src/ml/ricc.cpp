@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ml/kernels.hpp"
 #include "ml/loss.hpp"
 #include "ml/optim.hpp"
 #include "obs/metrics.hpp"
@@ -80,9 +81,46 @@ RiccModel::RiccModel(const RiccConfig& config) : config_(config) {
   }
 }
 
+RiccModel::EncodePath RiccModel::parse_encode_path(std::string_view name) {
+  if (name == "layers") return EncodePath::kLayers;
+  if (name == "fused") return EncodePath::kFused;
+  if (name == "int8") return EncodePath::kInt8;
+  throw std::invalid_argument("unknown encode path '" + std::string(name) +
+                              "' (expected layers|fused|int8)");
+}
+
+RiccModel::EncodePath RiccModel::active_path() const {
+  // The naive-kernel oracle compares against the original layer path; the
+  // fused/int8 plans would bypass it, so they yield while it is active.
+  if (kernels::use_naive()) return EncodePath::kLayers;
+  return encode_path_;
+}
+
+void RiccModel::set_encode_path(EncodePath path) {
+  if (path == EncodePath::kFused) {
+    fused_ = FusedEncoder::build(encoder_, config_.tile_size);
+  } else if (path == EncodePath::kInt8 && !int8_ready()) {
+    throw std::logic_error(
+        "RiccModel::set_encode_path(kInt8): calibrate_int8() first");
+  }
+  encode_path_ = path;
+}
+
+void RiccModel::calibrate_int8(std::span<const Tensor> sample) {
+  int8_ = QuantizedEncoder::build(encoder_, config_.tile_size, sample);
+}
+
 Tensor RiccModel::encode(const Tensor& tile) {
   if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())
     metrics.counter_add("mfw.ml.encode_tiles_total", 1.0);
+  switch (active_path()) {
+    case EncodePath::kFused:
+      return fused_->encode(tile, scratch_);
+    case EncodePath::kInt8:
+      return int8_->encode(tile, scratch_);
+    case EncodePath::kLayers:
+      break;
+  }
   return encoder_.forward(tile);
 }
 
@@ -93,19 +131,46 @@ std::vector<Tensor> RiccModel::encode_batch(std::span<const Tensor> tiles,
   if (auto& rec = obs::TraceRecorder::instance(); rec.enabled())
     span = rec.begin_span("ml/encode", "ml", "ml.encode",
                           {{"tiles", std::to_string(tiles.size())}});
+  const EncodePath path = active_path();
+  auto encode_range = [&](std::size_t begin, std::size_t end,
+                          EncodeScratch& scratch) {
+    switch (path) {
+      case EncodePath::kFused:
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = fused_->encode(tiles[i], scratch);
+        break;
+      case EncodePath::kInt8:
+        for (std::size_t i = begin; i < end; ++i)
+          out[i] = int8_->encode(tiles[i], scratch);
+        break;
+      case EncodePath::kLayers:
+        break;  // handled below (needs a Sequential, not scratch)
+    }
+  };
   if (pool == nullptr || tiles.size() < 2) {
-    for (std::size_t i = 0; i < tiles.size(); ++i)
-      out[i] = encoder_.forward(tiles[i]);
+    if (path == EncodePath::kLayers) {
+      for (std::size_t i = 0; i < tiles.size(); ++i)
+        out[i] = encoder_.forward(tiles[i]);
+    } else {
+      encode_range(0, tiles.size(), scratch_);
+    }
   } else {
-    // One replica per dispatched chunk; every tile writes only its own slot,
-    // so the output is bitwise independent of the thread count.
+    // Every tile writes only its own slot, so the output is bitwise
+    // independent of the thread count. The layer path needs one encoder
+    // replica per dispatched chunk (forward mutates layer caches); the
+    // fused/int8 plans are const and shared, with per-chunk scratch.
     const std::size_t chunk = std::max<std::size_t>(
         1, (tiles.size() + pool->thread_count()) / (pool->thread_count() + 1));
     util::parallel_for(*pool, tiles.size(), chunk,
                        [&](std::size_t begin, std::size_t end) {
-                         Sequential replica = encoder_.clone_net();
-                         for (std::size_t i = begin; i < end; ++i)
-                           out[i] = replica.forward(tiles[i]);
+                         if (path == EncodePath::kLayers) {
+                           Sequential replica = encoder_.clone_net();
+                           for (std::size_t i = begin; i < end; ++i)
+                             out[i] = replica.forward(tiles[i]);
+                         } else {
+                           EncodeScratch scratch;
+                           encode_range(begin, end, scratch);
+                         }
                        });
   }
   if (auto& metrics = obs::MetricsRegistry::instance(); metrics.enabled())

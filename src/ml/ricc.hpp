@@ -16,10 +16,13 @@
 // exercised by tests and the ricc_training example.
 #pragma once
 
+#include <optional>
 #include <span>
+#include <string_view>
 
 #include "ml/cluster.hpp"
 #include "ml/layers.hpp"
+#include "ml/quant.hpp"
 #include "storage/hdfl.hpp"
 
 namespace mfw::ml {
@@ -70,6 +73,34 @@ class RiccModel {
   /// Class id in [0, num_classes) for a tile; requires centroids.
   int predict(const Tensor& tile);
 
+  /// Which encoder implementation encode/encode_batch/predict run
+  /// (DESIGN.md §13). kLayers is the default layer-by-layer path and the
+  /// fp32 oracle; kFused is the fused fp32 plan (bitwise identical to
+  /// kLayers on the same weights); kInt8 is the quantized plan and needs
+  /// calibrate_int8() first. Plans snapshot the weights when selected /
+  /// calibrated — after retraining or loading new weights, re-select the
+  /// path to rebuild them. When kernels::use_naive() is set (the
+  /// MFW_ML_NAIVE_KERNELS oracle toggle), inference falls back to kLayers
+  /// regardless of the selected path.
+  enum class EncodePath { kLayers, kFused, kInt8 };
+
+  /// Maps "layers" / "fused" / "int8" (the config-file spellings) to the
+  /// enum; throws std::invalid_argument on anything else.
+  static EncodePath parse_encode_path(std::string_view name);
+
+  EncodePath encode_path() const { return encode_path_; }
+  /// The path inference actually takes right now (kLayers when the naive
+  /// oracle override is active).
+  EncodePath active_path() const;
+  /// Selects the inference path. kFused (re)builds the fused plan from the
+  /// current weights; kInt8 throws std::logic_error unless int8_ready().
+  void set_encode_path(EncodePath path);
+  /// Builds the int8 plan: quantizes the current weights and calibrates
+  /// activation scales by running `sample` (non-empty) through the fp32
+  /// reference. Does not switch the path by itself.
+  void calibrate_int8(std::span<const Tensor> sample);
+  bool int8_ready() const { return int8_.has_value(); }
+
   /// Serializes config + weights + centroids into an hdfl container — the
   /// "pretrained model" artifact the inference stage loads.
   storage::HdflFile save();
@@ -80,6 +111,10 @@ class RiccModel {
   Sequential encoder_;
   Sequential decoder_;
   Tensor centroids_;  // [num_classes][latent_dim], empty until clustering
+  EncodePath encode_path_ = EncodePath::kLayers;
+  std::optional<FusedEncoder> fused_;   // built by set_encode_path(kFused)
+  std::optional<QuantizedEncoder> int8_;  // built by calibrate_int8()
+  EncodeScratch scratch_;  // single-tile encode buffers (plans are const)
 };
 
 struct RiccTrainOptions {

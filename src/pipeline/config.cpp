@@ -169,6 +169,11 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
     config.inference_workers =
         static_cast<int>(inf["workers"].as_int_or(config.inference_workers));
     config.model_path = inf["model"].as_string_or(config.model_path);
+    config.encode_path = inf["encode_path"].as_string_or(config.encode_path);
+    config.inference_tile_budget = static_cast<std::size_t>(inf["tile_budget"].as_int_or(
+        static_cast<std::int64_t>(config.inference_tile_budget)));
+    config.inference_batch = static_cast<std::size_t>(inf["batch"].as_int_or(
+        static_cast<std::int64_t>(config.inference_batch)));
   }
 
   const auto& ship = root["shipment"];
@@ -236,6 +241,17 @@ void EomlConfig::validate() const {
     throw std::invalid_argument("config: contention law parameters must be > 0");
   if (inference_workers <= 0)
     throw std::invalid_argument("config: inference_workers must be >= 1");
+  if (encode_path != "layers" && encode_path != "fused" &&
+      encode_path != "int8")
+    throw std::invalid_argument(
+        "config: encode_path must be layers|fused|int8, got '" + encode_path +
+        "'");
+  if (inference_batch == 0)
+    throw std::invalid_argument("config: inference batch must be >= 1");
+  if (inference_tile_budget != 0 && inference_tile_budget < inference_batch)
+    throw std::invalid_argument(
+        "config: inference tile_budget must be >= batch (or 0 to disable "
+        "streaming)");
   if (shipment_streams <= 0)
     throw std::invalid_argument("config: shipment_streams must be >= 1");
   if (!(wan_capacity_bps > 0) || !(facility_link_bps > 0))

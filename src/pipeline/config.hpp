@@ -91,6 +91,18 @@ struct EomlConfig {
   // -- inference stage -------------------------------------------------------
   int inference_workers = 1;
   preprocess::InferenceCostModel inference_cost{};
+  /// Encoder implementation for materialized inference (DESIGN.md §13):
+  /// "layers" (default; the fp32 oracle, bit-for-bit the historical
+  /// outputs), "fused" (fp32, bitwise identical, fewer allocations), or
+  /// "int8" (quantized fast path, accuracy-gated in CI).
+  std::string encode_path = "layers";
+  /// Bounded-memory tile streaming for materialized inference: 0 keeps the
+  /// classic whole-granule materialization; > 0 streams encode batches with
+  /// at most this many decoded tiles resident at once (must be >=
+  /// inference_batch).
+  std::size_t inference_tile_budget = 0;
+  /// Tiles per streamed encode batch.
+  std::size_t inference_batch = 32;
 
   // -- shipment stage --------------------------------------------------------
   int shipment_streams = 4;

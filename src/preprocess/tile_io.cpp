@@ -104,40 +104,44 @@ storage::NclFile read_tile_file(storage::FileSystem& fs,
   return storage::NclFile::deserialize(fs.read_file(path));
 }
 
-std::vector<Tile> tiles_from_ncl(const storage::NclFile& file) {
-  std::vector<Tile> out;
-  if (!file.has_var("tiles")) return out;
-  const auto n = static_cast<std::size_t>(file.dim("tile"));
+std::size_t pixel_tile_count(const storage::NclFile& file) {
+  if (!file.has_var("tiles")) return 0;
+  return static_cast<std::size_t>(file.dim("tile"));
+}
+
+Tile tile_from_ncl(const storage::NclFile& file, std::size_t index) {
+  const std::size_t n = pixel_tile_count(file);
+  if (index >= n)
+    throw std::out_of_range("tile_from_ncl: tile " + std::to_string(index) +
+                            " of " + std::to_string(n));
   const int channels = static_cast<int>(file.dim("channel"));
   const int ts = static_cast<int>(file.dim("y"));
   const auto pixels = file.var("tiles").as_f32();
-  const auto lat = file.var("latitude").as_f32();
-  const auto lon = file.var("longitude").as_f32();
-  const auto cf = file.var("cloud_fraction").as_f32();
-  const auto cot = file.var("cloud_optical_thickness").as_f32();
-  const auto ctp = file.var("cloud_top_pressure").as_f32();
-  const auto cwp = file.var("cloud_water_path").as_f32();
-  const auto orow = file.var("origin_row").as_i32();
-  const auto ocol = file.var("origin_col").as_i32();
-  const std::size_t per_tile =
-      static_cast<std::size_t>(channels) * ts * ts;
+  const std::size_t per_tile = static_cast<std::size_t>(channels) * ts * ts;
+  Tile tile;
+  tile.tile_size = ts;
+  tile.channels = channels;
+  tile.origin_row = file.var("origin_row").as_i32()[index];
+  tile.origin_col = file.var("origin_col").as_i32()[index];
+  tile.center_lat = file.var("latitude").as_f32()[index];
+  tile.center_lon = file.var("longitude").as_f32()[index];
+  tile.cloud_fraction = file.var("cloud_fraction").as_f32()[index];
+  tile.mean_optical_thickness =
+      file.var("cloud_optical_thickness").as_f32()[index];
+  tile.mean_cloud_top_pressure =
+      file.var("cloud_top_pressure").as_f32()[index];
+  tile.mean_water_path = file.var("cloud_water_path").as_f32()[index];
+  tile.data.assign(
+      pixels.begin() + static_cast<std::ptrdiff_t>(index * per_tile),
+      pixels.begin() + static_cast<std::ptrdiff_t>((index + 1) * per_tile));
+  return tile;
+}
+
+std::vector<Tile> tiles_from_ncl(const storage::NclFile& file) {
+  std::vector<Tile> out;
+  const std::size_t n = pixel_tile_count(file);
   out.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    Tile tile;
-    tile.tile_size = ts;
-    tile.channels = channels;
-    tile.origin_row = orow[i];
-    tile.origin_col = ocol[i];
-    tile.center_lat = lat[i];
-    tile.center_lon = lon[i];
-    tile.cloud_fraction = cf[i];
-    tile.mean_optical_thickness = cot[i];
-    tile.mean_cloud_top_pressure = ctp[i];
-    tile.mean_water_path = cwp[i];
-    tile.data.assign(pixels.begin() + static_cast<std::ptrdiff_t>(i * per_tile),
-                     pixels.begin() + static_cast<std::ptrdiff_t>((i + 1) * per_tile));
-    out.push_back(std::move(tile));
-  }
+  for (std::size_t i = 0; i < n; ++i) out.push_back(tile_from_ncl(file, i));
   return out;
 }
 

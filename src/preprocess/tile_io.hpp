@@ -46,7 +46,16 @@ TileFileSummary read_tile_summary(storage::FileSystem& fs,
 storage::NclFile read_tile_file(storage::FileSystem& fs,
                                 const std::string& path);
 
-/// Extracts tiles (with pixel data) from a full tile file.
+/// Number of tiles whose pixel data `file` actually carries (0 for
+/// manifests, which record a tile_count attribute but no `tiles` variable).
+std::size_t pixel_tile_count(const storage::NclFile& file);
+
+/// Extracts tile `index` (with pixel data) from a full tile file. The ncl
+/// variable accessors are zero-copy spans, so this materializes exactly one
+/// Tile — the primitive the bounded-memory streaming reader builds on.
+Tile tile_from_ncl(const storage::NclFile& file, std::size_t index);
+
+/// Extracts all tiles (with pixel data) from a full tile file.
 std::vector<Tile> tiles_from_ncl(const storage::NclFile& file);
 
 /// Appends an i32 `label` variable (one per tile) and rewrites the file.

@@ -1,0 +1,163 @@
+#include "preprocess/tile_stream.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+#include "preprocess/tile_io.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mfw::preprocess {
+
+namespace {
+
+void validate(const TileStreamOptions& options) {
+  if (options.batch_size == 0)
+    throw std::invalid_argument("stream_tiles: batch_size must be >= 1");
+  if (options.tile_budget < options.batch_size)
+    throw std::invalid_argument(
+        "stream_tiles: tile_budget must be >= batch_size");
+}
+
+TileStreamStats stream_sequential(storage::FileSystem& fs,
+                                  std::span<const std::string> paths,
+                                  const TileStreamOptions& options,
+                                  const TileBatchFn& on_batch) {
+  TileStreamStats stats;
+  stats.files = paths.size();
+  std::vector<Tile> batch;
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    const storage::NclFile file = read_tile_file(fs, paths[f]);
+    const std::size_t n = pixel_tile_count(file);
+    for (std::size_t first = 0; first < n; first += options.batch_size) {
+      const std::size_t last = std::min(n, first + options.batch_size);
+      batch.clear();
+      for (std::size_t i = first; i < last; ++i)
+        batch.push_back(tile_from_ncl(file, i));
+      stats.peak_tiles_resident =
+          std::max(stats.peak_tiles_resident, batch.size());
+      on_batch(f, first, batch);
+      stats.tiles += batch.size();
+      ++stats.batches;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+TileStreamStats stream_tiles(storage::FileSystem& fs,
+                             std::span<const std::string> paths,
+                             const TileStreamOptions& options,
+                             const TileBatchFn& on_batch) {
+  validate(options);
+  if (options.pool == nullptr)
+    return stream_sequential(fs, paths, options, on_batch);
+
+  struct Batch {
+    std::size_t file_index = 0;
+    std::size_t first_tile = 0;
+    std::vector<Tile> tiles;
+  };
+
+  std::mutex mu;
+  std::condition_variable cv_space;  // producer waits for budget headroom
+  std::condition_variable cv_data;   // consumer waits for batches / eof
+  std::deque<Batch> queue;
+  std::size_t resident = 0;  // materialized tiles: queued + being consumed
+  std::size_t peak = 0;
+  bool aborted = false;
+  bool producer_done = false;
+  std::exception_ptr producer_error;
+
+  auto produce_all = [&] {
+    for (std::size_t f = 0; f < paths.size(); ++f) {
+      const storage::NclFile file = read_tile_file(fs, paths[f]);
+      const std::size_t n = pixel_tile_count(file);
+      for (std::size_t first = 0; first < n; first += options.batch_size) {
+        const std::size_t last = std::min(n, first + options.batch_size);
+        const std::size_t count = last - first;
+        {
+          // Reserve budget *before* materializing, so resident tiles never
+          // exceed the budget even transiently.
+          std::unique_lock lock(mu);
+          cv_space.wait(lock, [&] {
+            return aborted || resident + count <= options.tile_budget;
+          });
+          if (aborted) return;
+          resident += count;
+          peak = std::max(peak, resident);
+        }
+        Batch batch;
+        batch.file_index = f;
+        batch.first_tile = first;
+        batch.tiles.reserve(count);
+        for (std::size_t i = first; i < last; ++i)
+          batch.tiles.push_back(tile_from_ncl(file, i));
+        {
+          std::lock_guard lock(mu);
+          if (aborted) return;  // budget reservation is moot past abort
+          queue.push_back(std::move(batch));
+          cv_data.notify_one();
+        }
+      }
+    }
+  };
+  const bool submitted = options.pool->submit([&] {
+    try {
+      produce_all();
+    } catch (...) {
+      std::lock_guard lock(mu);
+      producer_error = std::current_exception();
+    }
+    // Final touch of the shared state: done + notify under the lock, so the
+    // consumer cannot outrun this task and destroy mu/cv beneath it.
+    std::lock_guard lock(mu);
+    producer_done = true;
+    cv_data.notify_all();
+  });
+  if (!submitted) {
+    // Pool is shutting down; fall back to the inline path.
+    return stream_sequential(fs, paths, options, on_batch);
+  }
+
+  TileStreamStats stats;
+  stats.files = paths.size();
+  std::exception_ptr consumer_error;
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lock(mu);
+      cv_data.wait(lock, [&] { return !queue.empty() || producer_done; });
+      if (queue.empty()) break;  // producer done and fully drained
+      batch = std::move(queue.front());
+      queue.pop_front();
+    }
+    if (consumer_error == nullptr) {
+      try {
+        on_batch(batch.file_index, batch.first_tile, batch.tiles);
+        stats.tiles += batch.tiles.size();
+        ++stats.batches;
+      } catch (...) {
+        consumer_error = std::current_exception();
+        std::lock_guard lock(mu);
+        aborted = true;
+        cv_space.notify_all();
+      }
+    }
+    {
+      std::lock_guard lock(mu);
+      resident -= batch.tiles.size();
+      cv_space.notify_all();
+    }
+  }
+  stats.peak_tiles_resident = peak;
+  if (consumer_error != nullptr) std::rethrow_exception(consumer_error);
+  if (producer_error != nullptr) std::rethrow_exception(producer_error);
+  return stats;
+}
+
+}  // namespace mfw::preprocess

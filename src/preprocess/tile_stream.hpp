@@ -1,0 +1,72 @@
+// Bounded-memory tile streaming (DESIGN.md §13): decode → materialize →
+// batched consume without ever holding a whole campaign's tiles in memory.
+//
+// The classic inference path materializes every tile of a granule file
+// (tiles_from_ncl) before the encoder sees the first one; at campaign scale
+// that is O(tiles_per_granule) resident Tiles per file and a cold encoder
+// while decode runs. stream_tiles instead drives a producer/consumer pair in
+// the style of per-stage ISP pipelines (cf. libpisp): the producer decodes
+// granule files and materializes fixed-size batches, the consumer (the
+// caller's callback, typically a batched encode) drains them, and a fixed
+// *tile budget* bounds how many materialized tiles may be resident at once —
+// the producer blocks rather than run ahead of the budget.
+//
+// Determinism: batches are delivered strictly in (file order, tile order),
+// on the caller's thread, regardless of pool size — the pool only overlaps
+// decode/materialize with consumption, it never reorders delivery. With
+// pool == nullptr the same batches are produced sequentially inline (no
+// overlap, same bounded memory, same callback sequence).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "preprocess/tiler.hpp"
+#include "storage/filesystem.hpp"
+
+namespace mfw::util {
+class ThreadPool;
+}
+
+namespace mfw::preprocess {
+
+struct TileStreamOptions {
+  /// Max materialized-but-unconsumed tiles resident at any instant
+  /// (producer queue + the batch the consumer is processing). Must be
+  /// >= batch_size.
+  std::size_t tile_budget = 256;
+  /// Tiles per delivered batch (the last batch of a file may be smaller).
+  std::size_t batch_size = 32;
+  /// Overlaps decode with consumption when non-null (one producer task);
+  /// nullptr streams sequentially on the caller's thread.
+  util::ThreadPool* pool = nullptr;
+};
+
+struct TileStreamStats {
+  std::size_t files = 0;    // files visited (including manifests)
+  std::size_t tiles = 0;    // tiles delivered
+  std::size_t batches = 0;  // callbacks made
+  /// High-water mark of materialized tiles resident at once; always
+  /// <= options.tile_budget.
+  std::size_t peak_tiles_resident = 0;
+};
+
+/// Batch consumer: `file_index` indexes into `paths`, `first_tile` is the
+/// in-file index of batch[0]. The span is only valid during the call.
+using TileBatchFn = std::function<void(
+    std::size_t file_index, std::size_t first_tile, std::span<const Tile> batch)>;
+
+/// Streams every pixel-bearing tile of `paths` (ncl tile files on `fs`)
+/// through `on_batch` under the options' tile budget. Manifest files (no
+/// pixel data) are visited but deliver no batches. Throws
+/// std::invalid_argument on bad options; exceptions from decode or the
+/// callback abort the stream (the producer is joined) and propagate.
+TileStreamStats stream_tiles(storage::FileSystem& fs,
+                             std::span<const std::string> paths,
+                             const TileStreamOptions& options,
+                             const TileBatchFn& on_batch);
+
+}  // namespace mfw::preprocess

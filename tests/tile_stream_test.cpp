@@ -1,0 +1,228 @@
+// Bounded-memory tile streaming tests (DESIGN.md §13): budget enforcement,
+// equivalence with whole-file materialization across pool sizes and batch
+// shapes, in-order delivery, manifest skipping, and option validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "modis/catalog.hpp"
+#include "preprocess/tile_io.hpp"
+#include "preprocess/tile_stream.hpp"
+#include "storage/memfs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mfw::preprocess {
+namespace {
+
+Tile make_tile(int seq, int tile_size = 4, int channels = 2) {
+  Tile tile;
+  tile.tile_size = tile_size;
+  tile.channels = channels;
+  tile.origin_row = seq;
+  tile.origin_col = seq * 2;
+  tile.center_lat = static_cast<float>(seq) * 0.5f;
+  tile.center_lon = static_cast<float>(seq) * -0.25f;
+  tile.cloud_fraction = 0.5f;
+  tile.data.resize(static_cast<std::size_t>(channels) * tile_size * tile_size);
+  for (std::size_t i = 0; i < tile.data.size(); ++i)
+    tile.data[i] = static_cast<float>(seq * 1000 + static_cast<int>(i));
+  return tile;
+}
+
+modis::GranuleId granule_id(int slot) {
+  return modis::GranuleId{modis::ProductKind::kMod02,
+                          modis::Satellite::kTerra, 2022, 1, slot};
+}
+
+/// Writes `tile_count` synthetic tiles (seq offset by file index) to `path`.
+void write_file(storage::MemFs& fs, const std::string& path, int file_index,
+                int tile_count) {
+  TilerResult result;
+  for (int i = 0; i < tile_count; ++i)
+    result.tiles.push_back(make_tile(file_index * 100 + i));
+  write_tile_file(fs, path, granule_id(file_index), result);
+}
+
+struct Delivered {
+  std::size_t file_index;
+  std::size_t first_tile;
+  std::vector<Tile> tiles;
+};
+
+TileStreamStats run_stream(storage::MemFs& fs,
+                           const std::vector<std::string>& paths,
+                           const TileStreamOptions& options,
+                           std::vector<Delivered>& out) {
+  return stream_tiles(
+      fs, paths, options,
+      [&](std::size_t f, std::size_t first, std::span<const Tile> batch) {
+        out.push_back(
+            {f, first, std::vector<Tile>(batch.begin(), batch.end())});
+      });
+}
+
+TEST(TileStream, MatchesWholeFileMaterializationAcrossPoolsAndBatches) {
+  storage::MemFs fs("x");
+  const std::vector<std::string> paths = {"a.ncl", "b.ncl", "c.ncl"};
+  const int counts[] = {7, 1, 12};
+  for (std::size_t f = 0; f < paths.size(); ++f)
+    write_file(fs, paths[f], static_cast<int>(f), counts[f]);
+  // Reference: classic whole-file path.
+  std::vector<std::vector<Tile>> whole;
+  for (const auto& path : paths)
+    whole.push_back(tiles_from_ncl(read_tile_file(fs, path)));
+
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{32}}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " batch=" + std::to_string(batch));
+      std::optional<util::ThreadPool> pool;
+      if (threads > 0) pool.emplace(threads);
+      TileStreamOptions options;
+      options.batch_size = batch;
+      options.tile_budget = std::max<std::size_t>(batch, 8);
+      options.pool = pool ? &*pool : nullptr;
+      std::vector<Delivered> got;
+      const auto stats = run_stream(fs, paths, options, got);
+
+      EXPECT_EQ(stats.files, paths.size());
+      EXPECT_EQ(stats.tiles, std::size_t{7 + 1 + 12});
+      EXPECT_EQ(stats.batches, got.size());
+      EXPECT_LE(stats.peak_tiles_resident, options.tile_budget);
+      EXPECT_GE(stats.peak_tiles_resident, std::size_t{1});
+
+      // Reassemble per-file and compare with the whole-file reference;
+      // batches must arrive in (file, tile) order.
+      std::vector<std::vector<Tile>> assembled(paths.size());
+      std::size_t last_file = 0;
+      for (const auto& d : got) {
+        EXPECT_GE(d.file_index, last_file) << "file order";
+        last_file = d.file_index;
+        EXPECT_EQ(d.first_tile, assembled[d.file_index].size())
+            << "tile order within file";
+        EXPECT_LE(d.tiles.size(), batch);
+        for (const auto& tile : d.tiles)
+          assembled[d.file_index].push_back(tile);
+      }
+      for (std::size_t f = 0; f < paths.size(); ++f) {
+        ASSERT_EQ(assembled[f].size(), whole[f].size()) << "file " << f;
+        for (std::size_t i = 0; i < whole[f].size(); ++i) {
+          EXPECT_EQ(assembled[f][i].data, whole[f][i].data);
+          EXPECT_EQ(assembled[f][i].origin_row, whole[f][i].origin_row);
+        }
+      }
+    }
+  }
+}
+
+TEST(TileStream, BudgetBoundsResidentTilesUnderSlowConsumer) {
+  storage::MemFs fs("x");
+  const std::vector<std::string> paths = {"a.ncl", "b.ncl"};
+  write_file(fs, paths[0], 0, 23);
+  write_file(fs, paths[1], 1, 17);
+  util::ThreadPool pool(2);
+  TileStreamOptions options;
+  options.batch_size = 3;
+  options.tile_budget = 5;  // < one file's tiles: producer must block
+  options.pool = &pool;
+  std::size_t seen = 0;
+  const auto stats = stream_tiles(
+      fs, paths, options,
+      [&](std::size_t, std::size_t, std::span<const Tile> batch) {
+        seen += batch.size();
+      });
+  EXPECT_EQ(seen, std::size_t{40});
+  EXPECT_LE(stats.peak_tiles_resident, std::size_t{5});
+}
+
+TEST(TileStream, ManifestFilesDeliverNoBatches) {
+  storage::MemFs fs("x");
+  write_file(fs, "full.ncl", 0, 5);
+  write_tile_manifest(fs, "manifest.ncl", granule_id(1), 99);
+  const std::vector<std::string> paths = {"manifest.ncl", "full.ncl"};
+  std::vector<Delivered> got;
+  const auto stats = run_stream(fs, paths, {}, got);
+  EXPECT_EQ(stats.files, std::size_t{2});
+  EXPECT_EQ(stats.tiles, std::size_t{5});
+  ASSERT_EQ(got.size(), std::size_t{1});
+  EXPECT_EQ(got[0].file_index, std::size_t{1});
+}
+
+TEST(TileStream, ConsumerExceptionAbortsAndPropagates) {
+  storage::MemFs fs("x");
+  const std::vector<std::string> paths = {"a.ncl"};
+  write_file(fs, paths[0], 0, 30);
+  for (const bool pooled : {false, true}) {
+    SCOPED_TRACE(pooled ? "pooled" : "sequential");
+    std::optional<util::ThreadPool> pool;
+    if (pooled) pool.emplace(1);
+    TileStreamOptions options;
+    options.batch_size = 4;
+    options.tile_budget = 8;
+    options.pool = pool ? &*pool : nullptr;
+    EXPECT_THROW(
+        stream_tiles(fs, paths, options,
+                     [](std::size_t, std::size_t, std::span<const Tile>) {
+                       throw std::runtime_error("consumer boom");
+                     }),
+        std::runtime_error);
+  }
+}
+
+TEST(TileStream, ProducerErrorPropagates) {
+  storage::MemFs fs("x");
+  write_file(fs, "good.ncl", 0, 3);
+  const std::vector<std::string> paths = {"good.ncl", "missing.ncl"};
+  util::ThreadPool pool(1);
+  TileStreamOptions options;
+  options.pool = &pool;
+  std::size_t seen = 0;
+  EXPECT_ANY_THROW(stream_tiles(
+      fs, paths, options,
+      [&](std::size_t, std::size_t, std::span<const Tile> batch) {
+        seen += batch.size();
+      }));
+  EXPECT_EQ(seen, std::size_t{3});  // the good file still streamed
+}
+
+TEST(TileStream, RejectsBadOptions) {
+  storage::MemFs fs("x");
+  const std::vector<std::string> paths;
+  TileStreamOptions zero_batch;
+  zero_batch.batch_size = 0;
+  EXPECT_THROW(stream_tiles(fs, paths, zero_batch,
+                            [](std::size_t, std::size_t, std::span<const Tile>) {}),
+               std::invalid_argument);
+  TileStreamOptions tight;
+  tight.batch_size = 16;
+  tight.tile_budget = 8;
+  EXPECT_THROW(stream_tiles(fs, paths, tight,
+                            [](std::size_t, std::size_t, std::span<const Tile>) {}),
+               std::invalid_argument);
+}
+
+TEST(TileIo, TileFromNclMatchesBulkAndBoundsChecks) {
+  storage::MemFs fs("x");
+  write_file(fs, "t.ncl", 0, 6);
+  const auto file = read_tile_file(fs, "t.ncl");
+  EXPECT_EQ(pixel_tile_count(file), std::size_t{6});
+  const auto all = tiles_from_ncl(file);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Tile one = tile_from_ncl(file, i);
+    EXPECT_EQ(one.data, all[i].data);
+    EXPECT_EQ(one.origin_row, all[i].origin_row);
+    EXPECT_FLOAT_EQ(one.center_lat, all[i].center_lat);
+  }
+  EXPECT_THROW(tile_from_ncl(file, 6), std::out_of_range);
+  // Manifests carry no pixel tiles.
+  write_tile_manifest(fs, "m.ncl", granule_id(1), 4);
+  const auto manifest = read_tile_file(fs, "m.ncl");
+  EXPECT_EQ(pixel_tile_count(manifest), std::size_t{0});
+  EXPECT_THROW(tile_from_ncl(manifest, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace mfw::preprocess

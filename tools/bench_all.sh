@@ -8,16 +8,19 @@
 #   bench_sim.sh      ->  BENCH_sim.json       (archive-scale event engine)
 #   bench_obs.sh      ->  BENCH_obs.json       (recording/rollup/bus overhead)
 #
-# All suites share one build tree. Pass --quick to hand the CI-sized knob to
-# the suites that understand it (currently the archive campaign); kernels and
-# obs are already seconds-scale.
+# All suites share one Release build tree (bench_kernels.sh configures it
+# with CMAKE_BUILD_TYPE=Release and refuses to snapshot non-Release numbers;
+# running first, it pins the tree's build type for the other suites). Pass
+# --quick to hand the CI-sized knob to the suites that understand it
+# (currently the archive campaign); kernels and obs are already
+# seconds-scale.
 #
 # Usage: tools/bench_all.sh [build-dir] [--quick]
-#        (default build-dir: build)
+#        (default build-dir: build-perf)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${repo_root}/build"
+build_dir="${repo_root}/build-perf"
 quick=""
 for arg in "$@"; do
   case "${arg}" in

@@ -4,15 +4,21 @@
 # regressions show up as a diff. google-benchmark's own --benchmark_format=json
 # is the payload; we just pin the output location and repetition settings.
 #
+# The build is forced to Release and the snapshot is refused unless the
+# binary's own mfw_build_type context stamp says "Release" — a debug-built
+# snapshot once poisoned the perf trajectory in BENCH_kernels.json. (The
+# library_build_type field reflects the system google-benchmark library, not
+# this binary; a debug library only earns a warning.)
+#
 # Usage: tools/bench_kernels.sh [build-dir] [out-json]
-#        (defaults: build, BENCH_kernels.json)
+#        (defaults: build-perf, BENCH_kernels.json)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:-"${repo_root}/build"}"
+build_dir="${1:-"${repo_root}/build-perf"}"
 out_json="${2:-"${repo_root}/BENCH_kernels.json"}"
 
-cmake -B "${build_dir}" -S "${repo_root}"
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" --target micro_kernels
 
 "${build_dir}/bench/micro_kernels" \
@@ -21,4 +27,19 @@ cmake --build "${build_dir}" -j "$(nproc)" --target micro_kernels
   --benchmark_out_format=json \
   --benchmark_format=console
 
-echo "wrote ${out_json}"
+build_type="$(grep -o '"mfw_build_type": "[^"]*"' "${out_json}" |
+              head -1 | cut -d'"' -f4)"
+if [[ "${build_type}" != "Release" ]]; then
+  rm -f "${out_json}"
+  echo "FAIL: micro_kernels was built as '${build_type:-unknown}', not" \
+       "Release — snapshot refused (numbers from unoptimized builds are" \
+       "not comparable)" >&2
+  exit 1
+fi
+if grep -q '"library_build_type": "debug"' "${out_json}"; then
+  echo "WARNING: the system google-benchmark library is a debug build;" \
+       "timing overhead may be slightly inflated (the benchmarked kernels" \
+       "themselves are Release)" >&2
+fi
+
+echo "wrote ${out_json} (mfw_build_type=Release)"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CI gate for the int8 quantized + fused RICC inference stack (DESIGN.md
+# §13). Four checks on a Release build:
+#
+#   1. tests/ml_quant_test passes: quantization round-trip bounds, exact
+#      int8 GEMM reference equivalence, fused-vs-unfused bitwise identity,
+#      and the int8-vs-fp32 agreement floor on the unit-test workload.
+#   2. bench/micro_kernels clears the speedup floors: gemm_s8 >= 2x sgemm
+#      on the im2col'd conv shape [8][72][1024], and the end-to-end int8
+#      encode >= 2x the fp32 layer path (the ISSUE acceptance bar; current
+#      Release numbers are ~4x on both, so the floor has slack for noisy
+#      runners).
+#   3. ablation_latent --int8-check on a trained model: fused latents must
+#      be bitwise identical to the layer path, and int8 42-class assignment
+#      agreement must be >= 0.99.
+#   4. fig1_swath --encode-path int8 --tile-budget 32 reports a peak
+#      resident tile count within the budget.
+#
+# Usage: tools/ci_int8_smoke.sh [build-dir]   (default: build-perf)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-perf"}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target \
+      ml_quant_test micro_kernels ablation_latent fig1_swath
+
+# -- 1. unit gates ------------------------------------------------------------
+"${build_dir}/tests/ml_quant_test" --gtest_brief=1
+echo "OK: ml_quant_test passed"
+
+# -- 2. kernel + encode speedup floors ----------------------------------------
+bench_json="${build_dir}/BENCH_int8_smoke.json"
+"${build_dir}/bench/micro_kernels" \
+  --benchmark_filter='BM_Sgemm/8/72/1024|BM_GemmS8/8/72/1024|BM_RiccEncode(Fp32|Int8)' \
+  --benchmark_min_time=0.2 \
+  --benchmark_out="${bench_json}" \
+  --benchmark_out_format=json \
+  --benchmark_format=console
+
+python3 - "${bench_json}" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc["context"].get("mfw_build_type") != "Release":
+    sys.exit("FAIL: micro_kernels is not a Release build")
+rate = {b["name"]: b["items_per_second"] for b in doc["benchmarks"]}
+gemm = rate["BM_GemmS8/8/72/1024"] / rate["BM_Sgemm/8/72/1024"]
+encode = rate["BM_RiccEncodeInt8"] / rate["BM_RiccEncodeFp32"]
+print(f"int8 gemm over fp32 sgemm [8x72x1024]: {gemm:.2f}x (floor 2.0)")
+print(f"int8 encode over fp32 encode:          {encode:.2f}x (floor 2.0)")
+if gemm < 2.0:
+    sys.exit("FAIL: gemm_s8 speedup below the 2x floor")
+if encode < 2.0:
+    sys.exit("FAIL: int8 encode speedup below the 2x floor")
+EOF
+echo "OK: int8 speedup floors cleared"
+
+# -- 3. accuracy on a trained model -------------------------------------------
+audit="$("${build_dir}/bench/ablation_latent" --int8-check |
+         grep -A2 'Int8 inference audit')"
+echo "${audit}"
+if [[ "${audit}" != *"bitwise IDENTICAL"* ]]; then
+  echo "FAIL: fused fp32 plan is not bitwise identical to the layer path" >&2
+  exit 1
+fi
+agreement="$(echo "${audit}" | grep 'int8  vs layers' |
+             grep -o '[0-9.]*$')"
+if ! awk -v a="${agreement}" 'BEGIN { exit !(a >= 0.99) }'; then
+  echo "FAIL: int8 42-class agreement ${agreement} below the 0.99 floor" >&2
+  exit 1
+fi
+echo "OK: fused bitwise identity + int8 agreement ${agreement} >= 0.99"
+
+# -- 4. bounded-memory streaming stays within budget --------------------------
+budget_line="$("${build_dir}/bench/fig1_swath" --encode-path int8 \
+               --tile-budget 32 | grep 'within budget')"
+echo "${budget_line}"
+if [[ "${budget_line}" != *"within budget: yes"* ]]; then
+  echo "FAIL: fig1_swath int8 run exceeded its tile budget" >&2
+  exit 1
+fi
+echo "OK: fig1_swath int8 run stayed within the tile budget"
+
+echo "ci_int8_smoke: all gates passed"

@@ -23,6 +23,10 @@
 # a watch-enabled run must not perturb the simulation (same CSV sha), the
 # mfw.health/v1 stream must validate, and an injected slow stage must raise —
 # and a clean run must not raise — an SLO alert; skip with MFW_SKIP_HEALTH=1.
+# The int8 smoke gate (tools/ci_int8_smoke.sh) pins the quantized inference
+# stack: int8 GEMM and encode speedup floors, fused-vs-layers bitwise
+# identity, the 42-class agreement floor, and the tile-budget bound; skip
+# with MFW_SKIP_INT8=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -63,4 +67,8 @@ fi
 
 if [[ "${MFW_SKIP_HEALTH:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_health_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_INT8:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_int8_smoke.sh"
 fi
