@@ -11,6 +11,7 @@
 
 #include "obs/export.hpp"
 #include "obs/rollup.hpp"
+#include "util/json_writer.hpp"
 #include "util/stats.hpp"
 
 namespace mfw::obs {
@@ -589,102 +590,115 @@ TraceReport analyze_trace(const TraceRecorder& recorder,
 }
 
 std::string TraceReport::to_json() const {
-  std::ostringstream os;
-  os << "{\"schema\": \"mfw.trace_report/v1\", \"processes\": [";
-  bool first_process = true;
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.trace_report/v1");
+  w.key("processes").begin_array();
   for (const auto& p : processes) {
-    if (!first_process) os << ",";
-    first_process = false;
-    os << "\n{\"process\": \"" << json_escape(p.process) << "\", \"start\": "
-       << num(p.start) << ", \"end\": " << num(p.end) << ", \"makespan\": "
-       << num(p.makespan()) << ", \"dominant_stage\": \""
-       << json_escape(p.dominant_stage) << "\", \"spans\": " << p.spans
-       << ", \"instants\": " << p.instants << ",\n \"stages\": [";
-    bool first = true;
+    w.item("\n").begin_object();
+    w.field("process", p.process);
+    w.field("start", p.start);
+    w.field("end", p.end);
+    w.field("makespan", p.makespan());
+    w.field("dominant_stage", p.dominant_stage);
+    w.field("spans", p.spans);
+    w.field("instants", p.instants);
+    w.key("stages", "\n ").begin_array();
     for (const auto& s : p.stages) {
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"stage\": \"" << json_escape(s.stage) << "\", \"start\": "
-         << num(s.start) << ", \"end\": " << num(s.end) << ", \"duration\": "
-         << num(s.duration()) << ", \"tasks\": " << s.tasks
-         << ", \"workers\": " << s.workers << ", \"busy_s\": "
-         << num(s.busy_s) << ", \"utilization\": " << num(s.utilization)
-         << ", \"p50\": " << num(s.p50) << ", \"p99\": " << num(s.p99)
-         << ", \"max\": " << num(s.max) << ", \"queue_p50\": "
-         << num(s.queue_p50) << ", \"queue_p99\": " << num(s.queue_p99)
-         << ", \"queue_max\": " << num(s.queue_max) << "}";
+      w.item("\n  ").begin_object();
+      w.field("stage", s.stage);
+      w.field("start", s.start);
+      w.field("end", s.end);
+      w.field("duration", s.duration());
+      w.field("tasks", s.tasks);
+      w.field("workers", s.workers);
+      w.field("busy_s", s.busy_s);
+      w.field("utilization", s.utilization);
+      w.field("p50", s.p50);
+      w.field("p99", s.p99);
+      w.field("max", s.max);
+      w.field("queue_p50", s.queue_p50);
+      w.field("queue_p99", s.queue_p99);
+      w.field("queue_max", s.queue_max);
+      w.end_object();
     }
-    os << "],\n \"nodes\": [";
-    first = true;
+    w.end_array();
+    w.key("nodes", "\n ").begin_array();
     for (const auto& n : p.nodes) {
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"stage\": \"" << json_escape(n.stage) << "\", \"node\": \""
-         << json_escape(n.node) << "\", \"workers\": " << n.workers
-         << ", \"tasks\": " << n.tasks << ", \"busy_s\": " << num(n.busy_s)
-         << ", \"utilization\": " << num(n.utilization) << "}";
+      w.item("\n  ").begin_object();
+      w.field("stage", n.stage);
+      w.field("node", n.node);
+      w.field("workers", n.workers);
+      w.field("tasks", n.tasks);
+      w.field("busy_s", n.busy_s);
+      w.field("utilization", n.utilization);
+      w.end_object();
     }
-    os << "],\n \"timelines\": [";
-    first = true;
+    w.end_array();
+    w.key("timelines", "\n ").begin_array();
     for (const auto& t : p.timelines) {
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"stage\": \"" << json_escape(t.stage) << "\", \"t0\": "
-         << num(t.t0) << ", \"bin_s\": " << num(t.bin_s) << ", \"busy\": [";
-      for (std::size_t i = 0; i < t.busy.size(); ++i)
-        os << (i ? ", " : "") << num(t.busy[i]);
-      os << "]}";
+      w.item("\n  ").begin_object();
+      w.field("stage", t.stage);
+      w.field("t0", t.t0);
+      w.field("bin_s", t.bin_s);
+      w.key("busy").begin_array();
+      for (const double busy : t.busy) w.inline_item().value(busy);
+      w.end_array().end_object();
     }
+    w.end_array();
     const auto& cp = p.critical_path;
-    os << "],\n \"critical_path\": {\"makespan\": " << num(cp.makespan)
-       << ", \"length\": " << num(cp.length) << ", \"coverage\": "
-       << num(cp.coverage) << ", \"dominant_stage\": \""
-       << json_escape(cp.dominant_stage) << "\", \"by_stage\": [";
-    first = true;
+    w.key("critical_path", "\n ").begin_object();
+    w.field("makespan", cp.makespan);
+    w.field("length", cp.length);
+    w.field("coverage", cp.coverage);
+    w.field("dominant_stage", cp.dominant_stage);
+    w.key("by_stage").begin_array();
     for (const auto& [stage, seconds] : cp.by_stage) {
-      if (!first) os << ", ";
-      first = false;
-      os << "{\"stage\": \"" << json_escape(stage) << "\", \"seconds\": "
-         << num(seconds) << "}";
+      w.inline_item().begin_object();
+      w.field("stage", stage);
+      w.field("seconds", seconds);
+      w.end_object();
     }
-    os << "],\n  \"segments\": [";
-    first = true;
+    w.end_array();
+    w.key("segments", "\n  ").begin_array();
     for (const auto& seg : cp.segments) {
-      if (!first) os << ",";
-      first = false;
-      os << "\n   {\"kind\": \"" << json_escape(seg.kind)
-         << "\", \"detail\": \"" << json_escape(seg.detail)
-         << "\", \"granule\": \"" << json_escape(seg.granule)
-         << "\", \"start\": " << num(seg.start) << ", \"end\": "
-         << num(seg.end) << ", \"duration\": " << num(seg.duration()) << "}";
+      w.item("\n   ").begin_object();
+      w.field("kind", seg.kind);
+      w.field("detail", seg.detail);
+      w.field("granule", seg.granule);
+      w.field("start", seg.start);
+      w.field("end", seg.end);
+      w.field("duration", seg.duration());
+      w.end_object();
     }
-    os << "]},\n \"stragglers\": [";
-    first = true;
+    w.end_array().end_object();
+    w.key("stragglers", "\n ").begin_array();
     for (const auto& group : p.stragglers) {
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"group\": \"" << json_escape(group.group)
-         << "\", \"count\": " << group.count << ", \"median\": "
-         << num(group.median) << ", \"flagged_count\": "
-         << group.flagged_count << ", \"flagged\": [";
-      bool first_straggler = true;
+      w.item("\n  ").begin_object();
+      w.field("group", group.group);
+      w.field("count", group.count);
+      w.field("median", group.median);
+      w.field("flagged_count", group.flagged_count);
+      w.key("flagged").begin_array();
       for (const auto& s : group.flagged) {
-        if (!first_straggler) os << ",";
-        first_straggler = false;
-        os << "\n   {\"name\": \"" << json_escape(s.name)
-           << "\", \"track\": \"" << json_escape(s.track)
-           << "\", \"granule\": \"" << json_escape(s.granule)
-           << "\", \"attribution\": \"" << json_escape(s.attribution)
-           << "\", \"duration\": " << num(s.duration) << ", \"ratio\": "
-           << num(s.ratio) << ", \"queue_wait\": " << num(s.queue_wait)
-           << "}";
+        w.item("\n   ").begin_object();
+        w.field("name", s.name);
+        w.field("track", s.track);
+        w.field("granule", s.granule);
+        w.field("attribution", s.attribution);
+        w.field("duration", s.duration);
+        w.field("ratio", s.ratio);
+        w.field("queue_wait", s.queue_wait);
+        w.end_object();
       }
-      os << "]}";
+      w.end_array().end_object();
     }
-    os << "]}";
+    w.end_array().end_object();
   }
-  os << "\n]}";
-  return os.str();
+  // The seed writer closed with an unconditional "\n]" even for an empty
+  // process list; keep that byte-for-byte.
+  w.raw("\n").end_array().end_object();
+  return w.take();
 }
 
 std::string TraceReport::render_text() const {

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <tuple>
 
+#include "util/json_writer.hpp"
 #include "util/log.hpp"
 
 namespace mfw::obs {
@@ -14,26 +15,7 @@ namespace {
 
 constexpr const char* kComponent = "obs";
 
-void append_json_escaped(std::string& out, std::string_view text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-}
+using util::append_json_escaped;
 
 std::string json_string(std::string_view text) {
   std::string out;
@@ -96,10 +78,7 @@ std::string labels_text(const Labels& labels) {
 }  // namespace
 
 std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  append_json_escaped(out, text);
-  return out;
+  return util::json_escape(text);
 }
 
 std::string to_chrome_trace_json(const TraceRecorder& recorder) {

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "obs/export.hpp"
+#include "util/json_writer.hpp"
 
 namespace mfw::obs {
 
@@ -193,46 +194,44 @@ WindowedSeries SpanRollup::series(const std::string& name) const {
 
 std::string SpanRollup::to_json() const {
   std::lock_guard lock(mu_);
-  std::ostringstream os;
-  os << "{\"window_s\": " << num(config_.window_s)
-     << ", \"max_windows\": " << config_.max_windows
-     << ", \"quantile_max_relative_error\": "
-     << num(LogHistogram::kMaxRelativeError)
-     << ", \"spans_seen\": " << spans_seen_
-     << ", \"instants_seen\": " << instants_seen_;
-  os << ", \"instants\": {";
-  bool first = true;
-  for (const auto& [name, count] : instant_counts_) {
-    if (!first) os << ", ";
-    first = false;
-    os << "\"" << json_escape(name) << "\": " << count;
-  }
-  os << "}, \"series\": [";
-  first = true;
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("window_s", config_.window_s);
+  w.field("max_windows", config_.max_windows);
+  w.field("quantile_max_relative_error", LogHistogram::kMaxRelativeError);
+  w.field("spans_seen", spans_seen_);
+  w.field("instants_seen", instants_seen_);
+  w.key("instants").begin_object();
+  for (const auto& [name, count] : instant_counts_) w.field(name, count);
+  w.end_object();
+  w.key("series").begin_array();
   for (const auto& [name, s] : series_) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n  {\"name\": \"" << json_escape(name) << "\", \"count\": "
-       << s.count() << ", \"sum\": " << num(s.sum()) << ", \"min\": "
-       << num(s.min()) << ", \"max\": " << num(s.max()) << ", \"mean\": "
-       << num(s.mean()) << ", \"p50\": " << num(s.p50()) << ", \"p99\": "
-       << num(s.p99()) << ", \"evicted_windows\": " << s.evicted_windows()
-       << ", \"windows\": [";
-    bool first_window = true;
-    for (const auto& w : s.windows()) {
-      if (!first_window) os << ", ";
-      first_window = false;
-      os << "{\"t0\": " << num(static_cast<double>(w.index) *
-                               s.config().window_s)
-         << ", \"count\": " << w.count << ", \"sum\": " << num(w.sum)
-         << ", \"min\": " << num(w.min) << ", \"max\": " << num(w.max)
-         << ", \"p50\": " << num(w.p50()) << ", \"p99\": " << num(w.p99())
-         << "}";
+    w.item("\n  ").begin_object();
+    w.field("name", name);
+    w.field("count", s.count());
+    w.field("sum", s.sum());
+    w.field("min", s.min());
+    w.field("max", s.max());
+    w.field("mean", s.mean());
+    w.field("p50", s.p50());
+    w.field("p99", s.p99());
+    w.field("evicted_windows", s.evicted_windows());
+    w.key("windows").begin_array();
+    for (const auto& win : s.windows()) {
+      w.inline_item().begin_object();
+      w.field("t0", static_cast<double>(win.index) * s.config().window_s);
+      w.field("count", win.count);
+      w.field("sum", win.sum);
+      w.field("min", win.min);
+      w.field("max", win.max);
+      w.field("p50", win.p50());
+      w.field("p99", win.p99());
+      w.end_object();
     }
-    os << "]}";
+    w.end_array().end_object();
   }
-  os << "\n]}";
-  return os.str();
+  w.raw("\n").end_array().end_object();
+  return w.take();
 }
 
 std::string SpanRollup::summary() const {

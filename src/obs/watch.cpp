@@ -1,5 +1,7 @@
 #include "obs/watch.hpp"
 
+#include "util/json_writer.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -577,82 +579,85 @@ std::uint64_t HealthMonitor::dropped_events() const {
 }
 
 std::string HealthMonitor::to_json(double now) const {
-  std::ostringstream os;
-  os << "{\"schema\": \"mfw.health/v1\", \"now\": " << num(now)
-     << ", \"window_s\": " << num(config_.window_s)
-     << ", \"anomaly_k\": " << num(config_.anomaly_k)
-     << ", \"events_seen\": " << events_seen_
-     << ", \"dropped_events\": " << dropped_events()
-     << ", \"firing\": " << firing_count();
-  os << ", \"bus\": {\"attached\": " << (bus_ != nullptr ? "true" : "false");
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.health/v1");
+  w.field("now", now);
+  w.field("window_s", config_.window_s);
+  w.field("anomaly_k", config_.anomaly_k);
+  w.field("events_seen", events_seen_);
+  w.field("dropped_events", dropped_events());
+  w.field("firing", firing_count());
+  w.key("bus").begin_object();
+  w.field("attached", bus_ != nullptr);
   if (bus_ != nullptr) {
-    os << ", \"published\": " << bus_->published()
-       << ", \"dropped_total\": " << bus_->dropped_total()
-       << ", \"subscribers\": " << bus_->subscriber_count()
-       << ", \"queue_capacity\": " << bus_->queue_capacity();
+    w.field("published", bus_->published());
+    w.field("dropped_total", bus_->dropped_total());
+    w.field("subscribers", bus_->subscriber_count());
+    w.field("queue_capacity", bus_->queue_capacity());
   }
-  os << "}";
+  w.end_object();
 
-  os << ", \"rules\": [";
-  bool first = true;
+  w.key("rules").begin_array();
   for (const auto& state : rules_) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n  {\"name\": \"" << json_escape(state.rule.name)
-       << "\", \"stage\": \"" << json_escape(state.rule.stage)
-       << "\", \"metric\": \"" << to_string(state.rule.metric)
-       << "\", \"threshold\": " << num(state.rule.threshold)
-       << ", \"rule_window_s\": " << num(state.rule.window_s)
-       << ", \"firing\": " << (state.firing ? "true" : "false") << "}";
+    w.item("\n  ").begin_object();
+    w.field("name", state.rule.name);
+    w.field("stage", state.rule.stage);
+    w.field("metric", to_string(state.rule.metric));
+    w.field("threshold", state.rule.threshold);
+    w.field("rule_window_s", state.rule.window_s);
+    w.field("firing", state.firing);
+    w.end_object();
   }
-  os << (rules_.empty() ? "]" : "\n]");
+  w.end_array("\n");
 
-  os << ", \"stages\": [";
-  first = true;
+  w.key("stages").begin_array();
   for (const auto& [name, stage] : stages_) {
     const double elapsed = stage.last_t - stage.first_t;
     const double busy_share =
         elapsed > 0.0
             ? std::min(1.0, stage.busy_total_s / (stage.capacity * elapsed))
             : 0.0;
-    if (!first) os << ",";
-    first = false;
-    os << "\n  {\"stage\": \"" << json_escape(name)
-       << "\", \"spans\": " << stage.spans
-       << ", \"retries_total\": " << stage.retries_total
-       << ", \"capacity\": " << num(stage.capacity)
-       << ", \"busy_share\": " << num(busy_share)
-       << ", \"duration\": {\"count\": " << stage.duration.count()
-       << ", \"mean\": " << num(stage.duration.mean())
-       << ", \"p50\": " << num(stage.duration.p50())
-       << ", \"p99\": " << num(stage.duration.p99())
-       << ", \"max\": " << num(stage.duration.max())
-       << "}, \"queue_wait\": {\"count\": " << stage.queue_wait.count()
-       << ", \"mean\": " << num(stage.queue_wait.mean())
-       << ", \"p99\": " << num(stage.queue_wait.p99())
-       << "}, \"anomaly_firing\": "
-       << (stage.anomaly_firing ? "true" : "false") << "}";
+    w.item("\n  ").begin_object();
+    w.field("stage", name);
+    w.field("spans", stage.spans);
+    w.field("retries_total", stage.retries_total);
+    w.field("capacity", stage.capacity);
+    w.field("busy_share", busy_share);
+    w.key("duration").begin_object();
+    w.field("count", stage.duration.count());
+    w.field("mean", stage.duration.mean());
+    w.field("p50", stage.duration.p50());
+    w.field("p99", stage.duration.p99());
+    w.field("max", stage.duration.max());
+    w.end_object();
+    w.key("queue_wait").begin_object();
+    w.field("count", stage.queue_wait.count());
+    w.field("mean", stage.queue_wait.mean());
+    w.field("p99", stage.queue_wait.p99());
+    w.end_object();
+    w.field("anomaly_firing", stage.anomaly_firing);
+    w.end_object();
   }
-  os << (stages_.empty() ? "]" : "\n]");
+  w.end_array("\n");
 
-  os << ", \"alerts\": [";
-  first = true;
+  w.key("alerts").begin_array();
   for (const auto& alert : alerts_) {
-    if (!first) os << ",";
-    first = false;
-    os << "\n  {\"rule\": \"" << json_escape(alert.rule) << "\", \"kind\": \""
-       << json_escape(alert.kind) << "\", \"stage\": \""
-       << json_escape(alert.stage) << "\", \"metric\": \""
-       << json_escape(alert.metric) << "\", \"state\": \""
-       << json_escape(alert.state)
-       << "\", \"threshold\": " << num(alert.threshold)
-       << ", \"observed\": " << num(alert.observed)
-       << ", \"window_t0\": " << num(alert.window_t0)
-       << ", \"at\": " << num(alert.at) << ", \"cause\": \""
-       << json_escape(alert.cause) << "\"}";
+    w.item("\n  ").begin_object();
+    w.field("rule", alert.rule);
+    w.field("kind", alert.kind);
+    w.field("stage", alert.stage);
+    w.field("metric", alert.metric);
+    w.field("state", alert.state);
+    w.field("threshold", alert.threshold);
+    w.field("observed", alert.observed);
+    w.field("window_t0", alert.window_t0);
+    w.field("at", alert.at);
+    w.field("cause", alert.cause);
+    w.end_object();
   }
-  os << (alerts_.empty() ? "]}" : "\n]}");
-  return os.str();
+  w.end_array("\n").end_object();
+  return w.take();
 }
 
 std::string HealthMonitor::dashboard(double now) const {

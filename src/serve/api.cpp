@@ -1,0 +1,109 @@
+#include "serve/api.hpp"
+
+#include <cstdio>
+
+#include "util/json_writer.hpp"
+
+namespace mfw::serve {
+
+const char* kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPoint: return "point";
+    case QueryKind::kBbox: return "bbox";
+    case QueryKind::kClass: return "class";
+    case QueryKind::kTimeRange: return "time_range";
+  }
+  return "unknown";
+}
+
+std::string cache_key(const QueryRequest& request) {
+  // Canonical per kind: only the fields that kind consults, so requests
+  // differing in irrelevant fields share one cache entry.
+  char buf[192];
+  int n = 0;
+  switch (request.kind) {
+    case QueryKind::kPoint:
+      n = std::snprintf(buf, sizeof(buf), "point|%.17g|%.17g", request.lat,
+                        request.lon);
+      break;
+    case QueryKind::kBbox:
+      n = std::snprintf(buf, sizeof(buf), "bbox|%.17g|%.17g|%.17g|%.17g",
+                        request.lat_lo, request.lat_hi, request.lon_lo,
+                        request.lon_hi);
+      break;
+    case QueryKind::kClass:
+      n = std::snprintf(buf, sizeof(buf), "class|%d", request.label);
+      break;
+    case QueryKind::kTimeRange:
+      n = std::snprintf(buf, sizeof(buf), "time_range");
+      break;
+  }
+  std::snprintf(buf + n, sizeof(buf) - static_cast<std::size_t>(n),
+                "|%d|%d|%zu", request.day_lo, request.day_hi,
+                request.sample_limit);
+  return buf;
+}
+
+std::string to_json(const QueryRequest& request,
+                    const QueryResponse& response) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.serve/v1");
+  w.field("kind", kind_name(request.kind));
+  w.key("request", "\n ").begin_object();
+  switch (request.kind) {
+    case QueryKind::kPoint:
+      w.field("lat", request.lat).field("lon", request.lon);
+      break;
+    case QueryKind::kBbox:
+      w.field("lat_lo", request.lat_lo).field("lat_hi", request.lat_hi);
+      w.field("lon_lo", request.lon_lo).field("lon_hi", request.lon_hi);
+      break;
+    case QueryKind::kClass:
+      w.field("label", request.label);
+      break;
+    case QueryKind::kTimeRange:
+      break;
+  }
+  w.field("day_lo", request.day_lo).field("day_hi", request.day_hi);
+  w.field("sample_limit", request.sample_limit);
+  w.end_object();
+  w.field("matched", response.matched, "\n ");
+  w.field("cache_hit", response.cache_hit);
+  w.field("shards_probed", response.shards_probed);
+  w.field("shards_pruned", response.shards_pruned);
+
+  w.key("classes", "\n ").begin_array();
+  for (const ClassRollup& rollup : response.classes) {
+    w.item("\n  ").begin_object();
+    w.field("label", rollup.label);
+    w.field("count", rollup.stats.count);
+    w.field("mean_cloud_fraction", rollup.stats.mean_cloud_fraction);
+    w.field("mean_optical_thickness", rollup.stats.mean_optical_thickness);
+    w.field("mean_cloud_top_pressure", rollup.stats.mean_cloud_top_pressure);
+    w.field("mean_water_path", rollup.stats.mean_water_path);
+    w.field("mean_abs_latitude", rollup.stats.mean_abs_latitude);
+    w.end_object();
+  }
+  w.end_array(response.classes.empty() ? "" : "\n ");
+
+  w.key("sample", "\n ").begin_array();
+  for (const analysis::TileRecord& record : response.sample) {
+    w.item("\n  ").begin_object();
+    w.field("granule", record.granule.filename());
+    w.field("label", record.label);
+    w.field("latitude", static_cast<double>(record.latitude));
+    w.field("longitude", static_cast<double>(record.longitude));
+    w.field("cloud_fraction", static_cast<double>(record.cloud_fraction));
+    w.field("optical_thickness", static_cast<double>(record.optical_thickness));
+    w.field("cloud_top_pressure",
+            static_cast<double>(record.cloud_top_pressure));
+    w.field("water_path", static_cast<double>(record.water_path));
+    w.end_object();
+  }
+  w.end_array(response.sample.empty() ? "" : "\n ");
+  w.end_object().raw("\n");
+  return w.take();
+}
+
+}  // namespace mfw::serve

@@ -1,0 +1,74 @@
+// Typed request/response API for the serving layer (schema mfw.serve/v1).
+//
+// Four query shapes cover the access patterns downstream consumers have
+// (PAPER.md: scientists and follow-on workflows querying the class atlas):
+//   point      — "what is at this coordinate?": the cell containing
+//                (lat, lon), optionally filtered to a day range;
+//   bbox       — inclusive lat/lon rectangle + day range;
+//   class      — one class label everywhere (+ day range);
+//   time_range — everything in a day-of-year range.
+// Every response carries the matched-row count, per-class aggregate rollups
+// (same math as AiccaArchive::class_stats: sums accumulated, divided once),
+// a bounded sample of matching tiles in scan order, and execution metadata
+// (cache hit, shards probed/pruned) that the load benchmarks report on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/aicca.hpp"
+
+namespace mfw::serve {
+
+enum class QueryKind : std::uint8_t {
+  kPoint = 0,
+  kBbox = 1,
+  kClass = 2,
+  kTimeRange = 3,
+};
+
+/// "point", "bbox", "class", "time_range".
+const char* kind_name(QueryKind kind);
+
+struct QueryRequest {
+  QueryKind kind = QueryKind::kBbox;
+  /// kPoint target coordinate.
+  double lat = 0.0;
+  double lon = 0.0;
+  /// kBbox bounds (inclusive).
+  double lat_lo = -90.0, lat_hi = 90.0;
+  double lon_lo = -180.0, lon_hi = 180.0;
+  /// kClass label.
+  int label = -1;
+  /// Day-of-year filter, applied by every kind (kTimeRange's only filter).
+  int day_lo = 1;
+  int day_hi = 366;
+  /// Max matching tiles returned verbatim (scan order).
+  std::size_t sample_limit = 8;
+};
+
+/// Per-class aggregate within the matched set.
+struct ClassRollup {
+  int label = -1;
+  analysis::ClassStats stats;
+};
+
+struct QueryResponse {
+  std::uint64_t matched = 0;
+  /// Sorted by label ascending.
+  std::vector<ClassRollup> classes;
+  std::vector<analysis::TileRecord> sample;
+  bool cache_hit = false;
+  std::uint32_t shards_probed = 0;
+  std::uint32_t shards_pruned = 0;
+};
+
+/// Canonical request string: cache key and the "request" echo in responses.
+/// Doubles are printed round-trip (%.17g) so distinct requests never collide.
+std::string cache_key(const QueryRequest& request);
+
+/// mfw.serve/v1 response document (request echo + matches + rollups).
+std::string to_json(const QueryRequest& request, const QueryResponse& response);
+
+}  // namespace mfw::serve

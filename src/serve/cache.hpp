@@ -1,0 +1,54 @@
+// Hot-cell result cache (DESIGN.md §14).
+//
+// Entries are complete QueryResponses keyed by the canonical request string,
+// held by shared_ptr so concurrent readers of the same hot entry share one
+// immutable object. Each entry carries the (shard, generation) snapshot the
+// response was computed *from* — taken before execution, so a publish that
+// races the computation leaves the entry detectably stale: validation
+// compares the snapshot against the catalog's current generations on every
+// hit and treats any difference as a miss. Eviction is LRU within the
+// hash-partitioned ways of util::ShardedLruCache; invalidation needs no
+// writer→cache channel at all (no flush broadcast, no per-key tracking —
+// the generation comparison is the whole protocol).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/api.hpp"
+#include "util/lru.hpp"
+
+namespace mfw::serve {
+
+struct CacheEntry {
+  QueryResponse response;
+  /// Candidate-shard generations observed before the response was computed.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> generations;
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity, std::size_t ways = 16)
+      : cache_(capacity, ways) {}
+
+  std::shared_ptr<const CacheEntry> get(const std::string& key) {
+    auto hit = cache_.get(key);
+    return hit ? std::move(*hit) : nullptr;
+  }
+
+  void put(const std::string& key, std::shared_ptr<const CacheEntry> entry) {
+    cache_.put(key, std::move(entry));
+  }
+
+  void clear() { cache_.clear(); }
+  std::size_t size() const { return cache_.size(); }
+  std::uint64_t evictions() const { return cache_.evictions(); }
+
+ private:
+  util::ShardedLruCache<std::string, std::shared_ptr<const CacheEntry>> cache_;
+};
+
+}  // namespace mfw::serve

@@ -1,0 +1,510 @@
+#include "serve/catalog.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace mfw::serve {
+
+namespace {
+
+/// Class-mask bit for a label: labels outside [0, 62] share the overflow
+/// bit 63, so pruning stays conservative for any label value.
+int class_bit(int label) { return (label >= 0 && label < 63) ? label : 63; }
+
+/// Aggregation state while scanning; finalized into QueryResponse.
+struct ClassSums {
+  std::size_t count = 0;
+  double cf = 0.0, cot = 0.0, ctp = 0.0, cwp = 0.0, abs_lat = 0.0;
+};
+
+struct Accumulator {
+  std::uint64_t matched = 0;
+  std::map<int, ClassSums> sums;
+  std::vector<analysis::TileRecord> sample;
+  std::size_t sample_limit = 0;
+
+  void add(int label, float lat, float lon, float cf, float cot, float ctp,
+           float cwp, std::uint32_t granule) {
+    ++matched;
+    ClassSums& s = sums[label];
+    ++s.count;
+    s.cf += cf;
+    s.cot += cot;
+    s.ctp += ctp;
+    s.cwp += cwp;
+    s.abs_lat += std::abs(static_cast<double>(lat));
+    if (sample.size() < sample_limit) {
+      analysis::TileRecord record;
+      record.granule = unpack_granule(granule);
+      record.label = label;
+      record.latitude = lat;
+      record.longitude = lon;
+      record.cloud_fraction = cf;
+      record.optical_thickness = cot;
+      record.cloud_top_pressure = ctp;
+      record.water_path = cwp;
+      sample.push_back(record);
+    }
+  }
+
+  QueryResponse finalize() && {
+    QueryResponse response;
+    response.matched = matched;
+    response.classes.reserve(sums.size());
+    for (const auto& [label, s] : sums) {
+      ClassRollup rollup;
+      rollup.label = label;
+      rollup.stats.count = s.count;
+      const double n = static_cast<double>(s.count);
+      rollup.stats.mean_cloud_fraction = s.cf / n;
+      rollup.stats.mean_optical_thickness = s.cot / n;
+      rollup.stats.mean_cloud_top_pressure = s.ctp / n;
+      rollup.stats.mean_water_path = s.cwp / n;
+      rollup.stats.mean_abs_latitude = s.abs_lat / n;
+      response.classes.push_back(rollup);
+    }
+    response.sample = std::move(sample);
+    return response;
+  }
+};
+
+}  // namespace
+
+std::uint32_t pack_granule(const modis::GranuleId& id) {
+  const auto product = static_cast<std::uint32_t>(id.product) & 0x3u;
+  const auto sat = static_cast<std::uint32_t>(id.satellite) & 0x1u;
+  const auto year =
+      static_cast<std::uint32_t>(std::clamp(id.year - 2000, 0, 127));
+  const auto doy = static_cast<std::uint32_t>(id.day_of_year) & 0x1ffu;
+  const auto slot = static_cast<std::uint32_t>(id.slot) & 0x1fffu;
+  return (product << 30) | (sat << 29) | (year << 22) | (doy << 13) | slot;
+}
+
+modis::GranuleId unpack_granule(std::uint32_t packed) {
+  modis::GranuleId id;
+  id.product = static_cast<modis::ProductKind>((packed >> 30) & 0x3u);
+  id.satellite = static_cast<modis::Satellite>((packed >> 29) & 0x1u);
+  id.year = 2000 + static_cast<int>((packed >> 22) & 0x7fu);
+  id.day_of_year = static_cast<int>((packed >> 13) & 0x1ffu);
+  id.slot = static_cast<int>(packed & 0x1fffu);
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Shard
+// ---------------------------------------------------------------------------
+
+Shard::Shard(const CatalogConfig& config)
+    : rows_per_chunk_(std::max<std::size_t>(1, config.rows_per_chunk)),
+      max_chunks_(std::max<std::size_t>(1, config.max_chunks)),
+      chunks_(new std::atomic<Chunk*>[std::max<std::size_t>(
+          1, config.max_chunks)]) {
+  for (std::size_t i = 0; i < max_chunks_; ++i)
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+Shard::~Shard() {
+  delete index_.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < max_chunks_; ++i)
+    delete chunks_[i].load(std::memory_order_relaxed);
+}
+
+void Shard::append(const Row& row) {
+  if (index_.load(std::memory_order_relaxed) != nullptr)
+    throw std::logic_error("serve: append to sealed shard");
+  if (size_ >= rows_per_chunk_ * max_chunks_)
+    throw std::length_error("serve: shard capacity exhausted");
+  const std::size_t ci = size_ / rows_per_chunk_;
+  Chunk* chunk = chunks_[ci].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk(rows_per_chunk_);
+    chunks_[ci].store(chunk, std::memory_order_release);
+  }
+  const std::size_t off = size_ % rows_per_chunk_;
+  chunk->lat[off] = row.lat;
+  chunk->lon[off] = row.lon;
+  chunk->cf[off] = row.cf;
+  chunk->cot[off] = row.cot;
+  chunk->ctp[off] = row.ctp;
+  chunk->cwp[off] = row.cwp;
+  chunk->label[off] = row.label;
+  chunk->cell[off] = row.cell;
+  chunk->granule[off] = row.granule;
+  chunk->day[off] = row.day;
+
+  // Pruning metadata. Relaxed is enough: this thread is the only writer, and
+  // readers order these against row visibility through the published_
+  // release/acquire pair (they load published() before the metadata).
+  min_lat_.store(std::min(min_lat_.load(std::memory_order_relaxed), row.lat),
+                 std::memory_order_relaxed);
+  max_lat_.store(std::max(max_lat_.load(std::memory_order_relaxed), row.lat),
+                 std::memory_order_relaxed);
+  min_lon_.store(std::min(min_lon_.load(std::memory_order_relaxed), row.lon),
+                 std::memory_order_relaxed);
+  max_lon_.store(std::max(max_lon_.load(std::memory_order_relaxed), row.lon),
+                 std::memory_order_relaxed);
+  min_day_.store(std::min(min_day_.load(std::memory_order_relaxed),
+                          static_cast<int>(row.day)),
+                 std::memory_order_relaxed);
+  max_day_.store(std::max(max_day_.load(std::memory_order_relaxed),
+                          static_cast<int>(row.day)),
+                 std::memory_order_relaxed);
+  class_mask_.store(class_mask_.load(std::memory_order_relaxed) |
+                        (1ULL << class_bit(row.label)),
+                    std::memory_order_relaxed);
+  ++size_;
+}
+
+void Shard::publish() {
+  if (published_.load(std::memory_order_relaxed) == size_) return;
+  // Rows before count: the release store is what makes every row write (and
+  // every metadata update) above visible to a reader that acquires the new
+  // count. The generation bump comes after, so a response computed from the
+  // old count can never be cached as current.
+  published_.store(size_, std::memory_order_release);
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+void Shard::seal() {
+  if (index_.load(std::memory_order_relaxed) != nullptr) return;
+  publish();
+  auto* index = new SealedIndex;
+  for (std::size_t row = 0; row < size_; ++row) {
+    const Chunk& chunk = *chunks_[row / rows_per_chunk_].load(
+        std::memory_order_relaxed);
+    const std::size_t off = row % rows_per_chunk_;
+    index->groups[SealedIndex::key(chunk.cell[off], chunk.day[off])]
+        .push_back(static_cast<std::uint32_t>(row));
+  }
+  index_.store(index, std::memory_order_release);
+  // Sealed point lookups visit rows in (day, append) order instead of pure
+  // append order, which can reorder samples — invalidate cached entries.
+  generation_.fetch_add(1, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+Catalog::Catalog(CatalogConfig config) : config_(config) {
+  if (config_.cell_deg <= 0.0) config_.cell_deg = 10.0;
+  if (config_.shard_count == 0) config_.shard_count = 1;
+  lat_cells_ = static_cast<std::uint32_t>(
+      std::ceil(180.0 / config_.cell_deg));
+  lon_cells_ = static_cast<std::uint32_t>(
+      std::ceil(360.0 / config_.cell_deg));
+  shards_.reserve(config_.shard_count);
+  for (std::size_t i = 0; i < config_.shard_count; ++i)
+    shards_.push_back(std::make_unique<Shard>(config_));
+}
+
+std::uint32_t Catalog::cell_of(double lat, double lon) const {
+  const auto index = [](double v, double lo, double width,
+                        std::uint32_t cells) {
+    const int i = static_cast<int>(std::floor((v - lo) / width));
+    return static_cast<std::uint32_t>(
+        std::clamp(i, 0, static_cast<int>(cells) - 1));
+  };
+  const std::uint32_t row = index(lat, -90.0, config_.cell_deg, lat_cells_);
+  const std::uint32_t col = index(lon, -180.0, config_.cell_deg, lon_cells_);
+  return row * lon_cells_ + col;
+}
+
+void Catalog::cell_center(std::uint32_t cell, double* lat, double* lon) const {
+  const std::uint32_t row = cell / lon_cells_;
+  const std::uint32_t col = cell % lon_cells_;
+  if (lat != nullptr)
+    *lat = std::min(-90.0 + (row + 0.5) * config_.cell_deg, 90.0);
+  if (lon != nullptr)
+    *lon = std::min(-180.0 + (col + 0.5) * config_.cell_deg, 180.0);
+}
+
+Row Catalog::make_row(const analysis::TileRecord& record) const {
+  Row row;
+  row.lat = record.latitude;
+  row.lon = record.longitude;
+  row.cf = record.cloud_fraction;
+  row.cot = record.optical_thickness;
+  row.ctp = record.cloud_top_pressure;
+  row.cwp = record.water_path;
+  row.label = record.label;
+  row.cell = cell_of(record.latitude, record.longitude);
+  row.day = static_cast<std::int16_t>(record.granule.day_of_year);
+  row.granule = pack_granule(record.granule);
+  return row;
+}
+
+void Catalog::append(const analysis::TileRecord& record) {
+  const Row row = make_row(record);
+  shards_[shard_of(row.cell, row.day)]->append(row);
+}
+
+void Catalog::publish() {
+  for (auto& shard : shards_) shard->publish();
+}
+
+std::size_t Catalog::ingest(const std::vector<analysis::TileRecord>& records,
+                            util::ThreadPool* pool) {
+  // Partition once, then run exactly one writer per shard (the pool joins
+  // before publish, so the calling thread's release-publish of each shard
+  // happens-after that shard's appends).
+  std::vector<std::vector<Row>> partitions(shards_.size());
+  for (const analysis::TileRecord& record : records) {
+    Row row = make_row(record);
+    partitions[shard_of(row.cell, row.day)].push_back(row);
+  }
+  const auto fill = [&](std::size_t s) {
+    for (const Row& row : partitions[s]) shards_[s]->append(row);
+  };
+  if (pool != nullptr && shards_.size() > 1) {
+    util::parallel_for(*pool, shards_.size(), fill);
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) fill(s);
+  }
+  publish();
+  return records.size();
+}
+
+void Catalog::seal() {
+  for (auto& shard : shards_) shard->seal();
+}
+
+bool Catalog::sealed() const {
+  for (const auto& shard : shards_)
+    if (!shard->sealed()) return false;
+  return true;
+}
+
+std::size_t Catalog::tile_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->published();
+  return total;
+}
+
+namespace {
+
+/// Scans rows [0, limit) of a shard, feeding rows that satisfy `pred` into
+/// the accumulator.
+template <typename Pred>
+void scan_shard(const Shard& shard, std::size_t limit, Accumulator& acc,
+                Pred&& pred) {
+  std::size_t base = 0;
+  shard.scan(limit, [&](const Chunk& chunk, std::size_t begin,
+                        std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (pred(chunk, i)) {
+        acc.add(chunk.label[i], chunk.lat[i], chunk.lon[i], chunk.cf[i],
+                chunk.cot[i], chunk.ctp[i], chunk.cwp[i], chunk.granule[i]);
+      }
+    }
+    base += end - begin;
+  });
+  (void)base;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> Catalog::candidate_shards(
+    const QueryRequest& request) const {
+  std::vector<std::uint32_t> out;
+  if (request.kind == QueryKind::kPoint) {
+    const std::uint32_t cell = cell_of(request.lat, request.lon);
+    const int lo = std::max(request.day_lo, 1);
+    const int hi = std::min(request.day_hi, 366);
+    for (int day = lo; day <= hi; ++day) out.push_back(shard_of(cell, day));
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  } else {
+    out.resize(shards_.size());
+    for (std::size_t s = 0; s < shards_.size(); ++s)
+      out[s] = static_cast<std::uint32_t>(s);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>>
+Catalog::generation_snapshot(const QueryRequest& request) const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> snapshot;
+  for (std::uint32_t s : candidate_shards(request))
+    snapshot.emplace_back(s, shards_[s]->generation());
+  return snapshot;
+}
+
+bool Catalog::generations_current(
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>>& snapshot)
+    const {
+  for (const auto& [shard, generation] : snapshot)
+    if (shards_[shard]->generation() != generation) return false;
+  return true;
+}
+
+QueryResponse Catalog::query(const QueryRequest& request) const {
+  Accumulator acc;
+  acc.sample_limit = request.sample_limit;
+  std::uint32_t probed = 0;
+  std::uint32_t pruned = 0;
+
+  const int day_lo = std::max(request.day_lo, 1);
+  const int day_hi = std::min(request.day_hi, 366);
+  if (day_lo > day_hi) return std::move(acc).finalize();
+
+  if (request.kind == QueryKind::kPoint) {
+    const std::uint32_t cell = cell_of(request.lat, request.lon);
+    // Candidate days per shard — shard_of(cell, day) is static, so only
+    // these shards can hold matches.
+    std::map<std::uint32_t, std::vector<int>> days_by_shard;
+    for (int day = day_lo; day <= day_hi; ++day)
+      days_by_shard[shard_of(cell, day)].push_back(day);
+    // The target cell's latitude band, for metadata pruning (strict
+    // comparisons: boundary rows belong to the neighbouring cell and simply
+    // fail the cell test if scanned).
+    const std::uint32_t cell_row = cell / lon_cells_;
+    const double cell_lat_lo = -90.0 + cell_row * config_.cell_deg;
+    const double cell_lat_hi =
+        std::min(cell_lat_lo + config_.cell_deg, 90.0);
+
+    for (const auto& [s, days] : days_by_shard) {
+      const Shard& shard = *shards_[s];
+      // published() first: its acquire orders the metadata loads below
+      // against the writer's release, so pruning never lags the rows a
+      // reader can see.
+      const std::size_t limit = shard.published();
+      if (limit == 0 || shard.max_day() < days.front() ||
+          shard.min_day() > days.back() ||
+          static_cast<double>(shard.min_lat()) > cell_lat_hi ||
+          static_cast<double>(shard.max_lat()) < cell_lat_lo) {
+        ++pruned;
+        continue;
+      }
+      ++probed;
+      if (const SealedIndex* index = shard.index()) {
+        for (int day : days) {
+          const auto it = index->groups.find(
+              SealedIndex::key(cell, static_cast<std::int16_t>(day)));
+          if (it == index->groups.end()) continue;
+          for (std::uint32_t row : it->second) {
+            const Chunk& chunk = shard.chunk_for(row);
+            const std::size_t i = shard.chunk_offset(row);
+            acc.add(chunk.label[i], chunk.lat[i], chunk.lon[i], chunk.cf[i],
+                    chunk.cot[i], chunk.ctp[i], chunk.cwp[i],
+                    chunk.granule[i]);
+          }
+        }
+      } else {
+        // Rows of this cell with a day in range can only live here, so one
+        // range-filtered pass over the shard is exact.
+        scan_shard(shard, limit, acc,
+                   [&](const Chunk& chunk, std::size_t i) {
+                     return chunk.cell[i] == cell && chunk.day[i] >= day_lo &&
+                            chunk.day[i] <= day_hi;
+                   });
+      }
+    }
+  } else {
+    for (const auto& shard_ptr : shards_) {
+      const Shard& shard = *shard_ptr;
+      const std::size_t limit = shard.published();
+      bool skip = limit == 0 || shard.max_day() < day_lo ||
+                  shard.min_day() > day_hi;
+      if (!skip && request.kind == QueryKind::kBbox) {
+        skip = static_cast<double>(shard.min_lat()) > request.lat_hi ||
+               static_cast<double>(shard.max_lat()) < request.lat_lo ||
+               static_cast<double>(shard.min_lon()) > request.lon_hi ||
+               static_cast<double>(shard.max_lon()) < request.lon_lo;
+      }
+      if (!skip && request.kind == QueryKind::kClass) {
+        skip = (shard.class_mask() &
+                (1ULL << class_bit(request.label))) == 0;
+      }
+      if (skip) {
+        ++pruned;
+        continue;
+      }
+      ++probed;
+      switch (request.kind) {
+        case QueryKind::kBbox:
+          scan_shard(shard, limit, acc,
+                     [&](const Chunk& chunk, std::size_t i) {
+                       const double lat = chunk.lat[i];
+                       const double lon = chunk.lon[i];
+                       return lat >= request.lat_lo && lat <= request.lat_hi &&
+                              lon >= request.lon_lo && lon <= request.lon_hi &&
+                              chunk.day[i] >= day_lo && chunk.day[i] <= day_hi;
+                     });
+          break;
+        case QueryKind::kClass:
+          scan_shard(shard, limit, acc,
+                     [&](const Chunk& chunk, std::size_t i) {
+                       return chunk.label[i] == request.label &&
+                              chunk.day[i] >= day_lo && chunk.day[i] <= day_hi;
+                     });
+          break;
+        case QueryKind::kTimeRange:
+          scan_shard(shard, limit, acc,
+                     [&](const Chunk& chunk, std::size_t i) {
+                       return chunk.day[i] >= day_lo && chunk.day[i] <= day_hi;
+                     });
+          break;
+        case QueryKind::kPoint:
+          break;  // handled above
+      }
+    }
+  }
+
+  QueryResponse response = std::move(acc).finalize();
+  response.shards_probed = probed;
+  response.shards_pruned = pruned;
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+QueryResponse brute_force_query(
+    const std::vector<analysis::TileRecord>& records,
+    const QueryRequest& request, const Catalog& catalog) {
+  Accumulator acc;
+  acc.sample_limit = request.sample_limit;
+  const std::uint32_t target_cell =
+      request.kind == QueryKind::kPoint
+          ? catalog.cell_of(request.lat, request.lon)
+          : 0;
+  for (const analysis::TileRecord& record : records) {
+    const int day = record.granule.day_of_year;
+    if (day < request.day_lo || day > request.day_hi) continue;
+    bool match = false;
+    switch (request.kind) {
+      case QueryKind::kPoint:
+        match = catalog.cell_of(record.latitude, record.longitude) ==
+                target_cell;
+        break;
+      case QueryKind::kBbox: {
+        const double lat = record.latitude;
+        const double lon = record.longitude;
+        match = lat >= request.lat_lo && lat <= request.lat_hi &&
+                lon >= request.lon_lo && lon <= request.lon_hi;
+        break;
+      }
+      case QueryKind::kClass:
+        match = record.label == request.label;
+        break;
+      case QueryKind::kTimeRange:
+        match = true;
+        break;
+    }
+    if (match) {
+      acc.add(record.label, record.latitude, record.longitude,
+              record.cloud_fraction, record.optical_thickness,
+              record.cloud_top_pressure, record.water_path,
+              pack_granule(record.granule));
+    }
+  }
+  return std::move(acc).finalize();
+}
+
+}  // namespace mfw::serve

@@ -1,0 +1,245 @@
+// Sharded in-memory catalog over the labelled-tile archive (DESIGN.md §14).
+//
+// The pipeline ends with labelled tiles on a facility filesystem; this layer
+// is what makes them *servable*: `analysis::AiccaArchive` is a flat vector
+// that every question must scan end to end, while downstream consumers (the
+// AI-guided-simulation shape in PAPERS.md: many heterogeneous clients
+// hitting one shared result store) care about queries/sec and tail latency.
+//
+// Layout: tiles are partitioned into `shard_count` shards by
+// hash(spatial cell, day-of-year). Each shard is a column (SoA) store built
+// from fixed-size chunks with
+//   - a single append-only writer (per shard; batch ingest runs one writer
+//     task per shard),
+//   - lock-free readers: an atomic published-row count is release-stored by
+//     the writer after the rows and pruning metadata are written, and
+//     acquire-loaded by readers, so a reader never takes a lock and never
+//     observes a partially written row,
+//   - a monotonic per-shard generation, bumped *after* each publish, that
+//     the hot-cell result cache snapshots for invalidation (a response is
+//     cached with the generations observed before it was computed; any
+//     publish in between makes the comparison fail and the entry recompute),
+//   - an immutable index built at seal() time mapping (cell, day) to row
+//     lists, published via an acquire/release atomic pointer; before seal,
+//     point queries fall back to a filtered column scan of the shard.
+//
+// Because the shard of a row is a pure function of (cell, day), a point
+// query's candidate shard set is computable without touching data — that is
+// what keeps its generation snapshot small and its cache entries alive while
+// *other* shards ingest.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/aicca.hpp"
+#include "serve/api.hpp"
+#include "util/rng.hpp"
+
+namespace mfw::util {
+class ThreadPool;
+}
+
+namespace mfw::serve {
+
+struct CatalogConfig {
+  /// Spatial cell edge in degrees (18 x 36 = 648 cells at the default).
+  double cell_deg = 10.0;
+  /// Number of shards; (cell, day) groups hash onto them.
+  std::size_t shard_count = 32;
+  /// Rows per column chunk (chunks are allocated full-size, never resized,
+  /// so published rows are stable addresses).
+  std::size_t rows_per_chunk = 16384;
+  /// Chunk-pointer slots preallocated per shard (caps shard capacity at
+  /// max_chunks * rows_per_chunk rows).
+  std::size_t max_chunks = 4096;
+};
+
+/// Packs the parts of a GranuleId the serving rows keep (product, satellite,
+/// year-2000, day-of-year, slot) into 32 bits; lossless for years 2000-2127.
+std::uint32_t pack_granule(const modis::GranuleId& id);
+modis::GranuleId unpack_granule(std::uint32_t packed);
+
+/// One serving row in struct form (column stores hold the same fields).
+struct Row {
+  float lat = 0.0f, lon = 0.0f;
+  float cf = 0.0f, cot = 0.0f, ctp = 0.0f, cwp = 0.0f;
+  std::int32_t label = -1;
+  std::uint32_t cell = 0;
+  std::int16_t day = 0;
+  std::uint32_t granule = 0;
+};
+
+/// Fixed-size struct-of-arrays chunk. Sized at construction; never resized.
+struct Chunk {
+  explicit Chunk(std::size_t rows)
+      : lat(rows), lon(rows), cf(rows), cot(rows), ctp(rows), cwp(rows),
+        label(rows), cell(rows), granule(rows), day(rows) {}
+  std::vector<float> lat, lon, cf, cot, ctp, cwp;
+  std::vector<std::int32_t> label;
+  std::vector<std::uint32_t> cell, granule;
+  std::vector<std::int16_t> day;
+};
+
+/// Row lists per (cell, day) group, built once at seal().
+struct SealedIndex {
+  static std::uint64_t key(std::uint32_t cell, std::int16_t day) {
+    return (static_cast<std::uint64_t>(cell) << 16) |
+           static_cast<std::uint16_t>(day);
+  }
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> groups;
+};
+
+class Shard {
+ public:
+  explicit Shard(const CatalogConfig& config);
+  ~Shard();
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  // -- writer side (one writer thread at a time) ----------------------------
+  /// Buffers a row; not visible to readers until publish().
+  void append(const Row& row);
+  /// Release-publishes all buffered rows and bumps the generation.
+  void publish();
+  /// Publishes, builds the (cell, day) index, and bumps the generation.
+  /// Appending after seal is a contract violation (throws).
+  void seal();
+
+  // -- reader side (lock-free) ----------------------------------------------
+  std::size_t published() const {
+    return published_.load(std::memory_order_acquire);
+  }
+  std::uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  const SealedIndex* index() const {
+    return index_.load(std::memory_order_acquire);
+  }
+  bool sealed() const { return index() != nullptr; }
+
+  /// Row address helpers for readers (row < published()).
+  const Chunk& chunk_for(std::size_t row) const {
+    return *chunks_[row / rows_per_chunk_].load(std::memory_order_acquire);
+  }
+  std::size_t chunk_offset(std::size_t row) const {
+    return row % rows_per_chunk_;
+  }
+
+  /// Visits published rows [0, limit) as (chunk, begin, end) ranges.
+  template <typename F>
+  void scan(std::size_t limit, F&& f) const {
+    for (std::size_t base = 0; base < limit; base += rows_per_chunk_) {
+      const Chunk* chunk = chunks_[base / rows_per_chunk_].load(
+          std::memory_order_acquire);
+      const std::size_t end = std::min(rows_per_chunk_, limit - base);
+      f(*chunk, std::size_t{0}, end);
+    }
+  }
+
+  // -- pruning metadata (conservative: bounds only ever widen, and a
+  // reader's acquire of published() orders every update covering the rows it
+  // sees) ---------------------------------------------------------------------
+  float min_lat() const { return min_lat_.load(std::memory_order_relaxed); }
+  float max_lat() const { return max_lat_.load(std::memory_order_relaxed); }
+  float min_lon() const { return min_lon_.load(std::memory_order_relaxed); }
+  float max_lon() const { return max_lon_.load(std::memory_order_relaxed); }
+  int min_day() const { return min_day_.load(std::memory_order_relaxed); }
+  int max_day() const { return max_day_.load(std::memory_order_relaxed); }
+  /// Bit (label & 63) set when a row with that label was appended; labels
+  /// >= 63 share bit 63, so pruning stays conservative for them.
+  std::uint64_t class_mask() const {
+    return class_mask_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t rows_per_chunk_;
+  const std::size_t max_chunks_;
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::size_t size_ = 0;  // writer-private: rows buffered (>= published_)
+  std::atomic<std::size_t> published_{0};
+  std::atomic<std::uint64_t> generation_{0};
+  std::atomic<SealedIndex*> index_{nullptr};
+
+  std::atomic<float> min_lat_{90.0f}, max_lat_{-90.0f};
+  std::atomic<float> min_lon_{180.0f}, max_lon_{-180.0f};
+  std::atomic<int> min_day_{367}, max_day_{0};
+  std::atomic<std::uint64_t> class_mask_{0};
+};
+
+class Catalog {
+ public:
+  explicit Catalog(CatalogConfig config = {});
+
+  // -- cell geometry ---------------------------------------------------------
+  /// Cell of a coordinate; +90 latitude (and +180 longitude) clamp into the
+  /// last cell, mirroring AiccaArchive::zonal_class_counts band assignment.
+  std::uint32_t cell_of(double lat, double lon) const;
+  std::uint32_t cell_count() const { return lat_cells_ * lon_cells_; }
+  /// Center coordinate of a cell (for synthetic load targeting).
+  void cell_center(std::uint32_t cell, double* lat, double* lon) const;
+  /// Shard that rows of (cell, day) land in — a pure function, so query
+  /// planning can enumerate candidate shards without touching data.
+  std::uint32_t shard_of(std::uint32_t cell, int day) const {
+    return static_cast<std::uint32_t>(
+        util::mix64(cell, static_cast<std::uint64_t>(day)) %
+        shards_.size());
+  }
+
+  // -- ingest (single logical writer; batch ingest fans one writer task out
+  // per shard) ---------------------------------------------------------------
+  void append(const analysis::TileRecord& record);
+  /// Publishes every shard's buffered rows.
+  void publish();
+  /// Partitions records by shard and appends them with one writer per shard
+  /// (parallel when a pool is given), then publishes. Returns rows ingested.
+  std::size_t ingest(const std::vector<analysis::TileRecord>& records,
+                     util::ThreadPool* pool = nullptr);
+  std::size_t ingest(const analysis::AiccaArchive& archive,
+                     util::ThreadPool* pool = nullptr) {
+    return ingest(archive.records(), pool);
+  }
+  /// Seals every shard (immutable from here on; cached entries stop aging).
+  void seal();
+  bool sealed() const;
+
+  const CatalogConfig& config() const { return config_; }
+  std::size_t shard_count() const { return shards_.size(); }
+  const Shard& shard(std::size_t i) const { return *shards_[i]; }
+  std::size_t tile_count() const;
+
+  // -- queries (lock-free; any number of concurrent readers) -----------------
+  QueryResponse query(const QueryRequest& request) const;
+
+  /// Shards a request's execution may consult (point queries enumerate
+  /// hash(cell, day) over the day range; everything else is all shards).
+  std::vector<std::uint32_t> candidate_shards(const QueryRequest& request) const;
+  /// (shard, generation) pairs for the candidate set — captured by the cache
+  /// *before* computing a response so any concurrent publish invalidates it.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> generation_snapshot(
+      const QueryRequest& request) const;
+  bool generations_current(
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>& snapshot)
+      const;
+
+ private:
+  Row make_row(const analysis::TileRecord& record) const;
+
+  CatalogConfig config_;
+  std::uint32_t lat_cells_ = 0;
+  std::uint32_t lon_cells_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Brute-force oracle: evaluates `request` by a linear scan over archive
+/// records, sharing nothing with the sharded execution path except the cell
+/// definition. Property tests (and `mfwctl serve-bench --check`) compare the
+/// catalog's responses against this.
+QueryResponse brute_force_query(
+    const std::vector<analysis::TileRecord>& records,
+    const QueryRequest& request, const Catalog& catalog);
+
+}  // namespace mfw::serve

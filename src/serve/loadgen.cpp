@@ -1,0 +1,368 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <thread>
+
+#include "obs/rollup.hpp"
+#include "util/json_writer.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace mfw::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Per-worker measurement state, merged after join.
+struct WorkerStats {
+  obs::LogHistogram all;
+  obs::LogHistogram base;
+  obs::LogHistogram flash;
+  double sum_us = 0.0;
+  double max_us = 0.0;
+  double base_sum_us = 0.0, base_max_us = 0.0;
+  double flash_sum_us = 0.0, flash_max_us = 0.0;
+  std::uint64_t count = 0;
+  obs::WindowedSeries timeline;
+
+  explicit WorkerStats(double window_s)
+      : timeline(obs::RollupConfig{window_s, 100000}) {}
+};
+
+LatencySummary summarize(const obs::LogHistogram& hist, double mean_us,
+                         double max_us) {
+  LatencySummary s;
+  s.count = hist.total();
+  s.mean_us = mean_us;
+  s.p50_us = hist.quantile(0.50);
+  s.p99_us = hist.quantile(0.99);
+  s.p999_us = hist.quantile(0.999);
+  s.max_us = max_us;
+  return s;
+}
+
+void append_summary(util::JsonWriter& w, const char* name,
+                    const LatencySummary& s, std::string_view pre) {
+  w.key(name, pre).begin_object();
+  w.field("count", s.count);
+  w.field("mean_us", s.mean_us);
+  w.field("p50_us", s.p50_us);
+  w.field("p99_us", s.p99_us);
+  w.field("p999_us", s.p999_us);
+  w.field("max_us", s.max_us);
+  w.end_object();
+}
+
+}  // namespace
+
+std::string LoadResult::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("requests", requests);
+  w.field("users", users);
+  w.field("threads", threads);
+  w.field("wall_s", wall_s);
+  w.field("qps", qps);
+  if (offered_rate > 0.0) w.field("offered_rate", offered_rate);
+  append_summary(w, "latency", all, "\n  ");
+  if (flash.count > 0) {
+    append_summary(w, "base", base, "\n  ");
+    append_summary(w, "flash", flash, "\n  ");
+  }
+  w.field("cache_hit_rate", hit_rate, "\n  ");
+  w.field("cache_hits", cache_hits);
+  w.field("cache_stale", cache_stale);
+  w.field("cache_misses", cache_misses);
+  w.field("matched_rows", matched_rows);
+  if (!timeline.empty()) {
+    w.key("timeline", "\n  ").begin_array();
+    for (const WindowPoint& point : timeline) {
+      w.item("\n   ").begin_object();
+      w.field("t_s", point.t_s);
+      w.field("count", point.count);
+      w.field("mean_us", point.mean_us);
+      w.field("p99_us", point.p99_us);
+      w.end_object();
+    }
+    w.end_array("\n  ");
+  }
+  w.end_object();
+  return w.take();
+}
+
+LoadResult run_load(ServeService& service, const LoadConfig& config) {
+  const Catalog& catalog = service.catalog();
+  const std::size_t threads = std::max<std::size_t>(1, config.threads);
+  const std::size_t users = std::max<std::size_t>(1, config.users);
+  const std::size_t cells = catalog.cell_count();
+
+  // Popularity ranking: a seeded permutation of cells; Zipf rank 0 (the
+  // hottest cell) maps to perm[0].
+  std::vector<std::uint32_t> perm(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    perm[i] = static_cast<std::uint32_t>(i);
+  util::Rng perm_rng(util::mix64(config.seed, 0x9e1));
+  for (std::size_t i = cells; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        perm_rng.uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(perm[i - 1], perm[j]);
+  }
+
+  // Each user gets a fixed home cell by a Zipf draw over the ranking.
+  const util::ZipfGenerator zipf(cells, config.zipf_s);
+  std::vector<std::uint32_t> home(users);
+  util::Rng user_rng(util::mix64(config.seed, 0x9e2));
+  for (std::size_t u = 0; u < users; ++u) home[u] = perm[zipf(user_rng)];
+  const std::uint32_t hottest = perm[0];
+
+  const double cell_deg = catalog.config().cell_deg;
+  const int data_day_lo = std::max(1, config.day_lo);
+  const int data_day_hi = std::max(data_day_lo, std::min(366, config.day_hi));
+  const int window = std::max(1, config.day_window);
+
+  const ServeStats before = service.stats();
+  std::vector<WorkerStats> stats;
+  stats.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w)
+    stats.emplace_back(config.timeline_window_s);
+
+  const std::size_t per_worker = config.requests / threads;
+  const std::size_t remainder = config.requests % threads;
+  const double worker_rate =
+      config.arrival_rate > 0.0
+          ? config.arrival_rate / static_cast<double>(threads)
+          : 0.0;
+
+  const auto worker = [&](std::size_t w) {
+    util::Rng rng(util::mix64(config.seed, 0x517 + w));
+    WorkerStats& ws = stats[w];
+    const std::size_t n = per_worker + (w < remainder ? 1 : 0);
+    const std::size_t flash_begin = static_cast<std::size_t>(
+        config.flash_start_frac * static_cast<double>(n));
+    const std::size_t flash_end =
+        flash_begin + static_cast<std::size_t>(config.flash_len_frac *
+                                               static_cast<double>(n));
+    double arrival = 0.0;       // virtual seconds (open loop)
+    double prev_finish = 0.0;   // virtual seconds (open loop)
+
+    for (std::size_t r = 0; r < n; ++r) {
+      const bool in_flash =
+          config.flash_crowd && r >= flash_begin && r < flash_end;
+
+      QueryRequest request;
+      request.sample_limit = config.sample_limit;
+      if (in_flash && rng.bernoulli(config.flash_hot_frac)) {
+        // Flash requests repeat one canonical hot-cell query, the shape a
+        // viral "look at this storm" link produces.
+        request.kind = QueryKind::kPoint;
+        catalog.cell_center(hottest, &request.lat, &request.lon);
+        request.day_hi = data_day_hi;
+        request.day_lo = std::max(data_day_lo, data_day_hi - window + 1);
+      } else {
+        const auto user = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(users) - 1));
+        const std::uint32_t cell = home[user];
+        double center_lat = 0.0, center_lon = 0.0;
+        catalog.cell_center(cell, &center_lat, &center_lon);
+        // Requests are quantized the way real clients produce them (map
+        // tiles, dashboard panels): coordinates snap to a sub-cell grid and
+        // day windows to window-aligned blocks, so identical requests recur
+        // and the result cache has something to do.
+        const int d0 = static_cast<int>(
+            rng.uniform_int(data_day_lo, data_day_hi));
+        const int block = (d0 - data_day_lo) / window;
+        request.day_lo = data_day_lo + block * window;
+        request.day_hi = std::min(data_day_hi, request.day_lo + window - 1);
+        const double mix = rng.uniform();
+        if (mix < config.point_frac) {
+          request.kind = QueryKind::kPoint;
+          const double step = 0.3 * cell_deg;
+          const auto q_lat = static_cast<double>(rng.uniform_int(-1, 1));
+          const auto q_lon = static_cast<double>(rng.uniform_int(-1, 1));
+          request.lat = std::clamp(center_lat + q_lat * step, -90.0, 90.0);
+          request.lon = std::clamp(center_lon + q_lon * step, -180.0, 180.0);
+        } else if (mix < config.point_frac + config.bbox_frac) {
+          request.kind = QueryKind::kBbox;
+          const double half =
+              (0.5 + 0.5 * static_cast<double>(rng.uniform_int(0, 3))) *
+              cell_deg;
+          request.lat_lo = std::max(-90.0, center_lat - half);
+          request.lat_hi = std::min(90.0, center_lat + half);
+          request.lon_lo = std::max(-180.0, center_lon - half);
+          request.lon_hi = std::min(180.0, center_lon + half);
+        } else if (mix <
+                   config.point_frac + config.bbox_frac + config.class_frac) {
+          request.kind = QueryKind::kClass;
+          request.label = static_cast<int>(
+              rng.uniform_int(0, std::max(1, config.num_classes) - 1));
+        } else {
+          request.kind = QueryKind::kTimeRange;
+        }
+      }
+
+      double latency_s = 0.0;
+      const auto t0 = Clock::now();
+      (void)service.query(request);
+      const double service_s = seconds_since(t0);
+      if (worker_rate > 0.0) {
+        const double rate =
+            in_flash ? worker_rate * config.flash_boost : worker_rate;
+        arrival += rng.exponential(1.0 / rate);
+        const double start = std::max(arrival, prev_finish);
+        prev_finish = start + service_s;
+        latency_s = prev_finish - arrival;
+        ws.timeline.add(arrival, latency_s * 1e6);
+      } else {
+        latency_s = service_s;
+      }
+
+      const double latency_us = latency_s * 1e6;
+      ws.all.add(latency_us);
+      if (config.flash_crowd) {
+        if (in_flash) {
+          ws.flash.add(latency_us);
+          ws.flash_sum_us += latency_us;
+          ws.flash_max_us = std::max(ws.flash_max_us, latency_us);
+        } else {
+          ws.base.add(latency_us);
+          ws.base_sum_us += latency_us;
+          ws.base_max_us = std::max(ws.base_max_us, latency_us);
+        }
+      }
+      ws.sum_us += latency_us;
+      ws.max_us = std::max(ws.max_us, latency_us);
+      ++ws.count;
+    }
+  };
+
+  const auto t0 = Clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+  for (auto& t : pool) t.join();
+  const double wall_s = seconds_since(t0);
+
+  // Merge worker measurements.
+  obs::LogHistogram all, base, flash;
+  double sum_us = 0.0, max_us = 0.0;
+  double base_sum = 0.0, base_max = 0.0, flash_sum = 0.0, flash_max = 0.0;
+  std::uint64_t count = 0;
+  struct MergedWindow {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    obs::LogHistogram hist;
+  };
+  std::map<std::int64_t, MergedWindow> windows;
+  for (const WorkerStats& ws : stats) {
+    all.merge(ws.all);
+    base.merge(ws.base);
+    flash.merge(ws.flash);
+    sum_us += ws.sum_us;
+    max_us = std::max(max_us, ws.max_us);
+    base_sum += ws.base_sum_us;
+    base_max = std::max(base_max, ws.base_max_us);
+    flash_sum += ws.flash_sum_us;
+    flash_max = std::max(flash_max, ws.flash_max_us);
+    count += ws.count;
+    for (const obs::WindowStats& win : ws.timeline.windows()) {
+      MergedWindow& merged = windows[win.index];
+      merged.count += win.count;
+      merged.sum += win.sum;
+      merged.hist.merge(win.hist);
+    }
+  }
+  const ServeStats after = service.stats();
+  LoadResult result;
+  result.requests = count;
+  result.users = users;
+  result.threads = threads;
+  result.wall_s = wall_s;
+  result.qps = wall_s > 0.0 ? static_cast<double>(count) / wall_s : 0.0;
+  result.offered_rate = config.arrival_rate;
+  result.all = summarize(all, count ? sum_us / static_cast<double>(count) : 0.0,
+                         max_us);
+  if (config.flash_crowd) {
+    result.base = summarize(
+        base, base.total() ? base_sum / static_cast<double>(base.total()) : 0.0,
+        base_max);
+    result.flash = summarize(
+        flash,
+        flash.total() ? flash_sum / static_cast<double>(flash.total()) : 0.0,
+        flash_max);
+  }
+  result.hit_rate =
+      after.queries > before.queries
+          ? static_cast<double>(after.cache_hits - before.cache_hits) /
+                static_cast<double>(after.queries - before.queries)
+          : 0.0;
+  result.cache_hits = after.cache_hits - before.cache_hits;
+  result.cache_stale = after.cache_stale - before.cache_stale;
+  result.cache_misses = after.cache_misses - before.cache_misses;
+  result.matched_rows = after.matched_rows - before.matched_rows;
+  if (worker_rate > 0.0) {
+    result.timeline.reserve(windows.size());
+    for (const auto& [index, merged] : windows) {
+      WindowPoint point;
+      point.t_s = static_cast<double>(index) * config.timeline_window_s;
+      point.count = merged.count;
+      point.mean_us =
+          merged.count ? merged.sum / static_cast<double>(merged.count) : 0.0;
+      point.p99_us = merged.hist.quantile(0.99);
+      result.timeline.push_back(point);
+    }
+  }
+  return result;
+}
+
+std::vector<analysis::TileRecord> synth_records(std::size_t n, int days,
+                                                int num_classes,
+                                                std::uint64_t seed) {
+  util::Rng rng(seed);
+  const util::ZipfGenerator class_zipf(
+      static_cast<std::size_t>(std::max(1, num_classes)), 0.8);
+  std::vector<analysis::TileRecord> records;
+  records.reserve(n);
+  const int max_day = std::clamp(days, 1, 366);
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis::TileRecord record;
+    record.granule.product = modis::ProductKind::kMod02;
+    record.granule.satellite = rng.bernoulli(0.5) ? modis::Satellite::kTerra
+                                                  : modis::Satellite::kAqua;
+    record.granule.year = 2022;
+    record.granule.day_of_year = static_cast<int>(rng.uniform_int(1, max_day));
+    record.granule.slot = static_cast<int>(rng.uniform_int(0, 287));
+    record.label = static_cast<int>(class_zipf(rng));
+    // Two latitude clusters (subtropical stratocumulus decks) plus a broad
+    // background, echoing the AICCA atlas's zonal structure.
+    const double mode = rng.uniform();
+    double lat;
+    if (mode < 0.35) {
+      lat = rng.normal(-18.0, 8.0);
+    } else if (mode < 0.70) {
+      lat = rng.normal(22.0, 8.0);
+    } else {
+      lat = rng.uniform(-85.0, 85.0);
+    }
+    record.latitude = static_cast<float>(std::clamp(lat, -90.0, 90.0));
+    record.longitude = static_cast<float>(rng.uniform(-180.0, 180.0));
+    record.cloud_fraction =
+        static_cast<float>(std::clamp(rng.normal(0.65, 0.2), 0.3, 1.0));
+    record.optical_thickness =
+        static_cast<float>(rng.lognormal_median(12.0, 0.6));
+    record.cloud_top_pressure =
+        static_cast<float>(std::clamp(rng.normal(650.0, 180.0), 150.0, 1000.0));
+    record.water_path = static_cast<float>(rng.lognormal_median(90.0, 0.7));
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace mfw::serve

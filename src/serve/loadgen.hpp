@@ -1,0 +1,121 @@
+// Closed-/open-loop client load simulator for the serving layer.
+//
+// Simulates a population of users, each with a fixed home cell drawn from a
+// Zipf popularity ranking over the catalog's spatial cells (util::Zipf), so
+// a few hot cells carry most of the traffic. Worker threads replay a
+// deterministic per-worker request stream (point / bbox / class / time-range
+// mix) against a ServeService:
+//
+//  - closed loop: each worker issues back-to-back requests; latency is the
+//    measured service time. This measures capacity (QPS at a thread count).
+//  - open loop: requests arrive on a virtual Poisson clock at a configured
+//    offered rate; latency_i = finish_i - arrival_i with
+//    finish_i = max(arrival_i, finish_{i-1}) + measured service time, so
+//    queueing delay appears in the tail exactly when the offered rate
+//    exceeds capacity. This measures tail latency at a load point.
+//
+// A flash crowd — a request-index window where arrivals speed up by
+// `flash_boost` and concentrate on the hottest cell — exercises the cache's
+// best case and the tail's worst case at once. Latencies aggregate into
+// obs::LogHistogram (p50/p99/p999) and per-window obs-style timelines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace mfw::serve {
+
+struct LoadConfig {
+  /// Simulated user population (each user has a fixed Zipf-ranked home cell).
+  std::size_t users = 100000;
+  /// Total requests across all workers.
+  std::size_t requests = 200000;
+  /// Reader worker threads.
+  std::size_t threads = 4;
+  /// Zipf skew over cell popularity (0 = uniform; ~1 = web-like).
+  double zipf_s = 1.05;
+  /// Request-kind mix; the remainder after point+bbox+class is time_range.
+  double point_frac = 0.70;
+  double bbox_frac = 0.20;
+  double class_frac = 0.08;
+  int num_classes = 42;
+  /// Day-of-year span the data covers and the typical query window width.
+  int day_lo = 1;
+  int day_hi = 30;
+  int day_window = 7;
+  std::size_t sample_limit = 4;
+  /// Open-loop offered rate in requests/s across all workers (0 = closed
+  /// loop).
+  double arrival_rate = 0.0;
+  /// Flash crowd: inside the request-index window
+  /// [flash_start_frac, flash_start_frac + flash_len_frac) of each worker's
+  /// stream, arrivals speed up by flash_boost (open loop) and
+  /// flash_hot_frac of requests aim at the hottest cell.
+  bool flash_crowd = false;
+  double flash_start_frac = 0.5;
+  double flash_len_frac = 0.2;
+  double flash_boost = 8.0;
+  double flash_hot_frac = 0.9;
+  std::uint64_t seed = 2024;
+  /// Open-loop latency timeline window width (virtual seconds).
+  double timeline_window_s = 0.05;
+};
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// One merged latency window of the open-loop timeline.
+struct WindowPoint {
+  double t_s = 0.0;  // window start, virtual arrival time
+  std::uint64_t count = 0;
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct LoadResult {
+  std::size_t requests = 0;
+  std::size_t users = 0;
+  std::size_t threads = 0;
+  double wall_s = 0.0;
+  double qps = 0.0;
+  LatencySummary all;
+  /// Split summaries when flash_crowd is on (empty otherwise).
+  LatencySummary base;
+  LatencySummary flash;
+  /// Offered open-loop rate (0 for closed loop).
+  double offered_rate = 0.0;
+  /// Service cache counter deltas over the run.
+  double hit_rate = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_stale = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t matched_rows = 0;
+  /// Open-loop latency timeline (virtual time), merged across workers.
+  std::vector<WindowPoint> timeline;
+
+  /// JSON object fragment (no trailing newline) for embedding in bench docs.
+  std::string to_json() const;
+};
+
+/// Runs the simulation. Deterministic request streams given (config.seed,
+/// threads); measured latencies are real. The service's catalog must be
+/// populated (and normally sealed) first.
+LoadResult run_load(ServeService& service, const LoadConfig& config);
+
+/// Deterministic synthetic labelled-tile archive for serve benchmarks:
+/// `n` records over `days` days with AICCA-like marginals (clustered
+/// latitudes, Zipf-skewed class frequencies, lognormal-ish physics).
+std::vector<analysis::TileRecord> synth_records(std::size_t n, int days,
+                                                int num_classes,
+                                                std::uint64_t seed);
+
+}  // namespace mfw::serve

@@ -1,0 +1,92 @@
+#include "serve/service.hpp"
+
+#include "obs/trace.hpp"
+#include "util/json_writer.hpp"
+
+namespace mfw::serve {
+
+ServeService::ServeService(const Catalog& catalog, ServeConfig config)
+    : catalog_(catalog), config_(config) {
+  if (config_.enable_cache) {
+    cache_ = std::make_unique<ResultCache>(config_.cache_capacity,
+                                           config_.cache_ways);
+  }
+}
+
+QueryResponse ServeService::query(const QueryRequest& request) {
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  obs::SpanId span;
+  if (auto& rec = obs::TraceRecorder::instance();
+      config_.trace && rec.enabled()) {
+    span = rec.begin_span("serve/api", "serve", kind_name(request.kind));
+  }
+
+  std::string key;
+  if (cache_ != nullptr) {
+    key = cache_key(request);
+    if (auto entry = cache_->get(key)) {
+      if (catalog_.generations_current(entry->generations)) {
+        cache_hits_.fetch_add(1, std::memory_order_relaxed);
+        QueryResponse response = entry->response;
+        response.cache_hit = true;
+        matched_rows_.fetch_add(response.matched, std::memory_order_relaxed);
+        obs::TraceRecorder::instance().end_span(
+            span, {{"cache", "hit"}});
+        return response;
+      }
+      cache_stale_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Snapshot generations *before* executing: a publish that lands while the
+  // scan runs makes the stored snapshot stale, so the entry self-invalidates
+  // on its next hit instead of serving a half-old response as current.
+  auto entry = std::make_shared<CacheEntry>();
+  if (cache_ != nullptr)
+    entry->generations = catalog_.generation_snapshot(request);
+  QueryResponse response = catalog_.query(request);
+  matched_rows_.fetch_add(response.matched, std::memory_order_relaxed);
+  if (cache_ != nullptr) {
+    entry->response = response;
+    cache_->put(key, std::move(entry));
+  }
+  obs::TraceRecorder::instance().end_span(
+      span, {{"cache", "miss"},
+             {"matched", std::to_string(response.matched)}});
+  return response;
+}
+
+ServeStats ServeService::stats() const {
+  ServeStats s;
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.cache_stale = cache_stale_.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  s.matched_rows = matched_rows_.load(std::memory_order_relaxed);
+  s.cache_evictions = cache_ != nullptr ? cache_->evictions() : 0;
+  return s;
+}
+
+std::string ServeService::stats_json() const {
+  const ServeStats s = stats();
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.serve/v1");
+  w.field("doc", "service_stats");
+  w.field("queries", s.queries, "\n ");
+  w.field("cache_hits", s.cache_hits);
+  w.field("cache_stale", s.cache_stale);
+  w.field("cache_misses", s.cache_misses);
+  w.field("cache_evictions", s.cache_evictions);
+  w.field("hit_rate", s.hit_rate(), "\n ");
+  w.field("matched_rows", s.matched_rows);
+  w.field("tiles", catalog_.tile_count());
+  w.field("shards", catalog_.shard_count());
+  w.field("sealed", catalog_.sealed());
+  w.end_object().raw("\n");
+  return w.take();
+}
+
+}  // namespace mfw::serve

@@ -1,5 +1,7 @@
 #include "spec/lab.hpp"
 
+#include "util/json_writer.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>
@@ -262,30 +264,32 @@ class Lab {
 LabResult run_lab(const LabConfig& config) { return Lab(config).run(); }
 
 std::string results_to_json(const std::vector<LabResult>& results) {
-  std::ostringstream os;
-  os << "{\n  \"schema\": \"mfw.policies/v1\",\n";
-  os << "  \"workflow\": \""
-     << (results.empty() ? "" : results.front().workflow) << "\",\n";
-  os << "  \"results\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    os << "    {\"policy\": \"" << r.policy << "\", \"facilities\": "
-       << r.facilities << ", \"load\": " << r.load
-       << ", \"campaigns\": " << r.campaigns
-       << ", \"items\": " << r.items_per_campaign
-       << ", \"makespan\": " << r.makespan
-       << ", \"utilization\": " << r.utilization
-       << ", \"mean_queue_wait\": " << r.mean_queue_wait
-       << ", \"p99_queue_wait\": " << r.p99_queue_wait
-       << ", \"tasks\": " << r.tasks
-       << ", \"deadline_misses\": " << r.deadline_misses
-       << ", \"slo_rules\": " << r.slo_rules
-       << ", \"slo_alerts\": " << r.slo_alerts
-       << ", \"slo_firing\": " << r.slo_firing << "}"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.policies/v1", "\n  ");
+  w.field("workflow", results.empty() ? "" : results.front().workflow,
+          "\n  ");
+  w.key("results", "\n  ").begin_array();
+  for (const auto& r : results) {
+    w.item("\n    ").begin_object();
+    w.field("policy", r.policy);
+    w.field("facilities", r.facilities);
+    w.field("load", r.load);
+    w.field("campaigns", r.campaigns);
+    w.field("items", r.items_per_campaign);
+    w.field("makespan", r.makespan);
+    w.field("utilization", r.utilization);
+    w.field("mean_queue_wait", r.mean_queue_wait);
+    w.field("p99_queue_wait", r.p99_queue_wait);
+    w.field("tasks", r.tasks);
+    w.field("deadline_misses", r.deadline_misses);
+    w.field("slo_rules", r.slo_rules);
+    w.field("slo_alerts", r.slo_alerts);
+    w.field("slo_firing", r.slo_firing);
+    w.end_object();
   }
-  os << "  ]\n}\n";
-  return os.str();
+  w.end_array("\n  ").raw("\n").end_object().raw("\n");
+  return w.take();
 }
 
 }  // namespace mfw::spec

@@ -1,0 +1,120 @@
+#include "util/json_writer.hpp"
+
+#include <cstdio>
+
+namespace mfw::util {
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_json_escaped(out, text);
+  return out;
+}
+
+std::string json_num(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", value);
+  return buf;
+}
+
+JsonWriter& JsonWriter::open(char bracket) {
+  mark_member();
+  out_ += bracket;
+  frames_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char bracket) {
+  if (!frames_.empty()) frames_.pop_back();
+  out_ += bracket;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array(std::string_view close_prefix) {
+  const bool nonempty = enclosing_nonempty();
+  if (!frames_.empty()) frames_.pop_back();
+  if (nonempty) out_.append(close_prefix);
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name, std::string_view pre) {
+  const bool first = !enclosing_nonempty();
+  if (!first) out_ += ',';
+  if (pre.empty()) {
+    if (!first) out_ += ' ';
+  } else {
+    out_.append(pre);
+  }
+  out_ += '"';
+  append_json_escaped(out_, name);
+  out_ += "\": ";
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::item(std::string_view pre) {
+  if (enclosing_nonempty()) out_ += ',';
+  out_.append(pre);
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::inline_item(std::string_view sep) {
+  if (enclosing_nonempty()) out_.append(sep);
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  out_ += '"';
+  append_json_escaped(out_, text);
+  out_ += '"';
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  out_.append(json_num(v));
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_int(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out_.append(buf);
+  mark_member();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_uint(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(v));
+  out_.append(buf);
+  mark_member();
+  return *this;
+}
+
+}  // namespace mfw::util

@@ -1,0 +1,107 @@
+// Minimal streaming JSON writer shared by every hand-written report emitter
+// (obs trace reports, health streams, rollups, policy sweeps, serve
+// responses). The existing report schemas were grown with idiosyncratic
+// whitespace (newline-prefixed array items, ", "-separated members,
+// "]"-vs-"\n]" closers) that CI gates pin byte-for-byte, so this writer
+// exposes explicit separator control instead of imposing a pretty-printer:
+// migrating an emitter onto JsonWriter must not change a single byte of its
+// output.
+//
+// Numbers print as %.6g for doubles (the shared `num()` convention of the
+// obs report writers — also what ostream<<double produces at default
+// precision) and full decimal for integers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace mfw::util {
+
+/// JSON-escapes `text` without surrounding quotes: quote, backslash, \n \r
+/// \t shortcuts, plus \uXXXX for every other control character < 0x20, so
+/// adversarial values (embedded newlines, NULs) cannot produce invalid JSON.
+std::string json_escape(std::string_view text);
+
+/// Appends the escaped form of `text` to `out` (allocation-light path used
+/// by the trace exporter).
+void append_json_escaped(std::string& out, std::string_view text);
+
+/// %.6g double formatting, the report writers' shared number convention.
+std::string json_num(double value);
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  // -- structure -------------------------------------------------------------
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_object() { return close('}'); }
+  /// Closes an array. When the array is non-empty, `close_prefix` is written
+  /// before the ']' — the report writers' `(empty ? "]" : "\n]")` idiom.
+  JsonWriter& end_array(std::string_view close_prefix = {});
+
+  // -- members ---------------------------------------------------------------
+  /// Starts an object member: a ',' when not the first member, then `pre`
+  /// (default: a single space when not first, nothing when first), then
+  /// `"name": `.
+  JsonWriter& key(std::string_view name, std::string_view pre = {});
+  /// Starts an array element: a ',' when not the first element, then `pre`
+  /// (written for the first element too — the "\n  {…}" item idiom).
+  JsonWriter& item(std::string_view pre = {});
+  /// Starts an array element separated by `sep` (written only between
+  /// elements — the inline "a, b, c" idiom).
+  JsonWriter& inline_item(std::string_view sep = ", ");
+
+  // -- values ----------------------------------------------------------------
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  JsonWriter& value_int(std::int64_t v);
+  JsonWriter& value_uint(std::uint64_t v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return value_int(static_cast<std::int64_t>(v));
+    else
+      return value_uint(static_cast<std::uint64_t>(v));
+  }
+  /// Verbatim text (pre-rendered fragments).
+  JsonWriter& raw(std::string_view text) {
+    out_.append(text);
+    return *this;
+  }
+
+  // -- convenience: key + value in one call ----------------------------------
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v,
+                    std::string_view pre = {}) {
+    key(name, pre);
+    return value(std::forward<T>(v));
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  JsonWriter& open(char bracket);
+  JsonWriter& close(char bracket);
+  /// True when the enclosing container already holds a member/element.
+  bool enclosing_nonempty() const {
+    return !frames_.empty() && frames_.back();
+  }
+  void mark_member() {
+    if (!frames_.empty()) frames_.back() = true;
+  }
+
+  std::string out_;
+  std::vector<bool> frames_;  // per open container: has a member been written
+};
+
+}  // namespace mfw::util

@@ -1,0 +1,178 @@
+// LRU caches for the serving layer (DESIGN.md §14).
+//
+//  - LruCache: the single-threaded core — an intrusive recency list over an
+//    unordered_map, O(1) get/put/erase, strict capacity with oldest-first
+//    eviction. Not thread-safe.
+//  - ShardedLruCache: the thread-safe wrapper the hot-cell result cache
+//    uses — the key space is hash-partitioned into `ways` independent
+//    LruCaches, each behind its own mutex, so readers on different ways never
+//    contend; hit/miss/eviction counters are lock-free atomics. Capacity is
+//    split evenly across ways (each way rounds up to at least one slot), so
+//    the aggregate bound is capacity ± (ways - 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mfw::util {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  /// `capacity` >= 1 entries (0 is clamped to 1).
+  explicit LruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Returns the value and promotes the entry to most-recently-used.
+  std::optional<Value> get(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    order_.splice(order_.begin(), order_, it->second);
+    return it->second->second;
+  }
+
+  /// Inserts or overwrites; evicts the least-recently-used entry past
+  /// capacity.
+  void put(const Key& key, Value value) {
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    order_.emplace_front(key, std::move(value));
+    map_.emplace(key, order_.begin());
+    if (map_.size() > capacity_) {
+      map_.erase(order_.back().first);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  bool erase(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    order_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+  }
+
+  std::size_t size() const { return map_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     Hash>
+      map_;
+  std::uint64_t evictions_ = 0;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  /// Total capacity split across `ways` independently locked LruCaches.
+  explicit ShardedLruCache(std::size_t capacity, std::size_t ways = 16) {
+    if (ways == 0) ways = 1;
+    const std::size_t per_way = (capacity + ways - 1) / ways;
+    ways_.reserve(ways);
+    for (std::size_t i = 0; i < ways; ++i)
+      ways_.push_back(std::make_unique<Way>(per_way));
+  }
+
+  std::optional<Value> get(const Key& key) {
+    Way& way = way_for(key);
+    std::lock_guard lock(way.mu);
+    auto hit = way.cache.get(key);
+    if (hit) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return hit;
+  }
+
+  void put(const Key& key, Value value) {
+    Way& way = way_for(key);
+    std::lock_guard lock(way.mu);
+    way.cache.put(key, std::move(value));
+  }
+
+  bool erase(const Key& key) {
+    Way& way = way_for(key);
+    std::lock_guard lock(way.mu);
+    return way.cache.erase(key);
+  }
+
+  void clear() {
+    for (auto& way : ways_) {
+      std::lock_guard lock(way->mu);
+      way->cache.clear();
+    }
+  }
+
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (auto& way : ways_) {
+      std::lock_guard lock(way->mu);
+      total += way->cache.size();
+    }
+    return total;
+  }
+
+  std::size_t way_count() const { return ways_.size(); }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t evictions() const {
+    std::uint64_t total = 0;
+    for (auto& way : ways_) {
+      std::lock_guard lock(way->mu);
+      total += way->cache.evictions();
+    }
+    return total;
+  }
+  double hit_rate() const {
+    const auto h = hits();
+    const auto m = misses();
+    return h + m == 0 ? 0.0 : static_cast<double>(h) / static_cast<double>(h + m);
+  }
+
+ private:
+  struct Way {
+    explicit Way(std::size_t capacity) : cache(capacity) {}
+    mutable std::mutex mu;
+    LruCache<Key, Value, Hash> cache;
+  };
+
+  Way& way_for(const Key& key) {
+    // Mix the hash so caches keyed by small integers spread across ways.
+    std::uint64_t h = Hash{}(key);
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return *ways_[h % ways_.size()];
+  }
+
+  std::vector<std::unique_ptr<Way>> ways_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace mfw::util

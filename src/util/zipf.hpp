@@ -1,0 +1,55 @@
+// Zipf-distributed rank sampling for skewed-popularity workloads.
+//
+// Web-serving request streams are famously Zipfian: the k-th most popular
+// item is requested with probability proportional to k^-s. The serve-layer
+// load simulator uses this to give a small set of spatial cells the bulk of
+// the traffic (the "hot cells" its result cache exists for). Sampling is by
+// inverse-CDF binary search over a precomputed table — O(n) memory once,
+// O(log n) per sample, deterministic given the caller's Rng, and exact (no
+// rejection iterations), which keeps load generation reproducible across
+// thread interleavings when each worker owns a seeded Rng.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mfw::util {
+
+class ZipfGenerator {
+ public:
+  /// Distribution over ranks [0, n): P(rank k) ∝ (k + 1)^-s. `s` = 0 is
+  /// uniform; s ≈ 0.9–1.2 matches measured web workloads. n must be >= 1.
+  explicit ZipfGenerator(std::size_t n, double s = 1.0) : cdf_(n == 0 ? 1 : n) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < cdf_.size(); ++k) {
+      total += std::pow(static_cast<double>(k + 1), -s);
+      cdf_[k] = total;
+    }
+    for (auto& c : cdf_) c /= total;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+  }
+
+  /// Samples a rank in [0, n).
+  std::size_t operator()(Rng& rng) const {
+    const double u = rng.uniform();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                     : it - cdf_.begin());
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// P(rank <= k), for tests and popularity accounting.
+  double cdf(std::size_t k) const {
+    return k >= cdf_.size() ? 1.0 : cdf_[k];
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace mfw::util

@@ -141,5 +141,66 @@ TEST(AiccaArchive, EndToEndFromMaterializedPipeline) {
   util::Logger::instance().set_level(util::LogLevel::kInfo);
 }
 
+TEST(AiccaArchive, ZonalBandsClampPolesIntoOutermostBands) {
+  storage::MemFs fs("orion");
+  TileRecord north = make_record(0, 90.0f, 0.5f, 5.0f);
+  TileRecord south = make_record(1, -90.0f, 0.5f, 5.0f);
+  write_labelled_file(fs, "aicca/poles.ncl", 0, {north, south});
+  const auto archive = AiccaArchive::load(fs, "aicca/*.ncl");
+  const auto zonal = archive.zonal_class_counts(2, 15.0);
+  ASSERT_EQ(zonal.size(), 12u);
+  // Latitude exactly +90 computes band 12 and must clamp into band 11;
+  // exactly -90 is band 0.
+  EXPECT_EQ(zonal[11][0], 1u);
+  EXPECT_EQ(zonal[0][1], 1u);
+  std::size_t total = 0;
+  for (const auto& band : zonal)
+    for (auto count : band) total += count;
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(AiccaArchive, ZonalCountsRejectBadBandWidthAndSkipForeignLabels) {
+  storage::MemFs fs("orion");
+  write_labelled_file(fs, "aicca/a.ncl", 0,
+                      {make_record(7, 10.0f, 0.5f, 5.0f),
+                       make_record(1, 20.0f, 0.5f, 5.0f)});
+  const auto archive = AiccaArchive::load(fs, "aicca/*.ncl");
+  EXPECT_THROW(archive.zonal_class_counts(2, 0.0), std::invalid_argument);
+  EXPECT_THROW(archive.zonal_class_counts(2, -15.0), std::invalid_argument);
+  // Labels outside [0, num_classes) are skipped, not counted elsewhere.
+  const auto zonal = archive.zonal_class_counts(2, 15.0);
+  std::size_t total = 0;
+  for (const auto& band : zonal)
+    for (auto count : band) total += count;
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(AiccaArchive, OutOfRangeLabelsThrowFromHistogram) {
+  storage::MemFs fs("orion");
+  write_labelled_file(fs, "aicca/a.ncl", 0,
+                      {make_record(5, 10.0f, 0.5f, 5.0f)});
+  const auto archive = AiccaArchive::load(fs, "aicca/*.ncl");
+  // num_classes too small for the stored label -> out_of_range; invalid
+  // num_classes -> invalid_argument.
+  EXPECT_THROW(archive.class_histogram(5), std::out_of_range);
+  EXPECT_THROW(archive.class_histogram(-3), std::invalid_argument);
+  EXPECT_NO_THROW(archive.class_histogram(6));
+}
+
+TEST(AiccaArchive, EmptyArchiveStatsAndReport) {
+  storage::MemFs fs("orion");
+  const auto archive = AiccaArchive::load(fs, "aicca/*.ncl");
+  EXPECT_EQ(archive.tile_count(), 0u);
+  EXPECT_EQ(archive.file_count(), 0u);
+  EXPECT_TRUE(archive.class_stats().empty());
+  const auto histogram = archive.class_histogram(42);
+  for (auto count : histogram) EXPECT_EQ(count, 0u);
+  const auto report = archive.report(42);
+  EXPECT_NE(report.find("0 labelled tiles"), std::string::npos);
+  const auto zonal = archive.zonal_class_counts(42);
+  for (const auto& band : zonal)
+    for (auto count : band) EXPECT_EQ(count, 0u);
+}
+
 }  // namespace
 }  // namespace mfw::analysis

@@ -10,12 +10,15 @@
 #include "util/blocking_queue.hpp"
 #include "util/bytes.hpp"
 #include "util/crc32.hpp"
+#include "util/json_writer.hpp"
 #include "util/log.hpp"
+#include "util/lru.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
+#include "util/zipf.hpp"
 
 namespace mfw::util {
 namespace {
@@ -430,6 +433,102 @@ TEST(Logger, LevelFiltersEvenWithSinkInstalled) {
   logger.set_level(LogLevel::kInfo);
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], "[ERROR] test: kept");
+}
+
+TEST(JsonWriter, SeparatorControlReproducesReportIdioms) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("schema", "mfw.test/v1");
+  w.field("count", 3);
+  w.key("items", "\n ").begin_array();
+  w.item("\n  ").begin_object().field("id", 1).end_object();
+  w.item("\n  ").begin_object().field("id", 2).end_object();
+  w.end_array("\n ");
+  w.key("flat", "\n ").begin_array();
+  w.inline_item().value(1);
+  w.inline_item().value(2);
+  w.inline_item().value(3);
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"schema\": \"mfw.test/v1\", \"count\": 3,"
+            "\n \"items\": ["
+            "\n  {\"id\": 1},"
+            "\n  {\"id\": 2}\n ],"
+            "\n \"flat\": [1, 2, 3]}");
+}
+
+TEST(JsonWriter, EmptyContainersAndEscaping) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("empty", "").begin_array().end_array("\n");  // close_prefix skipped
+  w.field("text", "a\"b\\c\nd");
+  w.field("flag", true);
+  w.field("neg", -12);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"empty\": [], \"text\": \"a\\\"b\\\\c\\nd\", "
+            "\"flag\": true, \"neg\": -12}");
+  EXPECT_EQ(json_escape("tab\tend"), "tab\\tend");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_EQ(cache.get(1).value(), 10);  // promotes 1
+  cache.put(3, 30);                     // evicts 2
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(cache.get(1).value(), 10);
+  EXPECT_EQ(cache.get(3).value(), 30);
+  EXPECT_EQ(cache.evictions(), 1u);
+  cache.put(1, 11);  // overwrite keeps size
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.get(1).value(), 11);
+  EXPECT_TRUE(cache.erase(3));
+  EXPECT_FALSE(cache.erase(3));
+}
+
+TEST(ShardedLruCache, CountsHitsAcrossThreads) {
+  ShardedLruCache<int, int> cache(64, 4);
+  for (int i = 0; i < 32; ++i) cache.put(i, i * 2);
+  std::vector<std::thread> threads;
+  std::atomic<int> found{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 32; ++i) {
+        if (auto v = cache.get(i); v && *v == i * 2)
+          found.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(found.load(), 4 * 32);
+  EXPECT_EQ(cache.hits(), 4u * 32u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_GT(cache.hit_rate(), 0.99);
+}
+
+TEST(ZipfGenerator, SkewsTowardLowRanksAndIsDeterministic) {
+  ZipfGenerator zipf(100, 1.1);
+  Rng rng_a(7), rng_b(7);
+  std::vector<std::size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t rank = zipf(rng_a);
+    ASSERT_LT(rank, 100u);
+    ++counts[rank];
+    EXPECT_EQ(zipf(rng_b), rank);  // deterministic given the Rng
+  }
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 20000 / 20);  // rank 0 well above uniform share
+  // CDF is monotone and complete.
+  EXPECT_DOUBLE_EQ(zipf.cdf(99), 1.0);
+  EXPECT_LT(zipf.cdf(0), 1.0);
+  EXPECT_GT(zipf.cdf(0), zipf.cdf(1) - zipf.cdf(0));  // mass decreasing
+
+  ZipfGenerator uniform(4, 0.0);
+  EXPECT_NEAR(uniform.cdf(0), 0.25, 1e-12);
 }
 
 }  // namespace

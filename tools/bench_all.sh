@@ -7,6 +7,7 @@
 #   bench_kernels.sh  ->  BENCH_kernels.json   (fast-ML-substrate kernels)
 #   bench_sim.sh      ->  BENCH_sim.json       (archive-scale event engine)
 #   bench_obs.sh      ->  BENCH_obs.json       (recording/rollup/bus overhead)
+#   bench_serve.sh    ->  BENCH_serve.json     (sharded serving layer)
 #
 # All suites share one Release build tree (bench_kernels.sh configures it
 # with CMAKE_BUILD_TYPE=Release and refuses to snapshot non-Release numbers;
@@ -43,4 +44,13 @@ fi
 echo "=== bench_all: obs recording overhead ==="
 "${repo_root}/tools/bench_obs.sh" "${build_dir}"
 
-echo "bench_all: wrote BENCH_kernels.json BENCH_sim.json BENCH_obs.json"
+echo "=== bench_all: serving layer ==="
+if [[ -n "${quick}" ]]; then
+  "${repo_root}/tools/bench_serve.sh" "${build_dir}" \
+      "${repo_root}/BENCH_serve.json" --quick
+else
+  "${repo_root}/tools/bench_serve.sh" "${build_dir}"
+fi
+
+echo "bench_all: wrote BENCH_kernels.json BENCH_sim.json BENCH_obs.json" \
+     "BENCH_serve.json"

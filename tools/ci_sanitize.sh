@@ -26,7 +26,10 @@
 # The int8 smoke gate (tools/ci_int8_smoke.sh) pins the quantized inference
 # stack: int8 GEMM and encode speedup floors, fused-vs-layers bitwise
 # identity, the 42-class agreement floor, and the tile-budget bound; skip
-# with MFW_SKIP_INT8=1.
+# with MFW_SKIP_INT8=1. The serve smoke gate (tools/ci_serve_smoke.sh) pins
+# the sharded serving layer: oracle-identical query answers, the cache-hit
+# floor, CLI flag validation, and a TSan run of the lock-free
+# read-during-ingest path; skip with MFW_SKIP_SERVE=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -71,4 +74,8 @@ fi
 
 if [[ "${MFW_SKIP_INT8:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_int8_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_SERVE:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_serve_smoke.sh"
 fi

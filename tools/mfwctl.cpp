@@ -37,6 +37,16 @@
 //       Run the policy-sweep laboratory over policy x facility-count x load
 //       and write Pareto data (makespan, utilization, p99 queue wait) as
 //       mfw.policies/v1 JSON (default BENCH_policies.json).
+//   mfwctl serve-bench [--tiles <n>] [--shards <n>] [--threads <n>]
+//                [--users <n>] [--requests <n>] [--days <n>] [--cache <n>]
+//                [--seed <n>] [--check] [--json] [--out <path>] [--quiet]
+//       Build a sharded serving catalog (DESIGN.md §14) over a synthetic
+//       labelled-tile archive and drive it with the Zipf client simulator.
+//       --check first replays random queries of every kind against the
+//       brute-force archive-scan oracle (exit 1 on any mismatch) and embeds
+//       an example mfw.serve/v1 response. --json emits the bench document
+//       (schema mfw.serve/v1) on stdout; --cache 0 disables the result
+//       cache.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -56,8 +66,14 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/eoml_workflow.hpp"
+#include "serve/catalog.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
 #include "util/bytes.hpp"
+#include "util/json_writer.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -75,6 +91,9 @@ int usage() {
                "  mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]\n"
                "  mfwctl sweep <spec.yaml> | --builtin [--policies a,b] [--facilities 1,2]\n"
                "               [--loads 1,2] [--out <json>] [--quiet]\n"
+               "  mfwctl serve-bench [--tiles <n>] [--shards <n>] [--threads <n>] [--users <n>]\n"
+               "               [--requests <n>] [--days <n>] [--cache <n>] [--seed <n>]\n"
+               "               [--check] [--json] [--out <path>] [--quiet]\n"
                "  mfwctl registry\n"
                "  mfwctl facilities\n");
   return 2;
@@ -115,6 +134,19 @@ const std::vector<FlagSpec>* flags_for(const std::string& command) {
         {"--policies", true},
         {"--facilities", true},
         {"--loads", true},
+        {"--out", true},
+        {"--quiet", false}}},
+      {"serve-bench",
+       {{"--tiles", true},
+        {"--shards", true},
+        {"--threads", true},
+        {"--users", true},
+        {"--requests", true},
+        {"--days", true},
+        {"--cache", true},
+        {"--seed", true},
+        {"--check", false},
+        {"--json", false},
         {"--out", true},
         {"--quiet", false}}},
       {"registry", {}},
@@ -457,6 +489,135 @@ int main(int argc, char** argv) {
       std::printf("sweep results written to %s (%zu points)\n", out.c_str(),
                   results.size());
       return 0;
+    }
+    if (command == "serve-bench") {
+      const auto int_flag = [&](const char* flag, long fallback) {
+        const auto v = flag_value(flag);
+        return v.empty() ? fallback : std::atol(v.c_str());
+      };
+      const auto tiles = static_cast<std::size_t>(int_flag("--tiles", 200000));
+      const int days = static_cast<int>(int_flag("--days", 30));
+      const auto seed =
+          static_cast<std::uint64_t>(int_flag("--seed", 2024));
+      const auto cache_capacity =
+          static_cast<std::size_t>(int_flag("--cache", 8192));
+      constexpr int kNumClasses = 42;
+
+      const auto records = serve::synth_records(tiles, days, kNumClasses, seed);
+      serve::CatalogConfig cat_config;
+      cat_config.shard_count =
+          static_cast<std::size_t>(std::max(1L, int_flag("--shards", 32)));
+      serve::Catalog catalog(cat_config);
+      util::ThreadPool pool(std::max(2u, std::thread::hardware_concurrency()));
+      catalog.ingest(records, &pool);
+      catalog.seal();
+
+      // Oracle spot check: every query kind replayed against a brute-force
+      // scan of the same records.
+      std::size_t checked = 0, mismatched = 0;
+      std::string example_response;
+      if (has_flag("--check")) {
+        util::Rng rng(seed ^ 0x5eedULL);
+        for (int q = 0; q < 200; ++q) {
+          serve::QueryRequest request;
+          request.kind = static_cast<serve::QueryKind>(q % 4);
+          request.lat = rng.uniform(-90.0, 90.0);
+          request.lon = rng.uniform(-180.0, 180.0);
+          request.lat_lo = rng.uniform(-90.0, 40.0);
+          request.lat_hi = request.lat_lo + rng.uniform(0.0, 50.0);
+          request.lon_lo = rng.uniform(-180.0, 100.0);
+          request.lon_hi = request.lon_lo + rng.uniform(0.0, 80.0);
+          request.label = static_cast<int>(rng.uniform_int(0, kNumClasses - 1));
+          request.day_lo = static_cast<int>(rng.uniform_int(1, days));
+          request.day_hi = std::min(
+              days, request.day_lo + static_cast<int>(rng.uniform_int(0, 10)));
+          request.sample_limit = 4;
+          const auto got = catalog.query(request);
+          const auto want = serve::brute_force_query(records, request, catalog);
+          ++checked;
+          bool ok = got.matched == want.matched &&
+                    got.classes.size() == want.classes.size();
+          for (std::size_t i = 0; ok && i < got.classes.size(); ++i) {
+            ok = got.classes[i].label == want.classes[i].label &&
+                 got.classes[i].stats.count == want.classes[i].stats.count &&
+                 std::abs(got.classes[i].stats.mean_cloud_fraction -
+                          want.classes[i].stats.mean_cloud_fraction) <= 1e-9;
+          }
+          if (!ok) {
+            ++mismatched;
+            std::fprintf(stderr,
+                         "error: oracle mismatch on %s query (matched %llu "
+                         "vs %llu)\n",
+                         serve::kind_name(request.kind),
+                         static_cast<unsigned long long>(got.matched),
+                         static_cast<unsigned long long>(want.matched));
+          }
+          if (q == 2)  // keep one kClass response as the schema example
+            example_response = serve::to_json(request, got);
+        }
+        if (!has_flag("--quiet"))
+          std::printf("oracle check: %zu queries, %zu mismatches\n", checked,
+                      mismatched);
+      }
+
+      serve::ServeConfig svc_config;
+      svc_config.enable_cache = cache_capacity > 0;
+      svc_config.cache_capacity = std::max<std::size_t>(1, cache_capacity);
+      serve::ServeService service(catalog, svc_config);
+      serve::LoadConfig load;
+      load.users = static_cast<std::size_t>(int_flag("--users", 100000));
+      load.requests = static_cast<std::size_t>(int_flag("--requests", 200000));
+      load.threads = static_cast<std::size_t>(int_flag("--threads", 4));
+      load.day_hi = days;
+      load.num_classes = kNumClasses;
+      load.seed = seed;
+      const auto result = serve::run_load(service, load);
+
+      if (!has_flag("--quiet")) {
+        std::printf(
+            "serve-bench: %zu tiles, %zu shards, %zu threads, %zu requests\n",
+            catalog.tile_count(), catalog.shard_count(), result.threads,
+            result.requests);
+        std::printf(
+            "  qps=%.0f p50=%.1fus p99=%.1fus p999=%.1fus hit_rate=%.3f\n",
+            result.qps, result.all.p50_us, result.all.p99_us,
+            result.all.p999_us, result.hit_rate);
+      }
+
+      util::JsonWriter w;
+      w.begin_object();
+      w.field("schema", "mfw.serve/v1");
+      w.field("doc", "serve_bench");
+      w.field("tiles", catalog.tile_count());
+      w.field("shards", catalog.shard_count());
+      w.field("cache_capacity", cache_capacity);
+      if (has_flag("--check")) {
+        w.key("check", "\n ").begin_object();
+        w.field("queries", checked);
+        w.field("mismatches", mismatched);
+        w.end_object();
+      }
+      w.key("load", "\n ");
+      w.raw(result.to_json());
+      if (!example_response.empty()) {
+        std::string trimmed = example_response;
+        while (!trimmed.empty() && trimmed.back() == '\n') trimmed.pop_back();
+        w.key("example_response", "\n ").raw(trimmed);
+      }
+      w.end_object().raw("\n");
+      const std::string doc = w.take();
+      if (has_flag("--json")) std::fputs(doc.c_str(), stdout);
+      if (const auto out = flag_value("--out"); !out.empty()) {
+        std::ofstream file(out, std::ios::binary);
+        if (!file) {
+          std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+          return 1;
+        }
+        file << doc;
+        if (!has_flag("--quiet"))
+          std::printf("serve-bench document written to %s\n", out.c_str());
+      }
+      return mismatched == 0 ? 0 : 1;
     }
     if (command == "registry") {
       federation::PipelineRegistry registry;
