@@ -14,6 +14,9 @@
 //                 same rollup, with one subscriber drained every 4096 spans —
 //                 the live-watch producer path (DESIGN.md §12): event copy,
 //                 bounded-queue fan-out, drop accounting
+//   stats_flight  RetentionMode::kStatsOnly + FlightRecorder sink — the
+//                 always-on black box (DESIGN.md §15): one ring-slot copy
+//                 per event, newest overwriting oldest at fixed memory
 //
 // Usage: micro_obs [--spans N] [--out <path>]
 #include <chrono>
@@ -25,6 +28,7 @@
 
 #include <vector>
 
+#include "obs/flight.hpp"
 #include "obs/rollup.hpp"
 #include "obs/trace.hpp"
 #include "obs/watch.hpp"
@@ -145,12 +149,23 @@ int main(int argc, char** argv) {
   const auto stats_bus = drive(bus_rec, "stats_bus", spans, &bus, sub);
   bus_rec.set_span_sink(nullptr);
 
-  for (const auto& r : {disabled, full, stats, stats_bus})
+  // stats-only retention + flight ring: the always-on black box. Every span
+  // costs one ring-slot copy regardless of how long the campaign runs.
+  obs::TraceRecorder flight_rec;
+  flight_rec.set_enabled(true);
+  flight_rec.set_retention({obs::RetentionMode::kStatsOnly, 64, 4096});
+  obs::FlightRecorder flight;
+  flight_rec.set_span_sink(&flight);
+  const auto stats_flight = drive(flight_rec, "stats_flight", spans);
+  flight_rec.set_span_sink(nullptr);
+
+  for (const auto& r : {disabled, full, stats, stats_bus, stats_flight})
     std::printf("%-14s %10.4f s  %14.0f spans/s  retained %zu\n",
                 r.mode.c_str(), r.wall_s, r.spans_per_s, r.retained_spans);
   const double full_ns = 1e9 * full.wall_s / spans;
   const double stats_ns = 1e9 * stats.wall_s / spans;
   const double bus_ns = 1e9 * stats_bus.wall_s / spans;
+  const double flight_ns = 1e9 * stats_flight.wall_s / spans;
   std::printf("per-pair cost: full %.0f ns, stats+rollup %.0f ns "
               "(rollup adds %.1f%%), stats+bus %.0f ns "
               "(bus adds %.1f%% over rollup; %llu published, %llu dropped)\n",
@@ -158,6 +173,11 @@ int main(int argc, char** argv) {
               bus_ns, 100.0 * (bus_ns - stats_ns) / stats_ns,
               static_cast<unsigned long long>(bus.published()),
               static_cast<unsigned long long>(bus.dropped_total()));
+  std::printf("flight ring: %.0f ns/pair, %zu of %llu events retained "
+              "(%llu overwritten)\n",
+              flight_ns, flight.size(),
+              static_cast<unsigned long long>(flight.seen()),
+              static_cast<unsigned long long>(flight.overwritten()));
   std::printf("bounded-mode memory: %zu retained of %zu observed spans, "
               "%zu rollup series\n",
               stats.retained_spans, stats.observed_spans,
@@ -169,19 +189,24 @@ int main(int argc, char** argv) {
   json += "    \"disabled\": " + mode_json(disabled) + ",\n";
   json += "    \"full\": " + mode_json(full) + ",\n";
   json += "    \"stats_rollup\": " + mode_json(stats) + ",\n";
-  json += "    \"stats_bus\": " + mode_json(stats_bus) + "\n  },\n";
+  json += "    \"stats_bus\": " + mode_json(stats_bus) + ",\n";
+  json += "    \"stats_flight\": " + mode_json(stats_flight) + "\n  },\n";
   {
-    char buf[384];
+    char buf[512];
     std::snprintf(buf, sizeof buf,
                   "  \"overhead\": {\"full_pair_ns\": %.1f, "
                   "\"stats_rollup_pair_ns\": %.1f, "
                   "\"stats_bus_pair_ns\": %.1f, "
+                  "\"stats_flight_pair_ns\": %.1f, "
                   "\"rollup_vs_full\": %.3f, \"bus_vs_rollup\": %.3f, "
-                  "\"bus_dropped\": %llu}\n",
-                  full_ns, stats_ns, bus_ns,
+                  "\"flight_vs_rollup\": %.3f, "
+                  "\"bus_dropped\": %llu, \"flight_overwritten\": %llu}\n",
+                  full_ns, stats_ns, bus_ns, flight_ns,
                   stats_ns / std::max(full_ns, 1e-9),
                   bus_ns / std::max(stats_ns, 1e-9),
-                  static_cast<unsigned long long>(bus.dropped_total()));
+                  flight_ns / std::max(stats_ns, 1e-9),
+                  static_cast<unsigned long long>(bus.dropped_total()),
+                  static_cast<unsigned long long>(flight.overwritten()));
     json += buf;
   }
   json += "}\n";

@@ -68,6 +68,10 @@ void export_to_trace(const ProvenanceLog& log, obs::TraceRecorder& recorder) {
                       run.finished_at, std::move(run_args));
     for (const auto& state : run.states) {
       obs::Args args = {{"kind", state.kind}, {"status", state.status}};
+      // Thread the granule identity down to the state spans so per-granule
+      // lineage (obs/lineage.hpp) sees the encode/label hops, not just the
+      // run envelope.
+      if (!run.granule.empty()) args.emplace_back("granule", run.granule);
       if (state.kind == "action")
         args.emplace_back("orchestration_overhead_s",
                           std::to_string(state.orchestration_overhead()));

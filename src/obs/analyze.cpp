@@ -125,7 +125,8 @@ std::vector<ProcessData> collect(const Snapshot& snapshot) {
     if (span.category == "stage") {
       const TraceSpan*& slot = data.stage_spans[span.name];
       if (!slot || span.duration() > slot->duration()) slot = &span;
-    } else if (span.category == "compute" || span.category == "download") {
+    } else if (span.category == "compute" || span.category == "download" ||
+               span.category == "serve") {
       const std::string stage = track_stage(track.name);
       data.task_groups[stage].push_back(task);
       if (span.category == "compute" && stage == "preprocess") {

@@ -9,8 +9,9 @@
 // and recognises the track/category/arg naming used by the instrumented
 // modules (stages/<stage> stage spans, <stage>/node<i>/w<j> compute spans
 // with queue_wait_s, download/w<k> download spans with attempts, flows/run<n>
-// provenance bridges, granule.ready instants, and the "granule" identity arg
-// threaded through every stage). It has no dependency on pipeline/flow types,
+// provenance bridges, serve/api query spans, granule.ready instants, and the
+// "granule" identity arg threaded through every stage). It has no dependency
+// on pipeline/flow types,
 // so it works on synthetic traces in tests and on any future workflow that
 // follows the same conventions.
 #pragma once

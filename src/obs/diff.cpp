@@ -1,0 +1,491 @@
+#include "obs/diff.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/json_writer.hpp"
+#include "util/jsonlite.hpp"
+
+namespace mfw::obs {
+namespace {
+
+using util::JsonValue;
+
+constexpr std::string_view kReportSchema = "mfw.trace_report/v1";
+constexpr std::string_view kDiffSchema = "mfw.trace_diff/v1";
+
+std::string fmt(const char* format, double a, double b = 0.0,
+                double c = 0.0) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, a, b, c);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// mfw.trace_report/v1 reader
+// ---------------------------------------------------------------------------
+
+ProcessReport parse_process(const JsonValue& p) {
+  ProcessReport out;
+  out.process = p.str("process");
+  out.start = p.num("start");
+  out.end = p.num("end");
+  out.dominant_stage = p.str("dominant_stage");
+  out.spans = static_cast<std::size_t>(p.num("spans"));
+  out.instants = static_cast<std::size_t>(p.num("instants"));
+  for (const JsonValue& s : p.items("stages")) {
+    StageStat stat;
+    stat.stage = s.str("stage");
+    stat.start = s.num("start");
+    stat.end = s.num("end");
+    stat.tasks = static_cast<std::size_t>(s.num("tasks"));
+    stat.workers = static_cast<std::size_t>(s.num("workers"));
+    stat.busy_s = s.num("busy_s");
+    stat.utilization = s.num("utilization");
+    stat.p50 = s.num("p50");
+    stat.p99 = s.num("p99");
+    stat.max = s.num("max");
+    stat.queue_p50 = s.num("queue_p50");
+    stat.queue_p99 = s.num("queue_p99");
+    stat.queue_max = s.num("queue_max");
+    out.stages.push_back(std::move(stat));
+  }
+  for (const JsonValue& n : p.items("nodes")) {
+    NodeStat node;
+    node.stage = n.str("stage");
+    node.node = n.str("node");
+    node.workers = static_cast<std::size_t>(n.num("workers"));
+    node.tasks = static_cast<std::size_t>(n.num("tasks"));
+    node.busy_s = n.num("busy_s");
+    node.utilization = n.num("utilization");
+    out.nodes.push_back(std::move(node));
+  }
+  if (const JsonValue* cp = p.find("critical_path")) {
+    out.critical_path.makespan = cp->num("makespan");
+    out.critical_path.length = cp->num("length");
+    out.critical_path.coverage = cp->num("coverage");
+    out.critical_path.dominant_stage = cp->str("dominant_stage");
+    for (const JsonValue& e : cp->items("by_stage"))
+      out.critical_path.by_stage.emplace_back(e.str("stage"),
+                                              e.num("seconds"));
+    for (const JsonValue& seg : cp->items("segments")) {
+      PathSegment segment;
+      segment.kind = seg.str("kind");
+      segment.detail = seg.str("detail");
+      segment.granule = seg.str("granule");
+      segment.start = seg.num("start");
+      segment.end = seg.num("end");
+      out.critical_path.segments.push_back(std::move(segment));
+    }
+  }
+  for (const JsonValue& g : p.items("stragglers")) {
+    StragglerGroup group;
+    group.group = g.str("group");
+    group.count = static_cast<std::size_t>(g.num("count"));
+    group.median = g.num("median");
+    group.flagged_count = static_cast<std::size_t>(g.num("flagged_count"));
+    for (const JsonValue& f : g.items("flagged")) {
+      Straggler straggler;
+      straggler.group = group.group;
+      straggler.name = f.str("name");
+      straggler.track = f.str("track");
+      straggler.granule = f.str("granule");
+      straggler.attribution = f.str("attribution");
+      straggler.duration = f.num("duration");
+      straggler.ratio = f.num("ratio");
+      straggler.queue_wait = f.num("queue_wait");
+      group.flagged.push_back(std::move(straggler));
+    }
+    out.stragglers.push_back(std::move(group));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// diff internals
+// ---------------------------------------------------------------------------
+
+const StageStat* stage_of(const ProcessReport& report,
+                          const std::string& stage) {
+  for (const auto& s : report.stages)
+    if (s.stage == stage) return &s;
+  return nullptr;
+}
+
+std::map<std::string, double> path_by_stage(const ProcessReport& report) {
+  std::map<std::string, double> out;
+  for (const auto& [stage, seconds] : report.critical_path.by_stage)
+    out[stage] += seconds;
+  return out;
+}
+
+/// Node whose busy time grew most within `stage`; empty name when no node
+/// grew. Nodes are aligned by (stage, node) name.
+std::pair<std::string, double> worst_node_shift(const ProcessReport& a,
+                                                const ProcessReport& b,
+                                                const std::string& stage) {
+  std::map<std::string, double> base;
+  for (const auto& node : a.nodes)
+    if (node.stage == stage) base[node.node] = node.busy_s;
+  std::string worst;
+  double worst_delta = 0.0;
+  for (const auto& node : b.nodes) {
+    if (node.stage != stage) continue;
+    const auto it = base.find(node.node);
+    const double delta = node.busy_s - (it == base.end() ? 0.0 : it->second);
+    if (delta > worst_delta) {
+      worst_delta = delta;
+      worst = node.node;
+    }
+  }
+  return {worst, worst_delta};
+}
+
+/// Most common flagged-straggler cause for `group`; empty when none.
+std::string dominant_cause(const ProcessReport& report,
+                           const std::string& group) {
+  std::map<std::string, std::size_t> votes;
+  for (const auto& g : report.stragglers) {
+    if (g.group != group) continue;
+    for (const auto& s : g.flagged) ++votes[s.attribution];
+  }
+  std::string best;
+  std::size_t best_votes = 0;
+  for (const auto& [cause, count] : votes)
+    if (count > best_votes) best = cause, best_votes = count;
+  return best;
+}
+
+std::size_t flagged_count(const ProcessReport& report,
+                          const std::string& group) {
+  for (const auto& g : report.stragglers)
+    if (g.group == group) return g.flagged_count;
+  return 0;
+}
+
+/// Stage-level supporting evidence for an attribution sentence.
+std::string stage_evidence(const ProcessReport& a, const ProcessReport& b,
+                           const std::string& stage, bool joined,
+                           bool left) {
+  std::ostringstream os;
+  const StageStat* sa = stage_of(a, stage);
+  const StageStat* sb = stage_of(b, stage);
+  if (sa && sb && sa->tasks && sb->tasks) {
+    if (sa->p99 > 0.0 && std::abs(sb->p99 - sa->p99) > 1e-9)
+      os << fmt("p99 %+.0f%% (%.2fs -> %.2fs)",
+                100.0 * (sb->p99 - sa->p99) / sa->p99, sa->p99, sb->p99);
+    else if (sa->p99 == 0.0 && sb->p99 > 0.0)
+      os << fmt("p99 %.2fs (was 0)", sb->p99);
+    const double queue_delta = sb->queue_p99 - sa->queue_p99;
+    if (std::abs(queue_delta) > 1e-6) {
+      if (os.tellp() > 0) os << ", ";
+      os << fmt("queue p99 %+.2fs", queue_delta);
+    }
+  }
+  const auto [node, node_delta] = worst_node_shift(a, b, stage);
+  if (!node.empty() && node_delta > 1e-6) {
+    if (os.tellp() > 0) os << ", ";
+    os << "busiest shift on " << node << fmt(" (%+.1fs busy)", node_delta);
+  }
+  if (joined) {
+    if (os.tellp() > 0) os << ", ";
+    os << "now on critical path";
+  } else if (left) {
+    if (os.tellp() > 0) os << ", ";
+    os << "left the critical path";
+  }
+  return os.str();
+}
+
+/// Critical-path seconds spent waiting (queue / submit / monitor waits).
+double path_wait_seconds(const ProcessReport& report) {
+  double total = 0.0;
+  for (const auto& segment : report.critical_path.segments)
+    if (segment.kind == "queue-wait" || segment.kind == "submit-wait" ||
+        segment.kind == "monitor-wait")
+      total += segment.duration();
+  return total;
+}
+
+ProcessDiff diff_process(const ProcessReport& a, const ProcessReport& b,
+                         const DiffOptions& options) {
+  ProcessDiff diff;
+  diff.process_a = a.process;
+  diff.process_b = b.process;
+  diff.makespan_a = a.makespan();
+  diff.makespan_b = b.makespan();
+  diff.delta_s = diff.makespan_b - diff.makespan_a;
+  const double noise =
+      std::max(options.noise_abs_s, options.noise_rel * diff.makespan_a);
+  diff.regression = diff.delta_s > noise;
+  diff.improvement = diff.delta_s < -noise;
+  const bool meaningful = diff.regression || diff.improvement;
+
+  // Stage attribution: the per-stage critical-path deltas decompose the
+  // path-length delta exactly (coverage ≈ 1 makes that the makespan delta).
+  const auto path_a = path_by_stage(a);
+  const auto path_b = path_by_stage(b);
+  std::set<std::string> stages;
+  for (const auto& [stage, seconds] : path_a) stages.insert(stage);
+  for (const auto& [stage, seconds] : path_b) stages.insert(stage);
+  double other = 0.0;
+  for (const std::string& stage : stages) {
+    const auto ia = path_a.find(stage);
+    const auto ib = path_b.find(stage);
+    const double sec_a = ia == path_a.end() ? 0.0 : ia->second;
+    const double sec_b = ib == path_b.end() ? 0.0 : ib->second;
+    const double delta = sec_b - sec_a;
+    diff.attributed_s += delta;
+    if (std::abs(delta) < options.rank_min_s) {
+      other += delta;
+      continue;
+    }
+    DiffFinding finding;
+    finding.kind = "stage";
+    finding.stage = stage;
+    finding.delta_s = delta;
+    if (meaningful && std::abs(diff.delta_s) > 0.0)
+      finding.share = delta / diff.delta_s;
+    std::ostringstream os;
+    os << fmt("%+.2fs on critical path", delta);
+    const std::string evidence = stage_evidence(
+        a, b, stage, /*joined=*/ia == path_a.end() && sec_b > 0.0,
+        /*left=*/ib == path_b.end() && sec_a > 0.0);
+    if (!evidence.empty()) os << "; " << evidence;
+    finding.detail = os.str();
+    diff.findings.push_back(std::move(finding));
+  }
+  if (std::abs(other) >= options.rank_min_s) {
+    DiffFinding finding;
+    finding.kind = "stage";
+    finding.stage = "other";
+    finding.delta_s = other;
+    if (meaningful && std::abs(diff.delta_s) > 0.0)
+      finding.share = other / diff.delta_s;
+    finding.detail = fmt("%+.2fs across stages below the ranking floor",
+                         other);
+    diff.findings.push_back(std::move(finding));
+  }
+  std::sort(diff.findings.begin(), diff.findings.end(),
+            [](const DiffFinding& x, const DiffFinding& y) {
+              if (std::abs(x.delta_s) != std::abs(y.delta_s))
+                return std::abs(x.delta_s) > std::abs(y.delta_s);
+              return x.stage < y.stage;
+            });
+  if (meaningful && std::abs(diff.delta_s) > 0.0)
+    diff.attributed_share = diff.attributed_s / diff.delta_s;
+
+  // Supporting evidence, ranked after the attribution proper.
+  std::vector<DiffFinding> evidence;
+  const double wait_a = path_wait_seconds(a);
+  const double wait_b = path_wait_seconds(b);
+  if (std::abs(wait_b - wait_a) >= options.rank_min_s) {
+    DiffFinding finding;
+    finding.kind = "queue-wait";
+    finding.delta_s = wait_b - wait_a;
+    finding.detail =
+        fmt("critical-path wait time %.2fs -> %.2fs (%+.2fs; included in "
+            "the stage attribution above)",
+            wait_a, wait_b, wait_b - wait_a);
+    evidence.push_back(std::move(finding));
+  }
+  std::set<std::string> groups;
+  for (const auto& g : a.stragglers) groups.insert(g.group);
+  for (const auto& g : b.stragglers) groups.insert(g.group);
+  for (const std::string& group : groups) {
+    const std::size_t count_a = flagged_count(a, group);
+    const std::size_t count_b = flagged_count(b, group);
+    const std::string cause_a = dominant_cause(a, group);
+    const std::string cause_b = dominant_cause(b, group);
+    if (count_a == count_b && cause_a == cause_b) continue;
+    DiffFinding finding;
+    finding.kind = "straggler-shift";
+    finding.stage = group;
+    std::ostringstream os;
+    os << "stragglers " << count_a << " -> " << count_b;
+    if (cause_a != cause_b && !(cause_a.empty() && cause_b.empty()))
+      os << ", dominant cause "
+         << (cause_a.empty() ? "none" : cause_a) << " -> "
+         << (cause_b.empty() ? "none" : cause_b);
+    finding.detail = os.str();
+    evidence.push_back(std::move(finding));
+  }
+  std::sort(evidence.begin(), evidence.end(),
+            [](const DiffFinding& x, const DiffFinding& y) {
+              if (std::abs(x.delta_s) != std::abs(y.delta_s))
+                return std::abs(x.delta_s) > std::abs(y.delta_s);
+              return x.stage < y.stage;
+            });
+  for (auto& finding : evidence) diff.findings.push_back(std::move(finding));
+
+  // Verdict.
+  const DiffFinding* top = nullptr;
+  for (const auto& finding : diff.findings)
+    if (finding.kind == "stage" && finding.stage != "other") {
+      top = &finding;
+      break;
+    }
+  std::ostringstream verdict;
+  if (!meaningful) {
+    verdict << fmt("no regression: makespan %.2fs -> %.2fs (%+.2fs)",
+                   diff.makespan_a, diff.makespan_b, diff.delta_s);
+  } else if (diff.regression) {
+    if (top)
+      verdict << top->stage
+              << fmt(" %+.2fs (%.0f%% of the %+.2fs makespan delta)",
+                     top->delta_s, 100.0 * top->share, diff.delta_s)
+              << (top->detail.empty() ? "" : ": ") << top->detail;
+    else
+      verdict << fmt("regression: makespan %.2fs -> %.2fs (%+.2fs), no "
+                     "stage attribution available",
+                     diff.makespan_a, diff.makespan_b, diff.delta_s);
+  } else {
+    verdict << fmt("improvement: makespan %.2fs -> %.2fs (%+.2fs)",
+                   diff.makespan_a, diff.makespan_b, diff.delta_s);
+    if (top)
+      verdict << "; largest gain " << top->stage
+              << fmt(" %+.2fs", top->delta_s);
+  }
+  diff.verdict = verdict.str();
+  return diff;
+}
+
+}  // namespace
+
+TraceReport parse_trace_report(std::string_view text) {
+  JsonValue doc;
+  try {
+    doc = util::parse_json(text);
+  } catch (const util::JsonError& error) {
+    throw ReportParseError(
+        std::string(error.truncated() ? "truncated report JSON: "
+                                      : "malformed report JSON: ") +
+            error.what(),
+        error.truncated());
+  }
+  if (!doc.is_object())
+    throw ReportParseError("report JSON is not an object", false);
+  const std::string schema = doc.str("schema");
+  if (schema != kReportSchema)
+    throw ReportParseError(
+        "unsupported report schema \"" + schema + "\" (expected " +
+            std::string(kReportSchema) + ")",
+        false);
+  const JsonValue* processes = doc.find("processes");
+  if (!processes || !processes->is_array())
+    throw ReportParseError(
+        "report JSON has no \"processes\" array (truncated or not a trace "
+        "report?)",
+        false);
+  TraceReport report;
+  for (const JsonValue& p : processes->array) {
+    if (!p.is_object())
+      throw ReportParseError("process entry is not an object", false);
+    report.processes.push_back(parse_process(p));
+  }
+  return report;
+}
+
+bool TraceDiff::regression() const {
+  for (const auto& process : processes)
+    if (process.regression) return true;
+  return false;
+}
+
+TraceDiff diff_reports(const TraceReport& a, const TraceReport& b,
+                       const DiffOptions& options) {
+  TraceDiff diff;
+  // Align by process name first (the normal case: same workflow rerun),
+  // then pair leftovers in order so renamed runs still diff.
+  std::vector<bool> used(b.processes.size(), false);
+  std::vector<std::pair<const ProcessReport*, const ProcessReport*>> pairs;
+  for (const auto& pa : a.processes) {
+    const ProcessReport* match = nullptr;
+    for (std::size_t i = 0; i < b.processes.size(); ++i)
+      if (!used[i] && b.processes[i].process == pa.process) {
+        used[i] = true;
+        match = &b.processes[i];
+        break;
+      }
+    pairs.emplace_back(&pa, match);
+  }
+  std::size_t next_unused = 0;
+  for (auto& [pa, pb] : pairs) {
+    if (pb) continue;
+    while (next_unused < b.processes.size() && used[next_unused])
+      ++next_unused;
+    if (next_unused < b.processes.size()) {
+      used[next_unused] = true;
+      pb = &b.processes[next_unused];
+    }
+  }
+  for (const auto& [pa, pb] : pairs)
+    if (pb) diff.processes.push_back(diff_process(*pa, *pb, options));
+  return diff;
+}
+
+std::string TraceDiff::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("schema", kDiffSchema);
+  w.field("regression", regression());
+  w.key("processes").begin_array();
+  for (const auto& p : processes) {
+    w.item("\n ").begin_object();
+    w.field("process_a", p.process_a);
+    w.field("process_b", p.process_b);
+    w.field("makespan_a", p.makespan_a);
+    w.field("makespan_b", p.makespan_b);
+    w.field("delta_s", p.delta_s);
+    w.field("regression", p.regression);
+    w.field("improvement", p.improvement);
+    w.field("attributed_s", p.attributed_s);
+    w.field("attributed_share", p.attributed_share);
+    w.field("verdict", p.verdict);
+    w.key("findings", "\n  ").begin_array();
+    for (const auto& f : p.findings) {
+      w.item("\n   ").begin_object();
+      w.field("kind", f.kind);
+      w.field("stage", f.stage);
+      w.field("delta_s", f.delta_s);
+      w.field("share", f.share);
+      w.field("detail", f.detail);
+      w.end_object();
+    }
+    w.end_array("\n  ").end_object();
+  }
+  w.end_array("\n").end_object();
+  return w.take();
+}
+
+std::string TraceDiff::render_text() const {
+  std::ostringstream os;
+  if (processes.empty()) {
+    os << "trace diff: no aligned processes\n";
+    return os.str();
+  }
+  for (const auto& p : processes) {
+    os << "process " << p.process_a;
+    if (p.process_b != p.process_a) os << " -> " << p.process_b;
+    os << ": " << p.verdict << "\n";
+    for (const auto& f : p.findings) {
+      char line[512];
+      if (f.kind == "stage")
+        std::snprintf(line, sizeof line, "  %-12s %+9.2fs  (%5.1f%%)  %s\n",
+                      f.stage.c_str(), f.delta_s, 100.0 * f.share,
+                      f.detail.c_str());
+      else
+        std::snprintf(line, sizeof line, "  [%s] %s%s%s\n", f.kind.c_str(),
+                      f.stage.c_str(), f.stage.empty() ? "" : ": ",
+                      f.detail.c_str());
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace mfw::obs

@@ -1,0 +1,172 @@
+// Per-granule lineage (DESIGN.md §15): the causal chain each granule
+// travelled through the multi-facility pipeline — download of its member
+// files, triplet assembly ("granule.ready"), preprocess, the flow-engine
+// encode/label states, inference, and serve-side touches — reconstructed
+// from TraceRecorder snapshots by the same track/category/arg conventions
+// obs/analyze.hpp consumes (the "granule"/"key" identity arg threaded
+// through every instrumented stage).
+//
+// Two consumption modes, mirroring the full-trace vs rollup split:
+//
+//  - extract_lineage(): post-hoc, O(events) — walks a recorder snapshot and
+//    materialises every hop of every granule with a per-hop wait/service
+//    split (queue_wait_s when the span recorded it, otherwise the causal gap
+//    since the previous hop ended). Powers `mfwctl lineage`.
+//  - LineageRollup: a SpanSink for year-scale campaigns — per granule it
+//    keeps one fixed-size summary (first/last touch, hop counts, wait and
+//    service seconds), bounded by `max_granules`: when the table is full the
+//    oldest-completed granule is folded into whole-campaign latency/wait
+//    sketches (LogHistogram) and evicted, so memory is O(max_granules)
+//    regardless of campaign length.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/rollup.hpp"
+#include "obs/trace.hpp"
+
+namespace mfw::obs {
+
+/// One hop of a granule's causal chain, in time order.
+struct LineageHop {
+  std::string kind;    // "download" | "granule.ready" | "preprocess" |
+                       // "inference" | "flow" | "flow:<state>" | "serve" |
+                       // "<stage>" for unrecognised compute lanes
+  std::string name;    // span / instant name
+  std::string track;   // worker lane it ran on
+  double start = 0.0;
+  double end = 0.0;       // == start for instants
+  double gap_s = 0.0;     // idle time since the previous hop of this granule
+  double queue_wait_s = 0.0;  // queue_wait_s arg when recorded, else 0
+  std::string status;     // "status" arg when present ("ok", "failed", ...)
+  int attempts = 0;       // "attempts" arg when present
+
+  double service_s() const { return end - start; }
+  /// Wait charged to this hop: explicit queue wait when the span recorded
+  /// it, otherwise the causal gap since the previous hop.
+  double wait_s() const { return queue_wait_s > 0.0 ? queue_wait_s : gap_s; }
+};
+
+/// The full causal chain of one granule.
+struct GranuleLineage {
+  std::string granule;
+  std::string process;
+  std::vector<LineageHop> hops;  // time-ordered
+  double first_start = 0.0;
+  double last_end = 0.0;
+  double service_s = 0.0;  // sum of hop service times
+  double wait_s = 0.0;     // sum of hop waits
+  bool ready = false;      // saw the granule.ready assembly instant
+  bool failed = false;     // any hop reported status "failed"
+
+  /// End-to-end latency: first causal touch to last.
+  double latency_s() const {
+    return last_end > first_start ? last_end - first_start : 0.0;
+  }
+};
+
+struct LineageReport {
+  std::vector<GranuleLineage> granules;  // sorted by latency, slowest first
+
+  const GranuleLineage* find(const std::string& granule) const;
+
+  /// Machine-readable ({"schema": "mfw.lineage/v1", ...}). `max_granules`
+  /// caps the emitted chains (0 = all).
+  std::string to_json(std::size_t max_granules = 0) const;
+  /// Summary table of the slowest `top` granules.
+  std::string render_text(std::size_t top = 10) const;
+  /// Full causal timeline of one granule with the wait/service split per
+  /// hop; empty string when the granule is unknown.
+  std::string render_granule(const std::string& granule) const;
+};
+
+struct LineageOptions {
+  /// Granules whose chain is only a download (no ready/compute hop) are
+  /// usually cancelled tails; keep them unless this is set.
+  bool drop_download_only = false;
+};
+
+/// Reconstructs every granule's chain from a recorder snapshot. Convention-
+/// driven like analyze_trace(): any span or instant carrying a "granule" or
+/// "key" arg joins the chain of that granule.
+LineageReport extract_lineage(const TraceRecorder& recorder,
+                              const LineageOptions& options = {});
+
+/// Bounded-memory streaming lineage for year-scale campaigns. Attach as the
+/// recorder's SpanSink (or chain behind TelemetryBus::set_next). Thread-safe
+/// like SpanRollup: sink callbacks arrive under the recorder lock, accessors
+/// may run on another thread.
+struct LineageRollupConfig {
+  /// Live per-granule summaries kept; past this, the oldest granule is
+  /// folded into the aggregate sketches and evicted.
+  std::size_t max_granules = 65536;
+};
+
+class LineageRollup : public SpanSink {
+ public:
+  /// Fixed-size per-granule accumulator (no per-hop storage).
+  struct Summary {
+    double first_start = 0.0;
+    double last_end = 0.0;
+    double service_s = 0.0;
+    double wait_s = 0.0;
+    std::uint32_t hops = 0;
+    std::uint16_t downloads = 0;
+    std::uint16_t computes = 0;   // preprocess + inference tasks
+    std::uint16_t flow_states = 0;
+    bool ready = false;
+    bool failed = false;
+
+    double latency_s() const {
+      return last_end > first_start ? last_end - first_start : 0.0;
+    }
+  };
+
+  explicit LineageRollup(LineageRollupConfig config = {});
+
+  void on_span(const TraceTrack& track, const TraceSpan& span) override;
+  void on_instant(const TraceTrack& track,
+                  const TraceInstant& instant) override;
+
+  /// Chains a downstream sink fed every event verbatim (single sink slot on
+  /// the recorder).
+  void set_next(SpanSink* next);
+
+  std::size_t live_granules() const;
+  std::uint64_t total_granules() const;  // live + evicted
+  std::uint64_t evicted() const;
+  /// Copy of one live granule's summary; false when unknown (or evicted).
+  bool summary(const std::string& granule, Summary& out) const;
+  /// Whole-campaign end-to-end latency quantile over every granule ever
+  /// seen (live + evicted), sketch accuracy LogHistogram::kMaxRelativeError.
+  double latency_quantile(double q) const;
+  double wait_quantile(double q) const;
+
+  /// {"schema": "mfw.lineage_rollup/v1", ...}: counts, quantiles, and the
+  /// slowest `top` live granules.
+  std::string to_json(std::size_t top = 10) const;
+
+ private:
+  void touch_locked(const std::string& granule, double start, double end,
+                    double wait_s, bool is_download, bool is_compute,
+                    bool is_flow_state, bool ready, bool failed);
+  void evict_one_locked();
+  void fold_locked(const Summary& summary);
+
+  mutable std::mutex mu_;
+  LineageRollupConfig config_;
+  SpanSink* next_ = nullptr;
+  std::map<std::string, Summary> live_;
+  std::deque<std::string> order_;  // first-touch order, drives FIFO eviction
+  LogHistogram latency_hist_;  // every granule ever seen (fold on evict +
+  LogHistogram wait_hist_;     // on accessor snapshots of live granules)
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace mfw::obs

@@ -431,7 +431,7 @@ void HealthMonitor::evaluate_rule(RuleState& state, double now,
       alert.window_t0 = wt0;
       alert.at = now;
       alert.cause = attribute(rule.stage, wt0, ws);
-      alerts_.push_back(std::move(alert));
+      record_alert(std::move(alert));
     } else if (!violated && state.firing) {
       state.firing = false;
       Alert alert;
@@ -444,7 +444,7 @@ void HealthMonitor::evaluate_rule(RuleState& state, double now,
       alert.observed = observed;
       alert.window_t0 = wt0;
       alert.at = now;
-      alerts_.push_back(std::move(alert));
+      record_alert(std::move(alert));
     }
   }
   state.evaluated_to = std::max(state.evaluated_to, last);
@@ -487,7 +487,7 @@ void HealthMonitor::evaluate_anomalies(double now, bool include_open) {
         alert.window_t0 = wt0;
         alert.at = now;
         alert.cause = attribute(name, wt0, ws);
-        alerts_.push_back(std::move(alert));
+        record_alert(std::move(alert));
       } else if (!anomalous && stage.anomaly_firing) {
         stage.anomaly_firing = false;
         Alert alert;
@@ -500,7 +500,7 @@ void HealthMonitor::evaluate_anomalies(double now, bool include_open) {
         alert.observed = mean;
         alert.window_t0 = wt0;
         alert.at = now;
-        alerts_.push_back(std::move(alert));
+        record_alert(std::move(alert));
       }
       if (!anomalous) {
         // Anomalous windows are excluded from the baseline so a burst does
@@ -563,6 +563,15 @@ std::string HealthMonitor::attribute(const std::string& stage, double window_t0,
   if (st.saw_flow) return "orchestration";
   if (inflated) return "node-contention";
   return "unattributed";
+}
+
+void HealthMonitor::set_alert_hook(std::function<void(const Alert&)> hook) {
+  alert_hook_ = std::move(hook);
+}
+
+void HealthMonitor::record_alert(Alert alert) {
+  alerts_.push_back(std::move(alert));
+  if (alert_hook_) alert_hook_(alerts_.back());
 }
 
 std::size_t HealthMonitor::firing_count() const {

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <mutex>
@@ -204,6 +205,12 @@ class HealthMonitor {
   /// end of run. Firing alerts are left firing.
   void finish(double now);
 
+  /// Observer invoked synchronously for every alert transition as it is
+  /// recorded (from poll()/finish() on the driving thread). Lets the flight
+  /// recorder capture health episodes and `mfwctl watch` dump a black box
+  /// the moment an SLO fires. Empty hook detaches.
+  void set_alert_hook(std::function<void(const Alert&)> hook);
+
   const std::vector<Alert>& alerts() const { return alerts_; }
   std::size_t firing_count() const;
   const std::vector<SloRule>& rules() const { return rules_config_; }
@@ -253,6 +260,8 @@ class HealthMonitor {
 
   StageState& stage_state(const std::string& stage);
   void ingest(const TelemetryEvent& event);
+  /// Appends the alert and notifies the hook.
+  void record_alert(Alert alert);
   void evaluate(double now, bool include_open_windows);
   void evaluate_rule(RuleState& state, double now, bool include_open);
   void evaluate_anomalies(double now, bool include_open);
@@ -266,6 +275,7 @@ class HealthMonitor {
   std::vector<RuleState> rules_;
   std::map<std::string, StageState> stages_;
   std::vector<Alert> alerts_;
+  std::function<void(const Alert&)> alert_hook_;
   TelemetryBus* bus_ = nullptr;
   std::size_t subscription_ = 0;
   std::vector<TelemetryEvent> scratch_;

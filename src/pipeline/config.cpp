@@ -152,6 +152,15 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
     config.slurm_latency = pp["slurm_latency"].as_double_or(config.slurm_latency);
     config.preprocess_walltime =
         pp["walltime"].as_double_or(config.preprocess_walltime);
+    // Uniform scaling of the calibrated cost model. Primarily a fault/
+    // regression-injection knob: CI's diff smoke gate slows preprocess 2x
+    // and requires `mfwctl diff` to attribute the makespan delta to it.
+    const double cost_scale = pp["cost_scale"].as_double_or(1.0);
+    if (!(cost_scale > 0.0))
+      throw util::YamlError("config: preprocess cost_scale must be > 0");
+    config.preprocess_cost.cpu_seconds *= cost_scale;
+    config.preprocess_cost.demand_per_tile *= cost_scale;
+    config.preprocess_cost.min_demand *= cost_scale;
   }
 
   const auto& mon = root["monitor"];
@@ -174,6 +183,11 @@ EomlConfig EomlConfig::from_yaml(const util::YamlNode& root) {
         static_cast<std::int64_t>(config.inference_tile_budget)));
     config.inference_batch = static_cast<std::size_t>(inf["batch"].as_int_or(
         static_cast<std::int64_t>(config.inference_batch)));
+    const double cost_scale = inf["cost_scale"].as_double_or(1.0);
+    if (!(cost_scale > 0.0))
+      throw util::YamlError("config: inference cost_scale must be > 0");
+    config.inference_cost.cpu_seconds *= cost_scale;
+    config.inference_cost.demand_per_tile *= cost_scale;
   }
 
   const auto& ship = root["shipment"];

@@ -1,0 +1,297 @@
+#include "util/jsonlite.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace mfw::util {
+namespace {
+
+/// Values nested deeper than this abort the parse: report documents are a
+/// few levels deep, and a cap keeps adversarial input from exhausting the
+/// stack.
+constexpr std::size_t kMaxDepth = 128;
+
+const std::vector<JsonValue> kEmptyArray;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue run() {
+    JsonValue value = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size())
+      fail("trailing data after JSON document", false);
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what, bool truncated) const {
+    std::string message = what + " at byte " + std::to_string(pos_);
+    if (truncated)
+      message += " (input ends mid-document; file truncated?)";
+    throw JsonError(message, pos_, truncated);
+  }
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  void skip_ws() {
+    while (!at_end()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  /// Next non-whitespace byte; a missing one means the document stopped
+  /// early, which is always a truncation.
+  char need(const char* context) {
+    skip_ws();
+    if (at_end()) fail(std::string("unexpected end of input ") + context, true);
+    return text_[pos_];
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("document nested too deeply", false);
+    const char c = need("while expecting a value");
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kString;
+        value.string = parse_string();
+        return value;
+      }
+      case 't':
+      case 'f': {
+        JsonValue value;
+        value.kind = JsonValue::Kind::kBool;
+        value.boolean = c == 't';
+        expect_word(c == 't' ? "true" : "false");
+        return value;
+      }
+      case 'n':
+        expect_word("null");
+        return {};
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        fail(std::string("unexpected character '") + c + "'", false);
+    }
+  }
+
+  void expect_word(std::string_view word) {
+    if (text_.size() - pos_ < word.size()) {
+      if (text_.compare(pos_, text_.size() - pos_,
+                        word.substr(0, text_.size() - pos_)) == 0)
+        fail("unexpected end of input inside literal", true);
+      fail("unrecognised literal", false);
+    }
+    if (text_.compare(pos_, word.size(), word) != 0)
+      fail("unrecognised literal", false);
+    pos_ += word.size();
+  }
+
+  JsonValue parse_number() {
+    const std::size_t begin = pos_;
+    if (!at_end() && peek() == '-') ++pos_;
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+      ++pos_;
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++pos_;
+    }
+    // strtod needs a terminated buffer; numbers are short, copy is fine.
+    const std::string slice(text_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double parsed = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size() || slice.empty() ||
+        !std::isfinite(parsed)) {
+      pos_ = begin;
+      fail("malformed number", false);
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (text_.size() - pos_ < 4)
+      fail("unexpected end of input inside \\u escape", true);
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9')
+        code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        code |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("malformed \\u escape", false);
+    }
+    return code;
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unexpected end of input inside string", true);
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string", false);
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (at_end()) fail("unexpected end of input inside escape", true);
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xD800 && code <= 0xDBFF && text_.size() - pos_ >= 2 &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low >= 0xDC00 && low <= 0xDFFF)
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            else
+              append_utf8(out, 0xFFFD), code = low;
+          }
+          append_utf8(out, code);
+          break;
+        }
+        default:
+          --pos_;
+          fail(std::string("unknown escape '\\") + e + "'", false);
+      }
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    ++pos_;  // '['
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (need("inside array") == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array.push_back(parse_value(depth + 1));
+      const char c = need("inside array (expecting ',' or ']')");
+      ++pos_;
+      if (c == ']') return value;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array", false);
+      }
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    ++pos_;  // '{'
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (need("inside object") == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      if (need("inside object (expecting a key)") != '"')
+        fail("expected string key in object", false);
+      std::string key = parse_string();
+      if (need("after object key") != ':')
+        fail("expected ':' after object key", false);
+      ++pos_;
+      value.object.emplace_back(std::move(key), parse_value(depth + 1));
+      const char c = need("inside object (expecting ',' or '}')");
+      ++pos_;
+      if (c == '}') return value;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object", false);
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+double JsonValue::num(std::string_view key, double fallback) const {
+  const JsonValue* member = find(key);
+  return member && member->is_number() ? member->number : fallback;
+}
+
+std::string JsonValue::str(std::string_view key,
+                           std::string_view fallback) const {
+  const JsonValue* member = find(key);
+  return member && member->is_string() ? member->string
+                                       : std::string(fallback);
+}
+
+const std::vector<JsonValue>& JsonValue::items(std::string_view key) const {
+  const JsonValue* member = find(key);
+  return member && member->is_array() ? member->array : kEmptyArray;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace mfw::util

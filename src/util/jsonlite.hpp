@@ -1,0 +1,75 @@
+// Minimal JSON reader for the report-consuming tools (mfwctl diff,
+// mfwctl report --from). The repo's writers emit JSON through
+// util::JsonWriter; this is the matching read side: a strict recursive-
+// descent parser into a small DOM, with position-aware errors that
+// distinguish *truncated* input (the stream ended mid-document — the
+// common failure when a run was killed while writing a report) from
+// plain syntax errors. No dependencies beyond the standard library; not
+// a general-purpose library — no comments, no trailing commas, no NaN.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mfw::util {
+
+/// Parse failure. `truncated()` is true when the input ended before the
+/// document was complete (killed writer / partial download), false for a
+/// malformed byte inside otherwise-available input.
+class JsonError : public std::runtime_error {
+ public:
+  JsonError(const std::string& message, std::size_t offset, bool truncated)
+      : std::runtime_error(message), offset_(offset), truncated_(truncated) {}
+
+  /// Byte offset into the input where the failure was detected.
+  std::size_t offset() const { return offset_; }
+  bool truncated() const { return truncated_; }
+
+ private:
+  std::size_t offset_;
+  bool truncated_;
+};
+
+/// One parsed JSON value. A tagged struct rather than a class hierarchy:
+/// report documents are small (KBs to low MBs) and read once, so clarity
+/// beats compactness. Object members keep document order.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup (first match); nullptr when absent or not an
+  /// object.
+  const JsonValue* find(std::string_view key) const;
+
+  // -- tolerant typed accessors for report consumers -------------------------
+  /// Member `key` as a number / string / bool, or `fallback` when the member
+  /// is missing or has another type.
+  double num(std::string_view key, double fallback = 0.0) const;
+  std::string str(std::string_view key,
+                  std::string_view fallback = {}) const;
+  /// Member `key` as an array; empty when missing or not an array.
+  const std::vector<JsonValue>& items(std::string_view key) const;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// data is an error). Throws JsonError.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace mfw::util

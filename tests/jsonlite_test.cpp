@@ -1,0 +1,100 @@
+// Unit tests for the minimal JSON reader (util/jsonlite.hpp): value shapes,
+// string escapes, the tolerant typed accessors the report consumers use, and
+// — the part the CLI leans on — position-aware errors that distinguish
+// truncated input from plain syntax errors.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/jsonlite.hpp"
+
+namespace mfw::util {
+namespace {
+
+TEST(Jsonlite, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").boolean);
+  EXPECT_FALSE(parse_json("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_json("42").number, 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-3.5e2").number, -350.0);
+  EXPECT_EQ(parse_json("\"hi\"").string, "hi");
+}
+
+TEST(Jsonlite, ParsesNestedDocument) {
+  const auto doc = parse_json(
+      "{\"schema\": \"mfw.test/v1\", \"n\": 3,\n"
+      " \"stages\": [{\"stage\": \"download\", \"p99\": 1.5}, {}],\n"
+      " \"flag\": true, \"none\": null}");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.str("schema"), "mfw.test/v1");
+  EXPECT_DOUBLE_EQ(doc.num("n"), 3.0);
+  const auto& stages = doc.items("stages");
+  ASSERT_EQ(stages.size(), 2u);
+  EXPECT_EQ(stages[0].str("stage"), "download");
+  EXPECT_DOUBLE_EQ(stages[0].num("p99"), 1.5);
+  EXPECT_NE(doc.find("flag"), nullptr);
+  EXPECT_TRUE(doc.find("none")->is_null());
+}
+
+TEST(Jsonlite, TolerantAccessorsFallBack) {
+  const auto doc = parse_json("{\"s\": \"x\", \"n\": 1}");
+  EXPECT_DOUBLE_EQ(doc.num("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(doc.num("s", -1.0), -1.0);  // wrong type -> fallback
+  EXPECT_EQ(doc.str("missing", "d"), "d");
+  EXPECT_EQ(doc.str("n", "d"), "d");
+  EXPECT_TRUE(doc.items("missing").empty());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Jsonlite, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(parse_json("\"a\\n\\t\\\"b\\\\\"").string, "a\n\t\"b\\");
+  EXPECT_EQ(parse_json("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_json("\"\\u00e9\"").string, "\xc3\xa9");          // é
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").string, "\xf0\x9f\x98\x80");
+}
+
+TEST(Jsonlite, TruncationIsDistinguishedFromSyntaxErrors) {
+  // Killed-writer shapes: the input simply ends mid-document.
+  for (const char* text :
+       {"{\"a\": 1,", "[1, 2", "\"unterminated", "{\"a\"", "tru"}) {
+    try {
+      parse_json(text);
+      FAIL() << "expected JsonError for: " << text;
+    } catch (const JsonError& e) {
+      EXPECT_TRUE(e.truncated()) << text << " -> " << e.what();
+    }
+  }
+  // Malformed bytes inside available input are *not* truncation.
+  for (const char* text : {"{\"a\" 1}", "[1,, 2]", "nope", "{1: 2}"}) {
+    try {
+      parse_json(text);
+      FAIL() << "expected JsonError for: " << text;
+    } catch (const JsonError& e) {
+      EXPECT_FALSE(e.truncated()) << text << " -> " << e.what();
+    }
+  }
+}
+
+TEST(Jsonlite, ErrorsCarryByteOffsets) {
+  try {
+    parse_json("{\"a\": @}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_EQ(e.offset(), 6u);
+    EXPECT_NE(std::string(e.what()).find("at byte 6"), std::string::npos);
+  }
+}
+
+TEST(Jsonlite, RejectsTrailingDataAndDeepNesting) {
+  EXPECT_THROW(parse_json("{} {}"), JsonError);
+  EXPECT_THROW(parse_json(std::string(200, '[')), JsonError);
+  // 200 open brackets fail on depth, not truncation.
+  try {
+    parse_json(std::string(200, '['));
+  } catch (const JsonError& e) {
+    EXPECT_FALSE(e.truncated());
+  }
+}
+
+}  // namespace
+}  // namespace mfw::util

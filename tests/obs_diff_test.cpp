@@ -1,0 +1,185 @@
+// Unit tests for cross-run trace differencing (obs/diff.hpp): a golden
+// attribution test on hand-built reports where the expected makespan
+// decomposition is known exactly, the report parser round-trip against the
+// analyzer's own serialization, and the parse-error contract the CLI's exit
+// codes ride on (schema mismatch vs truncation vs malformed JSON).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/analyze.hpp"
+#include "obs/diff.hpp"
+#include "obs/trace.hpp"
+
+namespace mfw::obs {
+namespace {
+
+// One-process report whose critical path tiles the makespan exactly:
+// download contributes a fixed 60 s, preprocess and inference are knobs.
+TraceReport make_report(double pp_path_s, double inf_path_s, double pp_p99) {
+  TraceReport report;
+  ProcessReport p;
+  p.process = "eoml";
+  p.start = 0.0;
+  p.end = 60.0 + pp_path_s + inf_path_s;
+  p.dominant_stage = "download";
+  p.critical_path.makespan = p.end;
+  p.critical_path.length = p.end;
+  p.critical_path.coverage = 1.0;
+  p.critical_path.dominant_stage = "download";
+  p.critical_path.by_stage = {{"download", 60.0},
+                              {"preprocess", pp_path_s},
+                              {"inference", inf_path_s}};
+  for (const char* name : {"download", "preprocess", "inference"}) {
+    StageStat stage;
+    stage.stage = name;
+    stage.tasks = 8;
+    stage.p99 = stage.stage == "preprocess" ? pp_p99 : 10.0;
+    p.stages.push_back(stage);
+  }
+  report.processes.push_back(std::move(p));
+  return report;
+}
+
+TEST(Diff, GoldenAttributionIsExact) {
+  // A: 60 + 30 + 10 = 100 s.  B: 60 + 58 + 12 = 130 s.  The +30 s delta
+  // decomposes exactly: preprocess +28 s (93.3%), inference +2 s (6.7%).
+  const auto a = make_report(30.0, 10.0, 16.0);
+  const auto b = make_report(58.0, 12.0, 32.0);
+  const auto diff = diff_reports(a, b);
+
+  ASSERT_EQ(diff.processes.size(), 1u);
+  const auto& p = diff.processes[0];
+  EXPECT_TRUE(p.regression);
+  EXPECT_FALSE(p.improvement);
+  EXPECT_DOUBLE_EQ(p.delta_s, 30.0);
+  EXPECT_DOUBLE_EQ(p.attributed_s, 30.0);
+  EXPECT_NEAR(p.attributed_share, 1.0, 1e-9);
+
+  ASSERT_GE(p.findings.size(), 2u);
+  EXPECT_EQ(p.findings[0].kind, "stage");
+  EXPECT_EQ(p.findings[0].stage, "preprocess");
+  EXPECT_DOUBLE_EQ(p.findings[0].delta_s, 28.0);
+  EXPECT_NEAR(p.findings[0].share, 28.0 / 30.0, 1e-9);
+  EXPECT_EQ(p.findings[1].stage, "inference");
+  EXPECT_DOUBLE_EQ(p.findings[1].delta_s, 2.0);
+  // The p99 doubling shows up as evidence on the top finding.
+  EXPECT_NE(p.findings[0].detail.find("p99"), std::string::npos);
+
+  EXPECT_NE(p.verdict.find("preprocess"), std::string::npos);
+  EXPECT_NE(p.verdict.find("93% of the +30.00s makespan delta"),
+            std::string::npos);
+  EXPECT_TRUE(diff.regression());
+  EXPECT_NE(diff.to_json().find("\"mfw.trace_diff/v1\""), std::string::npos);
+  EXPECT_NE(diff.render_text().find(p.verdict), std::string::npos);
+}
+
+TEST(Diff, IdenticalRunsAreNoRegression) {
+  const auto a = make_report(30.0, 10.0, 16.0);
+  const auto diff = diff_reports(a, a);
+  ASSERT_EQ(diff.processes.size(), 1u);
+  EXPECT_FALSE(diff.processes[0].regression);
+  EXPECT_FALSE(diff.processes[0].improvement);
+  EXPECT_FALSE(diff.regression());
+  EXPECT_NE(diff.processes[0].verdict.find("no regression"),
+            std::string::npos);
+}
+
+TEST(Diff, ImprovementIsNotARegression) {
+  const auto a = make_report(58.0, 12.0, 32.0);
+  const auto b = make_report(30.0, 10.0, 16.0);
+  const auto diff = diff_reports(a, b);
+  ASSERT_EQ(diff.processes.size(), 1u);
+  EXPECT_TRUE(diff.processes[0].improvement);
+  EXPECT_FALSE(diff.regression());
+  EXPECT_NE(diff.processes[0].verdict.find("improvement"), std::string::npos);
+}
+
+TEST(Diff, SubNoiseDeltaIsNoise) {
+  const auto a = make_report(30.0, 10.0, 16.0);
+  const auto b = make_report(30.02, 10.0, 16.0);  // +0.02 s < noise_abs_s
+  const auto diff = diff_reports(a, b);
+  EXPECT_FALSE(diff.regression());
+  EXPECT_FALSE(diff.processes[0].improvement);
+}
+
+// Round-trip: the analyzer's own serialization parses back into a report
+// that diffs clean against the original.
+TEST(DiffParse, RoundTripsAnalyzerOutput) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin_process("p");
+  rec.add_span("stages/download", "stage", "download", 0.0, 50.0);
+  rec.add_span("download/w0", "download", "d1", 0.0, 20.0,
+               {{"granule", "g1"}, {"bytes", "100"}, {"status", "ok"}});
+  rec.add_span("download/w0", "download", "d2", 20.0, 50.0,
+               {{"granule", "g2"}, {"bytes", "100"}, {"status", "ok"}});
+  rec.add_span("stages/preprocess", "stage", "preprocess", 50.0, 70.0);
+  rec.add_span("preprocess/node0/w0", "compute", "p1", 50.0, 60.0,
+               {{"granule", "g1"}, {"queue_wait_s", "0"}});
+  rec.add_span("preprocess/node0/w0", "compute", "p2", 60.0, 70.0,
+               {{"granule", "g2"}, {"queue_wait_s", "10"}});
+  const auto analysis = analyze_trace(rec);
+  ASSERT_EQ(analysis.processes.size(), 1u);
+
+  const auto parsed = parse_trace_report(analysis.to_json());
+  ASSERT_EQ(parsed.processes.size(), 1u);
+  const auto& want = analysis.processes[0];
+  const auto& got = parsed.processes[0];
+  EXPECT_EQ(got.process, want.process);
+  EXPECT_NEAR(got.makespan(), want.makespan(), 1e-6);
+  ASSERT_EQ(got.stages.size(), want.stages.size());
+  for (std::size_t i = 0; i < got.stages.size(); ++i) {
+    EXPECT_EQ(got.stages[i].stage, want.stages[i].stage);
+    EXPECT_NEAR(got.stages[i].p99, want.stages[i].p99,
+                1e-5 * (1.0 + want.stages[i].p99));
+    EXPECT_EQ(got.stages[i].tasks, want.stages[i].tasks);
+  }
+  EXPECT_NEAR(got.critical_path.length, want.critical_path.length, 1e-4);
+  ASSERT_EQ(got.critical_path.by_stage.size(),
+            want.critical_path.by_stage.size());
+
+  // A report diffed against its own serialization is exactly "no change".
+  const auto diff = diff_reports(analysis, parsed);
+  EXPECT_FALSE(diff.regression());
+}
+
+TEST(DiffParse, RejectsWrongSchemaTruncationAndGarbage) {
+  TraceRecorder rec;
+  rec.set_enabled(true);
+  rec.begin_process("p");
+  rec.add_span("download/w0", "download", "d", 0.0, 1.0, {{"granule", "g"}});
+  const std::string doc = analyze_trace(rec).to_json();
+
+  // Schema version mismatch: clear message, not flagged as truncation.
+  std::string wrong = doc;
+  wrong.replace(wrong.find("mfw.trace_report/v1"),
+                std::string("mfw.trace_report/v1").size(),
+                "mfw.trace_report/v2");
+  try {
+    parse_trace_report(wrong);
+    FAIL() << "expected ReportParseError";
+  } catch (const ReportParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported report schema"),
+              std::string::npos);
+    EXPECT_FALSE(e.truncated());
+  }
+
+  // Truncated file (killed writer): flagged as truncation.
+  try {
+    parse_trace_report(doc.substr(0, doc.size() / 2));
+    FAIL() << "expected ReportParseError";
+  } catch (const ReportParseError& e) {
+    EXPECT_TRUE(e.truncated());
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+
+  // Garbage and non-report documents.
+  EXPECT_THROW(parse_trace_report("not json at all"), ReportParseError);
+  EXPECT_THROW(parse_trace_report("[1, 2, 3]"), ReportParseError);
+  EXPECT_THROW(parse_trace_report("{\"schema\": \"mfw.trace_report/v1\"}"),
+               ReportParseError);
+}
+
+}  // namespace
+}  // namespace mfw::obs

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "analysis/aicca.hpp"
+#include "obs/metrics.hpp"
 #include "preprocess/tile_io.hpp"
 #include "serve/api.hpp"
 #include "serve/catalog.hpp"
@@ -430,6 +431,41 @@ TEST(ServeService, LruEvictsColdEntries) {
   (void)service.query(c);  // evicts a
   EXPECT_FALSE(service.query(a).cache_hit);  // cold again
   EXPECT_GE(service.stats().cache_evictions, 1u);
+}
+
+TEST(ServeService, MetricsCountersTrackQueryOutcomes) {
+  const auto records = random_records(7, 2000);
+  Catalog catalog;
+  catalog.ingest(records);
+  ServeConfig config;
+  config.trace = false;
+  ServeService service(catalog, config);
+
+  auto& metrics = obs::MetricsRegistry::instance();
+  metrics.clear();
+  metrics.set_enabled(true);
+  QueryRequest request;
+  request.kind = QueryKind::kTimeRange;
+  service.query(request);  // miss
+  service.query(request);  // hit
+  metrics.set_enabled(false);
+
+  const obs::Labels by_kind{{"kind", kind_name(QueryKind::kTimeRange)}};
+  EXPECT_DOUBLE_EQ(metrics.counter("mfw.serve.queries_total", by_kind), 2.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.counter("mfw.serve.cache_total", {{"result", "miss"}}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics.counter("mfw.serve.cache_total", {{"result", "hit"}}), 1.0);
+  EXPECT_GT(metrics.counter("mfw.serve.shard_probes_total", by_kind), 0.0);
+  const auto latency =
+      metrics.distribution("mfw.serve.query_latency_seconds", by_kind);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(latency->stats.count(), 2u);
+  metrics.clear();
+
+  // Disabled registry: the hot path records nothing.
+  service.query(request);
+  EXPECT_DOUBLE_EQ(metrics.counter("mfw.serve.queries_total", by_kind), 0.0);
 }
 
 TEST(ServeApi, JsonCarriesSchemaAndEchoesRequest) {

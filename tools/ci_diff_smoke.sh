@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# CI smoke gate for the differential-observability layer (DESIGN.md §15):
+# per-granule lineage, cross-run trace diffing, and the crash-safe flight
+# recorder. Five checks on a Release build:
+#
+#   1. Determinism floor: two traced runs of the fig6 barrier config produce
+#      byte-identical report JSON, and `mfwctl diff` on them says
+#      "no regression" (exit 0 under --gate).
+#   2. Injected regression: the same config with `preprocess: cost_scale 2.0`
+#      must be caught by `mfwctl diff --gate` (exit 3), with the top finding
+#      naming preprocess and attributing >= 90% of the makespan delta to it.
+#   3. Zero-perturbation: `mfwctl run --csv` with the flight recorder
+#      attached emits a timeline CSV sha256-identical to the plain run, and
+#      the flight dump parses as Chrome-trace JSON (ph in X/i/M, non-empty).
+#   4. Robust failure: truncated report JSON and a schema-version mismatch
+#      both exit nonzero with a message naming the problem.
+#   5. Lineage query: `mfwctl lineage --granule` prints a causal timeline
+#      containing every pipeline hop kind for a known granule.
+#
+# Usage: tools/ci_diff_smoke.sh [build-dir]   (default: build-perf)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build-perf"}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)" --target mfwctl
+
+mfwctl="${build_dir}/tools/mfwctl"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+config="${repo_root}/tools/baselines/fig6.yaml"
+slow_config="${workdir}/fig6_slow.yaml"
+{ cat "${config}"; printf 'preprocess:\n  cost_scale: 2.0\n'; } \
+  > "${slow_config}"
+
+# -- 1. identical reruns diff clean ------------------------------------------
+"${mfwctl}" report "${config}" --json --quiet > "${workdir}/a.json"
+"${mfwctl}" report "${config}" --json --quiet > "${workdir}/b.json"
+cmp -s "${workdir}/a.json" "${workdir}/b.json" || {
+  echo "FAIL: two runs of the same config produced different reports" >&2
+  exit 1
+}
+verdict="$("${mfwctl}" diff "${workdir}/a.json" "${workdir}/b.json" --gate)"
+echo "${verdict}"
+[[ "${verdict}" == *"no regression"* ]] || {
+  echo "FAIL: identical reruns did not report 'no regression'" >&2
+  exit 1
+}
+echo "OK: identical reruns diff clean"
+
+# -- 2. injected 2x preprocess is caught and attributed ----------------------
+"${mfwctl}" report "${slow_config}" --json --quiet > "${workdir}/slow.json"
+set +e
+"${mfwctl}" diff "${workdir}/a.json" "${workdir}/slow.json" \
+  --json --out "${workdir}/diff.json" --gate > /dev/null
+gate_rc=$?
+set -e
+if [[ "${gate_rc}" != "3" ]]; then
+  echo "FAIL: 2x-preprocess regression not gated (exit ${gate_rc}, want 3)" >&2
+  exit 1
+fi
+python3 - "${workdir}/diff.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "mfw.trace_diff/v1", doc.get("schema")
+p = doc["processes"][0]
+assert p["regression"], "regression flag not set"
+top = p["findings"][0]
+assert top["kind"] == "stage", top
+assert top["stage"] == "preprocess", f"top finding is {top['stage']}"
+assert top["share"] >= 0.9, f"preprocess share {top['share']:.3f} < 0.9"
+print(f"OK: diff ranks preprocess top with {100 * top['share']:.1f}% "
+      f"of the {p['delta_s']:+.2f}s delta")
+EOF
+
+# -- 3. flight recorder: zero perturbation + valid Chrome trace --------------
+"${mfwctl}" run "${config}" --csv "${workdir}/plain.csv" --quiet > /dev/null
+"${mfwctl}" run "${config}" --csv "${workdir}/flight.csv" \
+  --flight-out "${workdir}/flight.json" --quiet > /dev/null
+plain_sha="$(sha256sum "${workdir}/plain.csv" | awk '{print $1}')"
+flight_sha="$(sha256sum "${workdir}/flight.csv" | awk '{print $1}')"
+if [[ "${plain_sha}" != "${flight_sha}" ]]; then
+  echo "FAIL: flight recorder perturbed the run" \
+       "(${plain_sha} vs ${flight_sha})" >&2
+  exit 1
+fi
+echo "OK: flight-recorded run is sha256-identical to the plain run"
+python3 - "${workdir}/flight.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+events = doc["traceEvents"]
+assert events, "flight dump has no events"
+assert all(e["ph"] in ("X", "i", "M") for e in events), "bad phase"
+meta = doc["flight"]
+assert meta["reason"] == "end-of-run", meta
+assert meta["seen"] >= meta["retained"] > 0, meta
+print(f"OK: flight dump is Chrome-trace JSON "
+      f"({len(events)} events, {meta['retained']} retained "
+      f"of {meta['seen']} seen)")
+EOF
+
+# -- 4. clear errors on truncated / wrong-schema reports ---------------------
+head -c 200 "${workdir}/a.json" > "${workdir}/truncated.json"
+sed 's#mfw.trace_report/v1#mfw.trace_report/v2#' "${workdir}/a.json" \
+  > "${workdir}/wrong_schema.json"
+for bad in truncated wrong_schema; do
+  set +e
+  err="$("${mfwctl}" diff "${workdir}/${bad}.json" "${workdir}/a.json" 2>&1)"
+  rc=$?
+  set -e
+  if [[ "${rc}" == "0" ]]; then
+    echo "FAIL: diff accepted a ${bad} report" >&2
+    exit 1
+  fi
+  case "${bad}" in
+    truncated) want="truncated" ;;
+    wrong_schema) want="unsupported report schema" ;;
+  esac
+  [[ "${err}" == *"${want}"* ]] || {
+    echo "FAIL: ${bad} error message lacks '${want}': ${err}" >&2
+    exit 1
+  }
+done
+echo "OK: truncated and wrong-schema reports exit nonzero with clear errors"
+
+# -- 5. per-granule lineage query --------------------------------------------
+lineage="$("${mfwctl}" lineage "${config}" \
+  --granule terra.A2022001.s0008 --quiet)"
+for hop in download granule.ready preprocess inference; do
+  [[ "${lineage}" == *"${hop}"* ]] || {
+    echo "FAIL: lineage timeline lacks a ${hop} hop" >&2
+    echo "${lineage}" >&2
+    exit 1
+  }
+done
+echo "OK: lineage prints the full causal chain for a granule"
+
+echo "diff smoke: all gates passed"

@@ -3,10 +3,16 @@
 # lifetime bugs; this catches determinism drift and complexity regressions in
 # the simulation substrate). Three checks on a Release build:
 #
-#   1. fig6_timeline still reports the recorded barrier/streaming makespans
-#      (519.53 s / 493.01 s) — the fast substrates are required to be
-#      bit-for-bit identical to the naive oracles on every paper run, so any
-#      drift here means the equivalence contract broke.
+#   1. Differential gate: `mfwctl report --json` on the fig6 barrier and
+#      streaming configs is diffed against the committed baseline reports
+#      (tools/baselines/, recorded at barrier 519.53 s / streaming 493.01 s)
+#      with `mfwctl diff --gate`. A regression beyond noise fails the gate
+#      *and names the stage that caused it* — this replaces the old raw
+#      makespan string match, which could only say "drifted". After an
+#      intentional perf change, refresh the baselines with:
+#        build-perf/tools/mfwctl report tools/baselines/fig6.yaml \
+#          --json --quiet > tools/baselines/fig6_barrier_report.json
+#      (and likewise for fig6_streaming.yaml).
 #   2. A trimmed archive_campaign (--quick) still clears the substrate
 #      speedup floors vs the naive oracle: >= 10x on SharedResource churn,
 #      >= 5x on FlowLink churn. A regression to O(n)-per-event behaviour
@@ -20,23 +26,31 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-"${repo_root}/build-perf"}"
 
-expected_barrier="519.53"
-expected_streaming="493.01"
-
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${build_dir}" -j "$(nproc)" --target \
-      fig6_timeline archive_campaign micro_substrates
+      mfwctl archive_campaign micro_substrates
 
-# -- 1. determinism: fig6 makespans ------------------------------------------
-fig6_line="$("${build_dir}/bench/fig6_timeline" | grep '^Makespan:')"
-echo "${fig6_line}"
-if [[ "${fig6_line}" != *"barrier ${expected_barrier}s"* ]] ||
-   [[ "${fig6_line}" != *"streaming ${expected_streaming}s"* ]]; then
-  echo "FAIL: fig6 makespans drifted from recorded" \
-       "barrier ${expected_barrier}s / streaming ${expected_streaming}s" >&2
-  exit 1
-fi
-echo "OK: fig6 makespans match recorded values"
+# -- 1. differential gate: mfwctl diff vs committed baselines ----------------
+mfwctl="${build_dir}/tools/mfwctl"
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+for mode in barrier streaming; do
+  if [[ "${mode}" == "barrier" ]]; then
+    config="${repo_root}/tools/baselines/fig6.yaml"
+  else
+    config="${repo_root}/tools/baselines/fig6_streaming.yaml"
+  fi
+  baseline="${repo_root}/tools/baselines/fig6_${mode}_report.json"
+  current="${workdir}/fig6_${mode}_report.json"
+  "${mfwctl}" report "${config}" --json --quiet > "${current}"
+  if ! "${mfwctl}" diff "${baseline}" "${current}" --gate; then
+    echo "FAIL: fig6 ${mode} run regressed vs ${baseline}" \
+         "(see the ranked attribution above)" >&2
+    exit 1
+  fi
+done
+echo "OK: fig6 runs diff clean against the committed baselines"
 
 # -- 2. substrate speedup floors ---------------------------------------------
 smoke_json="${build_dir}/BENCH_sim_smoke.json"

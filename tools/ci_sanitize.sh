@@ -29,7 +29,13 @@
 # with MFW_SKIP_INT8=1. The serve smoke gate (tools/ci_serve_smoke.sh) pins
 # the sharded serving layer: oracle-identical query answers, the cache-hit
 # floor, CLI flag validation, and a TSan run of the lock-free
-# read-during-ingest path; skip with MFW_SKIP_SERVE=1.
+# read-during-ingest path; skip with MFW_SKIP_SERVE=1. The diff smoke gate
+# (tools/ci_diff_smoke.sh) pins the differential-observability layer:
+# identical reruns must diff to "no regression", an injected 2x preprocess
+# must be gated with >= 90% of the delta attributed to that stage, the
+# flight recorder must not perturb the run (same CSV sha) and must dump
+# valid Chrome-trace JSON, and broken report files must fail with clear
+# errors; skip with MFW_SKIP_DIFF=1.
 #
 # Usage: tools/ci_sanitize.sh [build-dir] [tsan-build-dir]
 #        (defaults: build-sanitize, build-tsan)
@@ -78,4 +84,8 @@ fi
 
 if [[ "${MFW_SKIP_SERVE:-0}" != "1" ]]; then
   "${repo_root}/tools/ci_serve_smoke.sh"
+fi
+
+if [[ "${MFW_SKIP_DIFF:-0}" != "1" ]]; then
+  "${repo_root}/tools/ci_diff_smoke.sh"
 fi

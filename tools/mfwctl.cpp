@@ -17,7 +17,25 @@
 //       Run the workflow traced and print the trace-analysis report:
 //       critical path, per-stage utilization, queue waits, stragglers with
 //       cause attribution. --json emits the machine-readable report (used by
-//       CI gating) on stdout.
+//       CI gating) on stdout. --from <report.json> re-renders a previously
+//       saved mfw.trace_report/v1 document instead of running (exit 1 with a
+//       clear message on schema mismatch or truncated JSON).
+//   mfwctl lineage <config.yaml> [--granule <id>] [--json] [--out <path>]
+//                [--top <n>]
+//       Run the workflow traced and reconstruct every granule's causal chain
+//       (download -> granule.ready -> preprocess -> encode/label -> infer).
+//       Default output is a slowest-first summary table; --granule prints
+//       one granule's full causal timeline with the per-hop wait/service
+//       split; --json / --out emit the mfw.lineage/v1 document.
+//   mfwctl diff <reportA.json> <reportB.json> [--json] [--out <path>]
+//                [--gate]
+//       Align two saved mfw.trace_report/v1 documents (A = baseline, B =
+//       candidate) and attribute the makespan delta: per-stage critical-path
+//       shifts ranked by magnitude, with queue-wait, straggler-cause, and
+//       path-membership evidence. Emits a text verdict (or mfw.trace_diff/v1
+//       JSON with --json). --gate exits 3 when B regressed beyond noise —
+//       the CI perf gate (tools/ci_perf_smoke.sh, tools/ci_diff_smoke.sh).
+//       Exit 1 with a clear message on schema mismatch or truncated input.
 //   mfwctl watch <config.yaml> [--interval <sim-s>] [--window <s>]
 //                [--anomaly-k <k>] [--health-out <path>] [--csv <path>]
 //       Run the workflow with the live health layer attached (DESIGN.md
@@ -28,6 +46,14 @@
 //       to --health-out. Watching is read-only: the run is bit-for-bit
 //       identical to `mfwctl run` (--csv emits the same timeline CSV,
 //       sha256-gated in tools/ci_health_smoke.sh).
+//
+//   `run` and `watch` additionally take [--flight-out <path>]
+//   [--flight-capacity <n>]: attach the always-on crash-safe flight recorder
+//   (DESIGN.md §15) — a fixed-size ring of the most recent spans/instants/
+//   health episodes, dumped as Perfetto-loadable Chrome-trace JSON at end of
+//   run, on std::terminate, and (under watch) the moment an SLO alert fires.
+//   The ring is a read-only SpanSink, so the run stays bit-for-bit identical
+//   (sha256-gated in tools/ci_diff_smoke.sh).
 //   mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]
 //       Validate a declarative workflow spec (stages, claims, dataflow
 //       edges, campaign) against a facility and print the compiled DAG.
@@ -53,12 +79,17 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "federation/orchestrator.hpp"
 #include "obs/analyze.hpp"
+#include "obs/diff.hpp"
+#include "obs/flight.hpp"
+#include "obs/lineage.hpp"
+#include "obs/watch.hpp"
 #include "pipeline/spec_compile.hpp"
 #include "spec/lab.hpp"
 #include "spec/spec.hpp"
@@ -82,12 +113,18 @@ using namespace mfw;
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  mfwctl run <config.yaml> [--timeline] [--csv <path>] [--quiet]\n"
+               "  mfwctl run <config.yaml> [--timeline] [--csv <path>] [--flight-out <path>]\n"
+               "               [--flight-capacity <n>] [--quiet]\n"
                "  mfwctl run-template <name> [<overrides.yaml>] [--facility olcf|nersc|alcf]\n"
                "  mfwctl trace <config.yaml> [--out <trace.json>] [--metrics <path>] [--quiet]\n"
-               "  mfwctl report <config.yaml> [--json] [--out <path>] [--straggler-k <k>] [--quiet]\n"
+               "  mfwctl report <config.yaml> | --from <report.json> [--json] [--out <path>]\n"
+               "               [--straggler-k <k>] [--quiet]\n"
+               "  mfwctl lineage <config.yaml> [--granule <id>] [--json] [--out <path>]\n"
+               "               [--top <n>] [--quiet]\n"
+               "  mfwctl diff <reportA.json> <reportB.json> [--json] [--out <path>] [--gate]\n"
                "  mfwctl watch <config.yaml> [--interval <sim-s>] [--window <s>] [--anomaly-k <k>]\n"
-               "               [--health-out <path>] [--csv <path>] [--quiet]\n"
+               "               [--health-out <path>] [--csv <path>] [--flight-out <path>]\n"
+               "               [--flight-capacity <n>] [--quiet]\n"
                "  mfwctl plan <spec.yaml> | --builtin [--facility olcf|nersc|alcf]\n"
                "  mfwctl sweep <spec.yaml> | --builtin [--policies a,b] [--facilities 1,2]\n"
                "               [--loads 1,2] [--out <json>] [--quiet]\n"
@@ -107,7 +144,12 @@ struct FlagSpec {
 /// Flags each command accepts; nullptr for unknown commands.
 const std::vector<FlagSpec>* flags_for(const std::string& command) {
   static const std::map<std::string, std::vector<FlagSpec>> kFlags = {
-      {"run", {{"--timeline", false}, {"--csv", true}, {"--quiet", false}}},
+      {"run",
+       {{"--timeline", false},
+        {"--csv", true},
+        {"--flight-out", true},
+        {"--flight-capacity", true},
+        {"--quiet", false}}},
       {"run-template",
        {{"--facility", true},
         {"--timeline", false},
@@ -119,6 +161,18 @@ const std::vector<FlagSpec>* flags_for(const std::string& command) {
        {{"--json", false},
         {"--out", true},
         {"--straggler-k", true},
+        {"--from", true},
+        {"--quiet", false}}},
+      {"lineage",
+       {{"--granule", true},
+        {"--json", false},
+        {"--out", true},
+        {"--top", true},
+        {"--quiet", false}}},
+      {"diff",
+       {{"--json", false},
+        {"--out", true},
+        {"--gate", false},
         {"--quiet", false}}},
       {"watch",
        {{"--interval", true},
@@ -126,6 +180,8 @@ const std::vector<FlagSpec>* flags_for(const std::string& command) {
         {"--anomaly-k", true},
         {"--health-out", true},
         {"--csv", true},
+        {"--flight-out", true},
+        {"--flight-capacity", true},
         {"--quiet", false}}},
       {"plan", {{"--builtin", false}, {"--facility", true}, {"--quiet", false}}},
       {"sweep",
@@ -195,9 +251,37 @@ std::string slurp(const std::string& path) {
 }
 
 int run_config(pipeline::EomlConfig config, bool timeline,
-               const std::string& csv_path) {
+               const std::string& csv_path,
+               const std::string& flight_out = {},
+               std::size_t flight_capacity = 0) {
+  // Always-on black box: spans stream through the flight ring (stats-only
+  // retention, so memory stays bounded) and the ring is dumped at end of run
+  // plus on std::terminate. Read-only sink — the run itself is unchanged.
+  std::unique_ptr<obs::FlightRecorder> flight;
+  auto& rec = obs::TraceRecorder::instance();
+  if (!flight_out.empty()) {
+    obs::FlightConfig flight_config;
+    if (flight_capacity > 0) flight_config.capacity = flight_capacity;
+    flight = std::make_unique<obs::FlightRecorder>(flight_config);
+    obs::set_globally_enabled(true);
+    obs::RetentionPolicy retention;
+    retention.mode = obs::RetentionMode::kStatsOnly;
+    rec.set_retention(retention);
+    rec.set_span_sink(flight.get());
+    flight->arm_crash_dump(flight_out);
+  }
   pipeline::EomlWorkflow workflow(std::move(config));
   const auto report = workflow.run();
+  if (flight) {
+    rec.set_span_sink(nullptr);
+    rec.set_retention({});
+    obs::set_globally_enabled(false);
+    flight->disarm_crash_dump();
+    if (!flight->dump(flight_out, "end-of-run")) {
+      std::fprintf(stderr, "error: cannot write %s\n", flight_out.c_str());
+      return 1;
+    }
+  }
   std::printf("%s\n", report.summary().c_str());
   if (timeline) std::printf("%s\n", report.timeline.render(120, 90, 14).c_str());
   if (!csv_path.empty()) {
@@ -208,6 +292,13 @@ int run_config(pipeline::EomlConfig config, bool timeline,
     }
     out << report.timeline.to_csv(200);
     std::printf("timeline CSV written to %s\n", csv_path.c_str());
+  }
+  if (flight) {
+    std::printf("flight recording written to %s (%llu events seen, %zu "
+                "retained, %llu overwritten)\n",
+                flight_out.c_str(),
+                static_cast<unsigned long long>(flight->seen()), flight->size(),
+                static_cast<unsigned long long>(flight->overwritten()));
   }
   return 0;
 }
@@ -298,8 +389,12 @@ int main(int argc, char** argv) {
       const auto path = positional(0);
       if (path.empty()) return usage();
       auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      std::size_t flight_capacity = 0;
+      if (const auto v = flag_value("--flight-capacity"); !v.empty())
+        flight_capacity = static_cast<std::size_t>(std::atol(v.c_str()));
       return run_config(std::move(config), has_flag("--timeline"),
-                        flag_value("--csv"));
+                        flag_value("--csv"), flag_value("--flight-out"),
+                        flight_capacity);
     }
     if (command == "run-template") {
       const auto name = positional(0);
@@ -341,6 +436,27 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (command == "report") {
+      const auto from = flag_value("--from");
+      if (!from.empty()) {
+        // Re-render a saved report document — no workflow run. Parse errors
+        // (schema mismatch, truncation, malformed JSON) exit 1 with the
+        // offending file named.
+        obs::TraceReport analysis;
+        try {
+          analysis = obs::parse_trace_report(slurp(from));
+        } catch (const obs::ReportParseError& e) {
+          std::fprintf(stderr, "error: %s: %s\n", from.c_str(), e.what());
+          return 1;
+        }
+        if (const auto out = flag_value("--out"); !out.empty())
+          obs::write_file(out, analysis.to_json());
+        if (has_flag("--json")) {
+          std::printf("%s\n", analysis.to_json().c_str());
+        } else {
+          std::printf("%s", analysis.render_text().c_str());
+        }
+        return 0;
+      }
       const auto path = positional(0);
       if (path.empty()) return usage();
       auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
@@ -366,6 +482,76 @@ int main(int argc, char** argv) {
         std::printf("%s\n\n%s", report.summary().c_str(),
                     analysis.render_text().c_str());
       }
+      return 0;
+    }
+    if (command == "lineage") {
+      const auto path = positional(0);
+      if (path.empty()) return usage();
+      auto config = pipeline::EomlConfig::from_yaml_text(slurp(path));
+      const bool json = has_flag("--json");
+      if (json) util::Logger::instance().set_level(util::LogLevel::kError);
+      obs::set_globally_enabled(true);
+      pipeline::EomlWorkflow workflow(std::move(config));
+      const auto report = workflow.run();
+      const auto lineage =
+          obs::extract_lineage(obs::TraceRecorder::instance());
+      std::size_t top = 10;
+      if (const auto v = flag_value("--top"); !v.empty())
+        top = static_cast<std::size_t>(std::atol(v.c_str()));
+      if (const auto out = flag_value("--out"); !out.empty()) {
+        obs::write_file(out, lineage.to_json());
+        if (!json)
+          std::printf("lineage JSON written to %s (%zu granules)\n",
+                      out.c_str(), lineage.granules.size());
+      }
+      if (const auto granule = flag_value("--granule"); !granule.empty()) {
+        const auto text = lineage.render_granule(granule);
+        if (text.empty()) {
+          std::fprintf(stderr,
+                       "error: unknown granule '%s' (%zu granules traced; "
+                       "run without --granule to list the slowest)\n",
+                       granule.c_str(), lineage.granules.size());
+          return 1;
+        }
+        std::printf("%s", text.c_str());
+        return 0;
+      }
+      if (json) {
+        std::printf("%s\n", lineage.to_json(top).c_str());
+      } else {
+        std::printf("%s\n%s", report.summary().c_str(),
+                    lineage.render_text(top).c_str());
+      }
+      return 0;
+    }
+    if (command == "diff") {
+      const auto path_a = positional(0);
+      const auto path_b = positional(1);
+      if (path_a.empty() || path_b.empty()) return usage();
+      obs::TraceReport a, b;
+      try {
+        a = obs::parse_trace_report(slurp(path_a));
+      } catch (const obs::ReportParseError& e) {
+        std::fprintf(stderr, "error: %s: %s\n", path_a.c_str(), e.what());
+        return 1;
+      }
+      try {
+        b = obs::parse_trace_report(slurp(path_b));
+      } catch (const obs::ReportParseError& e) {
+        std::fprintf(stderr, "error: %s: %s\n", path_b.c_str(), e.what());
+        return 1;
+      }
+      const auto diff = obs::diff_reports(a, b);
+      if (const auto out = flag_value("--out"); !out.empty())
+        obs::write_file(out, diff.to_json());
+      if (has_flag("--json")) {
+        std::printf("%s\n", diff.to_json().c_str());
+      } else {
+        std::printf("%s", diff.render_text().c_str());
+      }
+      // --gate: distinct exit code so CI can tell "regressed" (3) apart
+      // from "could not diff" (1).
+      if (has_flag("--gate") && diff.regression()) return 3;
       return 0;
     }
     if (command == "watch") {
@@ -399,11 +585,44 @@ int main(int argc, char** argv) {
       workflow.attach_health(monitor, interval, [&](double now) {
         if (!quiet) std::printf("%s", monitor.dashboard(now).c_str());
       });
+      // Black box behind the bus: every span lands in the flight ring, SLO
+      // transitions become health episodes, and a firing alert dumps the
+      // ring immediately — the forensic context survives even if the run
+      // never reaches a clean end.
+      const auto flight_out = flag_value("--flight-out");
+      std::unique_ptr<obs::FlightRecorder> flight;
+      if (!flight_out.empty()) {
+        obs::FlightConfig flight_config;
+        if (const auto v = flag_value("--flight-capacity"); !v.empty())
+          flight_config.capacity =
+              static_cast<std::size_t>(std::atol(v.c_str()));
+        flight = std::make_unique<obs::FlightRecorder>(flight_config);
+        bus.set_next(flight.get());
+        monitor.set_alert_hook([&](const obs::Alert& alert) {
+          flight->note_alert(alert);
+          if (alert.state == "firing")
+            flight->dump(flight_out, "slo-firing:" + alert.rule);
+        });
+        flight->arm_crash_dump(flight_out);
+      }
       rec.set_span_sink(&bus);
       const auto report = workflow.run();
       monitor.finish(workflow.engine().now());
       rec.set_span_sink(nullptr);
       rec.set_retention({});
+      if (flight) {
+        bus.set_next(nullptr);
+        flight->disarm_crash_dump();
+        if (!flight->dump(flight_out, "end-of-run")) {
+          std::fprintf(stderr, "error: cannot write %s\n", flight_out.c_str());
+          return 1;
+        }
+        std::printf("flight recording written to %s (%llu events seen, %zu "
+                    "retained)\n",
+                    flight_out.c_str(),
+                    static_cast<unsigned long long>(flight->seen()),
+                    flight->size());
+      }
 
       std::printf("%s\n", report.summary().c_str());
       std::printf("%s", monitor.dashboard(workflow.engine().now()).c_str());
